@@ -1,0 +1,69 @@
+// Ablation — perspective-cube compression (the paper's Sec. 8 open
+// problem). Saves a forward perspective cube raw and with the ⊥-run-length
+// codec, reporting file sizes and save+load time for both.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "storage/cube_io.h"
+#include "whatif/perspective_cube.h"
+#include "workload/workforce.h"
+
+namespace olap::bench {
+namespace {
+
+const Cube& GetPerspectiveOutput() {
+  static Cube* cube = [] {
+    WorkforceConfig config;
+    config.num_departments = 20;
+    config.num_employees = 400;
+    config.num_changing = 60;
+    config.num_measures = 6;
+    config.num_scenarios = 2;
+    WorkforceCube wf = BuildWorkforceCube(config);
+    WhatIfSpec spec;
+    spec.varying_dim = wf.dept_dim;
+    spec.perspectives = Perspectives({0, 6});
+    spec.semantics = Semantics::kForward;
+    Result<PerspectiveCube> pc = ComputePerspectiveCube(wf.cube, spec);
+    if (!pc.ok()) abort();
+    return new Cube(pc->output());
+  }();
+  return *cube;
+}
+
+void RunSaveLoad(benchmark::State& state, bool compress) {
+  const Cube& cube = GetPerspectiveOutput();
+  const std::string path = "/tmp/olap_bench_compression.olap";
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    Status saved = SaveCube(cube, path, compress);
+    if (!saved.ok()) {
+      state.SkipWithError(saved.ToString().c_str());
+      return;
+    }
+    Result<Cube> loaded = LoadCube(path);
+    if (!loaded.ok()) {
+      state.SkipWithError(loaded.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(loaded->CountNonNullCells());
+    bytes = *FileSize(path);
+  }
+  std::remove(path.c_str());
+  state.counters["file_bytes"] = static_cast<double>(bytes);
+  state.counters["cells_stored"] = static_cast<double>(cube.CountNonNullCells());
+}
+
+void BM_SaveLoadRaw(benchmark::State& state) { RunSaveLoad(state, false); }
+void BM_SaveLoadCompressed(benchmark::State& state) { RunSaveLoad(state, true); }
+
+BENCHMARK(BM_SaveLoadRaw)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SaveLoadCompressed)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace olap::bench
+
+BENCHMARK_MAIN();

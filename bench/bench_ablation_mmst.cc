@@ -1,0 +1,107 @@
+// Ablation — Zhao-style simultaneous aggregation (Sec. 5's substrate).
+//
+// (a) Simultaneous: every group-by of the lattice accumulated in ONE pass
+//     over the chunks (what the MMST enables) vs. one pass per group-by.
+// (b) Dimension read order: the min-memory order (dimensions by increasing
+//     cardinality) vs. the reverse, compared on the analytic Zhao memory
+//     bound.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "agg/chunk_aggregator.h"
+#include "common/rng.h"
+
+namespace olap::bench {
+namespace {
+
+Cube& GetCube() {
+  static Cube* cube = [] {
+    Schema schema;
+    std::vector<int> extents = {48, 24, 12, 6};
+    for (size_t d = 0; d < extents.size(); ++d) {
+      Dimension dim("D" + std::to_string(d));
+      for (int i = 0; i < extents[d]; ++i) {
+        Result<MemberId> m = dim.AddChildOfRoot("m" + std::to_string(d) + "_" +
+                                                std::to_string(i));
+        if (!m.ok()) abort();
+      }
+      schema.AddDimension(std::move(dim));
+    }
+    CubeOptions options;
+    options.chunk_size = 4;
+    auto* out = new Cube(std::move(schema), options);
+    Rng rng(77);
+    std::vector<int> coords(4);
+    for (int i = 0; i < 30000; ++i) {
+      for (int d = 0; d < 4; ++d) {
+        coords[d] = static_cast<int>(rng.NextBelow(extents[d]));
+      }
+      out->SetCell(coords, CellValue(static_cast<double>(rng.NextBelow(100))));
+    }
+    return out;
+  }();
+  return *cube;
+}
+
+std::vector<GroupByMask> AllProperMasks() {
+  std::vector<GroupByMask> masks;
+  for (GroupByMask m = 0; m < 15; ++m) masks.push_back(m);
+  return masks;
+}
+
+void BM_SimultaneousOnePass(benchmark::State& state) {
+  Cube& cube = GetCube();
+  std::vector<GroupByMask> masks = AllProperMasks();
+  std::vector<int> order = Lattice(cube.layout()).MinMemoryOrder();
+  for (auto _ : state) {
+    ChunkAggregator agg(cube);
+    auto results = agg.Compute(masks, order);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["group_bys"] = static_cast<double>(masks.size());
+  state.counters["passes"] = 1;
+}
+
+void BM_OnePassPerGroupBy(benchmark::State& state) {
+  Cube& cube = GetCube();
+  std::vector<GroupByMask> masks = AllProperMasks();
+  std::vector<int> order = Lattice(cube.layout()).MinMemoryOrder();
+  for (auto _ : state) {
+    for (GroupByMask mask : masks) {
+      ChunkAggregator agg(cube);
+      auto results = agg.Compute({mask}, order);
+      benchmark::DoNotOptimize(results);
+    }
+  }
+  state.counters["group_bys"] = static_cast<double>(masks.size());
+  state.counters["passes"] = static_cast<double>(masks.size());
+}
+
+void BM_MemoryBoundByOrder(benchmark::State& state) {
+  Cube& cube = GetCube();
+  Lattice lattice(cube.layout());
+  std::vector<int> min_order = lattice.MinMemoryOrder();
+  std::vector<int> max_order = min_order;
+  std::reverse(max_order.begin(), max_order.end());
+  int64_t best = 0, worst = 0;
+  for (auto _ : state) {
+    best = lattice.TotalMemoryCells(min_order);
+    worst = lattice.TotalMemoryCells(max_order);
+    benchmark::DoNotOptimize(best);
+    benchmark::DoNotOptimize(worst);
+  }
+  state.counters["memory_cells_min_order"] = static_cast<double>(best);
+  state.counters["memory_cells_reverse_order"] = static_cast<double>(worst);
+}
+
+BENCHMARK(BM_SimultaneousOnePass)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnePassPerGroupBy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MemoryBoundByOrder)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace olap::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Ablation — greedy view selection (the paper's Sec. 8 future-work
+// direction, "workload aware view selection (a la [7])", implemented as
+// Harinarayan et al.'s greedy algorithm).
+//
+// Reports the total lattice answer cost as the number of materialized
+// views grows, on the workforce cube's 7-dimensional lattice, plus the
+// planning time itself.
+
+#include <benchmark/benchmark.h>
+
+#include "agg/view_selection.h"
+#include "engine/executor.h"
+#include "workload/workforce.h"
+
+namespace olap::bench {
+namespace {
+
+Lattice& GetLattice() {
+  static Lattice* lattice = [] {
+    WorkforceConfig config;
+    config.num_departments = 20;
+    config.num_employees = 400;
+    config.num_changing = 40;
+    config.num_measures = 8;
+    config.num_scenarios = 4;
+    WorkforceCube wf = BuildWorkforceCube(config);
+    return new Lattice(wf.cube.layout());
+  }();
+  return *lattice;
+}
+
+void BM_GreedyViewSelection(benchmark::State& state) {
+  Lattice& lattice = GetLattice();
+  const int k = static_cast<int>(state.range(0));
+  SelectedViews selected;
+  for (auto _ : state) {
+    selected = SelectViewsGreedy(lattice, k);
+    benchmark::DoNotOptimize(selected.final_cost);
+  }
+  state.counters["views"] = static_cast<double>(selected.views.size());
+  state.counters["initial_cost_cells"] = static_cast<double>(selected.initial_cost);
+  state.counters["final_cost_cells"] = static_cast<double>(selected.final_cost);
+  state.counters["cost_ratio"] =
+      selected.initial_cost > 0
+          ? static_cast<double>(selected.final_cost) / selected.initial_cost
+          : 1.0;
+}
+
+BENCHMARK(BM_GreedyViewSelection)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end effect: the same department x quarter query with and without
+// materialized aggregations serving the derived cells.
+void BM_AggregateQuery(benchmark::State& state) {
+  static Database* db = [] {
+    WorkforceConfig config;
+    config.num_departments = 20;
+    config.num_employees = 400;
+    config.num_changing = 40;
+    config.num_measures = 8;
+    config.num_scenarios = 4;
+    auto* out = new Database();
+    if (!RegisterWorkforce(out, "App.Db", BuildWorkforceCube(config)).ok()) {
+      abort();
+    }
+    return out;
+  }();
+  const int max_views = static_cast<int>(state.range(0));
+  if (max_views > 0) {
+    if (!db->BuildAggregates("App.Db", max_views).ok()) abort();
+  }
+  Executor exec(db);
+  const char* query =
+      "SELECT {([Current], [Local])} ON COLUMNS, "
+      "{CrossJoin({[Department].Children}, {Descendants([Period],1)})} "
+      "ON ROWS FROM App.Db";
+  for (auto _ : state) {
+    Result<QueryResult> r = exec.Execute(query);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->grid.CountNonNull());
+  }
+  const AggregateCache* cache = db->aggregates("App.Db");
+  state.counters["views"] = cache != nullptr ? cache->num_views() : 0;
+  state.counters["view_cells"] = cache != nullptr
+                                     ? static_cast<double>(cache->TotalCells())
+                                     : 0;
+}
+
+BENCHMARK(BM_AggregateQuery)->Arg(0)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace olap::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Fig. 11 — "No. Perspectives vs. Query Performance".
+//
+// The paper runs a query covering every employee who reported into more
+// than one department over 12 months, varying the number of perspectives
+// from 1 to 12, and compares:
+//   * Multiple MDX  — simulate the k-perspective query with k
+//                     single-perspective queries + post-processing
+//                     (the upper bound);
+//   * Static        — direct multi-perspective static semantics;
+//   * Dynamic Forward — direct forward semantics (perspective ranges).
+//
+// Expected shape (paper): all three scale linearly in k; the direct
+// strategies beat Multiple MDX consistently; Forward carries extra range
+// overhead over Static that becomes negligible beyond ~6 perspectives.
+//
+// Reported time = measured CPU time + simulated disk time (see
+// storage/simulated_disk.h); the shape, not the absolute milliseconds, is
+// the reproduction target.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_workloads.h"
+
+namespace olap::bench {
+namespace {
+
+std::string Fig11Query(int num_perspectives, const std::string& semantics) {
+  return "WITH PERSPECTIVE " + PerspectiveList(num_perspectives) +
+         " FOR Department " + semantics + R"(
+    select {CrossJoin({[Account].Levels(0).Members},
+                      {([Current], [Local], [BU Version_1], [HSP_InputValue])})}
+           on columns,
+           {CrossJoin(
+              { Union(
+                  {Union({[EmployeesWithAtleastOneMove-Set1].Children},
+                         {[EmployeesWithAtleastOneMove-Set2].Children})},
+                  {[EmployeesWithAtleastOneMove-Set3].Children})},
+              {Descendants([Period],1,self_and_after)})}
+           DIMENSION PROPERTIES [Department] on rows
+    from [App].[Db])";
+}
+
+void RunFig11(benchmark::State& state, const std::string& semantics,
+              EvalStrategy strategy) {
+  const BenchWorkforce& bw = GetBenchWorkforce();
+  const int k = static_cast<int>(state.range(0));
+  const std::string query = Fig11Query(k, semantics);
+  SimulatedDisk disk(BenchDiskModel(), /*cache_capacity_chunks=*/4096);
+
+  QueryOptions options;
+  options.strategy = strategy;
+  options.disk = &disk;
+
+  int64_t rows = 0, passes = 0, chunk_reads = 0, cells_moved = 0;
+  for (auto _ : state) {
+    disk.Reset();
+    auto start = std::chrono::steady_clock::now();
+    Result<QueryResult> r = bw.exec->Execute(query, options);
+    auto end = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    double seconds = std::chrono::duration<double>(end - start).count() +
+                     disk.stats().virtual_seconds;
+    state.SetIterationTime(seconds);
+    rows = r->grid.num_rows();
+    passes = r->whatif_stats.passes;
+    chunk_reads = r->whatif_stats.chunk_reads;
+    cells_moved = r->whatif_stats.cells_moved;
+  }
+  state.counters["perspectives"] = k;
+  state.counters["grid_rows"] = static_cast<double>(rows);
+  state.counters["passes"] = static_cast<double>(passes);
+  state.counters["chunk_reads"] = static_cast<double>(chunk_reads);
+  state.counters["cells_moved"] = static_cast<double>(cells_moved);
+}
+
+void BM_MultipleMdx(benchmark::State& state) {
+  RunFig11(state, "STATIC", EvalStrategy::kMultipleMdx);
+}
+void BM_Static(benchmark::State& state) {
+  RunFig11(state, "STATIC", EvalStrategy::kDirect);
+}
+void BM_DynamicForward(benchmark::State& state) {
+  RunFig11(state, "DYNAMIC FORWARD", EvalStrategy::kDirect);
+}
+
+BENCHMARK(BM_MultipleMdx)->DenseRange(1, 12)->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_Static)->DenseRange(1, 12)->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_DynamicForward)->DenseRange(1, 12)->UseManualTime()->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+}  // namespace olap::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Fig. 13 — "Varying Member Instances vs. Query Performance".
+//
+// The paper runs a static query with 4 perspectives over employees with 4
+// reporting-structure changes, varying the number of reported employees
+// from 50 to 250 (via Head(set, k) — Fig. 10(c)). Elapsed time grows
+// linearly with the number of varying member instances in the query scope,
+// because (1) relevant instances must be identified per perspective and
+// (2) instance merging is confined to the queried members.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench_workloads.h"
+
+namespace olap::bench {
+namespace {
+
+std::string Fig13Query(int num_employees) {
+  // 4 perspectives, one per quarter start (the paper's {Jan, Apr, Jul,
+  // Oct}); rows limited with Head(...) exactly as Fig. 10(c). The named
+  // set spans all changing employees (the three Fig. 10(a) sets together).
+  return R"(
+    WITH PERSPECTIVE {(Jan), (Apr), (Jul), (Oct)} FOR Department STATIC
+    select {CrossJoin({[Account].Levels(0).Members},
+                      {([Current], [Local], [BU Version_1], [HSP_InputValue])})}
+           on columns,
+           {CrossJoin({Head({Union({Union(
+                  {[EmployeesWithAtleastOneMove-Set1].Children},
+                  {[EmployeesWithAtleastOneMove-Set2].Children})},
+                  {[EmployeesWithAtleastOneMove-Set3].Children})}, )" +
+         std::to_string(num_employees) + R"()},
+                      {Descendants([Period],1,self_and_after)})}
+           DIMENSION PROPERTIES [Department] on rows
+    from [App].[Db])";
+}
+
+void BM_VaryingMembers(benchmark::State& state) {
+  const BenchWorkforce& bw = GetBenchWorkforce();
+  const int num_employees = static_cast<int>(state.range(0));
+  const std::string query = Fig13Query(num_employees);
+  SimulatedDisk disk(BenchDiskModel(), 4096);
+  QueryOptions options;
+  options.disk = &disk;
+
+  int64_t rows = 0, cells = 0;
+  for (auto _ : state) {
+    disk.Reset();
+    auto start = std::chrono::steady_clock::now();
+    Result<QueryResult> r = bw.exec->Execute(query, options);
+    auto end = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(std::chrono::duration<double>(end - start).count() +
+                           disk.stats().virtual_seconds);
+    rows = r->grid.num_rows();
+    cells = r->cells_evaluated;
+  }
+  state.counters["employees"] = num_employees;
+  state.counters["grid_rows"] = static_cast<double>(rows);
+  state.counters["cells_evaluated"] = static_cast<double>(cells);
+}
+
+BENCHMARK(BM_VaryingMembers)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(150)
+    ->Arg(200)
+    ->Arg(250)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+}  // namespace olap::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+#ifndef OLAP_BENCH_BENCH_WORKLOADS_H_
+#define OLAP_BENCH_BENCH_WORKLOADS_H_
+
+// Shared workload setup for the figure benchmarks: a laptop-scaled version
+// of the paper's Sec. 6 workforce-planning cube (the paper's absolute sizes
+// — 20,250 employees, 100 measures, 121M input cells, 20.2 GB — are scaled
+// down ~10x while preserving the ratios that drive the curves: ~1% changing
+// employees, 1–11 moves each, 12 months, one perspective query focused on
+// exactly the changing employees). See DESIGN.md §2.
+
+#include <memory>
+#include <string>
+
+#include "engine/executor.h"
+#include "workload/workforce.h"
+
+namespace olap::bench {
+
+struct BenchWorkforce {
+  Database db;
+  std::unique_ptr<Executor> exec;
+  std::vector<MemberId> changing_employees;
+  int dept_dim = 0;
+};
+
+inline const BenchWorkforce& GetBenchWorkforce() {
+  static BenchWorkforce* instance = [] {
+    auto* bw = new BenchWorkforce();
+    WorkforceConfig config;
+    config.num_departments = 51;
+    config.num_employees = 2025;   // Paper: 20,250.
+    config.num_changing = 250;     // Paper: 250 (kept absolute).
+    config.num_measures = 10;      // Paper: 100.
+    config.num_scenarios = 5;
+    config.seed = 20080407;        // ICDE 2008.
+    WorkforceCube wf = BuildWorkforceCube(config);
+    bw->dept_dim = wf.dept_dim;
+    bw->changing_employees = wf.changing_employees;
+    Status s = RegisterWorkforce(&bw->db, "App.Db", std::move(wf));
+    if (!s.ok()) {
+      fprintf(stderr, "workforce setup failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+    bw->exec = std::make_unique<Executor>(&bw->db);
+    return bw;
+  }();
+  return *instance;
+}
+
+// The perspective list "{(Jan), (Apr), ...}" for the first k of the given
+// stride over 12 months.
+inline std::string PerspectiveList(int k, int stride = 1) {
+  static const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  std::string out = "{";
+  for (int i = 0; i < k; ++i) {
+    if (i) out += ", ";
+    out += "(";
+    out += kMonths[(i * stride) % 12];
+    out += ")";
+  }
+  out += "}";
+  return out;
+}
+
+// The paper's disk (1.8 GHz Pentium box, 256 MB Essbase cache) stand-in.
+inline DiskModel BenchDiskModel() {
+  DiskModel m;
+  m.seek_seconds_per_chunk = 2e-7;
+  m.max_seek_seconds = 8e-3;
+  m.transfer_seconds = 1e-5;
+  return m;
+}
+
+}  // namespace olap::bench
+
+#endif  // OLAP_BENCH_BENCH_WORKLOADS_H_

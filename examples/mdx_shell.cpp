@@ -1,0 +1,165 @@
+// Interactive extended-MDX shell over the built-in sample cubes.
+//
+//   $ ./mdx_shell
+//   mdx> SELECT {Time.[Qtr1]} ON COLUMNS, {[FTE].Children} ON ROWS
+//        FROM Warehouse WHERE ([NY], [Salary]);
+//
+// Queries are terminated by ';'. Two cubes are preloaded:
+//   * Warehouse — the paper's running example (Fig. 1/2);
+//   * App.Db    — a small workforce cube with the named sets
+//                 [EmployeesWithAtleastOneMove-Set1..3] and [EmployeeS3].
+// Meta-commands: \h (help), \q (quit), \save <cube> <path>,
+// \load <name> <path>, \agg <cube> <k>.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/strings.h"
+#include "engine/executor.h"
+#include "storage/cube_io.h"
+#include "workload/paper_example.h"
+#include "workload/workforce.h"
+
+namespace {
+
+constexpr char kHelp[] = R"(Extended-MDX shell. Queries end with ';'.
+Cubes:
+  Warehouse  - the paper's running example (Organization varying over Time)
+  App.Db     - workforce cube (Department varying over Period), with named
+               sets [EmployeesWithAtleastOneMove-Set1..3], [EmployeeS3]
+What-if clauses:
+  WITH PERSPECTIVE {(Jan), (Apr)} FOR <dim> [STATIC | DYNAMIC FORWARD |
+       EXTENDED FORWARD | DYNAMIC BACKWARD | EXTENDED BACKWARD]
+       [VISUAL | NONVISUAL]
+  WITH CHANGES {(<member>, <old parent>, <new parent>, <moment>), ...}
+       [FOR <dim>] [VISUAL | NONVISUAL]
+Example:
+  WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL
+  SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS,
+         {[Organization].[Joe]} ON ROWS
+  FROM Warehouse WHERE ([NY], [Salary]);
+Meta-commands:
+  \h                  this help
+  \q                  quit
+  \save <cube> <path> persist a cube (compressed binary)
+  \load <name> <path> load a cube file under a new name
+  \agg <cube> <k>     materialize k greedy-selected aggregations
+  \explain            explain the next query instead of running it
+)";
+
+}  // namespace
+
+int main() {
+  using namespace olap;
+
+  Database db;
+  {
+    PaperExample example = BuildPaperExample();
+    Status s = db.AddCube("Warehouse", std::move(example.cube));
+    if (!s.ok()) {
+      fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    WorkforceConfig config;
+    config.num_departments = 8;
+    config.num_employees = 64;
+    config.num_changing = 10;
+    config.num_measures = 3;
+    config.num_scenarios = 2;
+    s = RegisterWorkforce(&db, "App.Db", BuildWorkforceCube(config));
+    if (!s.ok()) {
+      fprintf(stderr, "setup failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  Executor exec(&db);
+
+  printf("what-if OLAP shell — \\h for help, \\q to quit\n");
+  std::string buffer;
+  std::string line;
+  bool interactive = true;
+  bool explain_next = false;
+  while (true) {
+    if (interactive) {
+      printf(buffer.empty() ? "mdx> " : "...> ");
+      fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (StripWhitespace(buffer).empty()) buffer.clear();
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\q") break;
+      if (line == "\\h") {
+        printf("%s", kHelp);
+        continue;
+      }
+      std::istringstream meta(line);
+      std::string command, arg1, arg2;
+      meta >> command >> arg1 >> arg2;
+      if (command == "\\save" && !arg1.empty() && !arg2.empty()) {
+        Result<const Cube*> cube = db.FindCube(arg1);
+        Status s = cube.ok() ? SaveCube(**cube, arg2, /*compress=*/true)
+                             : cube.status();
+        printf("%s\n", s.ok() ? ("saved to " + arg2).c_str()
+                              : s.ToString().c_str());
+        continue;
+      }
+      if (command == "\\load" && !arg1.empty() && !arg2.empty()) {
+        Result<Cube> cube = LoadCube(arg2);
+        Status s = cube.ok() ? db.AddCube(arg1, *std::move(cube))
+                             : cube.status();
+        printf("%s\n", s.ok() ? ("loaded as " + arg1).c_str()
+                              : s.ToString().c_str());
+        continue;
+      }
+      if (command == "\\agg" && !arg1.empty() && !arg2.empty()) {
+        Status s = db.BuildAggregates(arg1, std::atoi(arg2.c_str()));
+        printf("%s\n", s.ok() ? "aggregations built" : s.ToString().c_str());
+        continue;
+      }
+      if (command == "\\explain") {
+        explain_next = true;
+        printf("explaining the next query\n");
+        continue;
+      }
+      printf("unknown meta-command '%s' — \\h for help\n", line.c_str());
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    size_t semi = buffer.find(';');
+    while (semi != std::string::npos) {
+      std::string query = buffer.substr(0, semi);
+      buffer.erase(0, semi + 1);
+      if (!StripWhitespace(query).empty()) {
+        if (explain_next) {
+          explain_next = false;
+          Result<std::string> plan = exec.Explain(query);
+          if (plan.ok()) {
+            printf("%s", plan->c_str());
+          } else {
+            printf("error: %s\n", plan.status().ToString().c_str());
+          }
+        } else {
+          Result<QueryResult> r = exec.Execute(query);
+          if (!r.ok()) {
+            printf("error: %s\n", r.status().ToString().c_str());
+          } else {
+            printf("%s", r->grid.ToString().c_str());
+            if (r->used_whatif) {
+              printf("[what-if: %lld pass(es), %lld chunk read(s), "
+                     "%lld cell(s) moved]\n",
+                     static_cast<long long>(r->whatif_stats.passes),
+                     static_cast<long long>(r->whatif_stats.chunk_reads),
+                     static_cast<long long>(r->whatif_stats.cells_moved));
+            }
+          }
+        }
+      }
+      semi = buffer.find(';');
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+#include "agg/aggregate_cache.h"
+
+#include <numeric>
+
+namespace olap {
+
+AggregateCache::AggregateCache(const Cube& cube,
+                               const std::vector<GroupByMask>& masks)
+    : masks_(masks) {
+  ChunkAggregator aggregator(cube);
+  std::vector<int> order(cube.num_dims());
+  std::iota(order.begin(), order.end(), 0);
+  views_ = aggregator.Compute(masks_, order);
+}
+
+AggregateCache AggregateCache::BuildGreedy(const Cube& cube, int max_views) {
+  Lattice lattice(cube.layout());
+  SelectedViews selected = SelectViewsGreedy(lattice, max_views);
+  return AggregateCache(cube, selected.views);
+}
+
+int64_t AggregateCache::TotalCells() const {
+  int64_t total = 0;
+  for (const GroupByResult& view : views_) total += view.num_cells();
+  return total;
+}
+
+std::optional<CellValue> AggregateCache::TryAnswer(const Cube& cube,
+                                                   const CellRef& ref) const {
+  // Dimensions the ref actually restricts (anything except the root).
+  GroupByMask needed = 0;
+  for (int d = 0; d < cube.num_dims(); ++d) {
+    if (ref[d].instance != kInvalidInstance ||
+        ref[d].member != cube.schema().dimension(d).root()) {
+      needed |= GroupByMask{1} << d;
+    }
+  }
+  // Smallest materialized view keeping every restricted dimension.
+  int best = -1;
+  for (int i = 0; i < num_views(); ++i) {
+    if ((needed & masks_[i]) != needed) continue;
+    if (best < 0 || views_[i].num_cells() < views_[best].num_cells()) best = i;
+  }
+  if (best < 0) {
+    ++misses;
+    return std::nullopt;
+  }
+  const GroupByResult& view = views_[best];
+
+  // Sum the view over the cross product of the ref's weighted position
+  // scopes along the view's kept dimensions (consolidation weights apply
+  // at answer time; the views themselves are plain position sums).
+  const std::vector<int>& kept = view.kept_dims();
+  std::vector<std::vector<std::pair<int, double>>> positions(kept.size());
+  for (size_t i = 0; i < kept.size(); ++i) {
+    positions[i] = cube.PositionsUnderWeighted(kept[i], ref[kept[i]]);
+    if (positions[i].empty()) {
+      ++hits;
+      return CellValue::Null();
+    }
+  }
+  CellValue sum;
+  std::vector<int> idx(kept.size(), 0);
+  std::vector<int> coords(kept.size());
+  while (true) {
+    double weight = 1.0;
+    for (size_t i = 0; i < kept.size(); ++i) {
+      coords[i] = positions[i][idx[i]].first;
+      weight *= positions[i][idx[i]].second;
+    }
+    CellValue v = view.Get(coords);
+    if (!v.is_null()) sum += CellValue(v.value() * weight);
+    size_t d = kept.size();
+    bool done = true;
+    while (d-- > 0) {
+      if (++idx[d] < static_cast<int>(positions[d].size())) {
+        done = false;
+        break;
+      }
+      idx[d] = 0;
+    }
+    if (kept.empty() || done) break;
+  }
+  ++hits;
+  return sum;
+}
+
+}  // namespace olap

@@ -1,0 +1,72 @@
+#include "agg/chunk_aggregator.h"
+
+namespace olap {
+
+GroupByResult MakeGroupByShell(const Cube& cube, GroupByMask mask) {
+  std::vector<int> kept, extents;
+  for (int d = 0; d < cube.num_dims(); ++d) {
+    if (mask & (GroupByMask{1} << d)) {
+      kept.push_back(d);
+      extents.push_back(cube.layout().extents()[d]);
+    }
+  }
+  return GroupByResult(mask, std::move(kept), std::move(extents));
+}
+
+std::vector<GroupByResult> NaiveAggregator::Compute(
+    const Cube& cube, const std::vector<GroupByMask>& masks) {
+  std::vector<GroupByResult> out;
+  out.reserve(masks.size());
+  for (GroupByMask mask : masks) out.push_back(MakeGroupByShell(cube, mask));
+  cube.ForEachCell([&](const std::vector<int>& coords, CellValue v) {
+    for (GroupByResult& g : out) g.AccumulateFull(coords, v);
+  });
+  return out;
+}
+
+std::vector<GroupByResult> ChunkAggregator::Compute(
+    const std::vector<GroupByMask>& masks, const std::vector<int>& order,
+    SimulatedDisk* disk) {
+  stats_ = AggStats{};
+  std::vector<GroupByResult> out;
+  out.reserve(masks.size());
+  for (GroupByMask mask : masks) out.push_back(MakeGroupByShell(cube_, mask));
+
+  const ChunkLayout& layout = cube_.layout();
+  Lattice lattice(layout);
+  for (GroupByMask mask : masks) {
+    stats_.mmst_memory_cells += lattice.MemoryRequirementCells(mask, order);
+  }
+
+  // Walk the chunk grid with an odometer where order[0] increments fastest.
+  const int n = layout.num_dims();
+  std::vector<int> chunk_coords(n, 0);
+  const std::vector<int>& grid = layout.chunks_per_dim();
+  while (true) {
+    ++stats_.chunks_visited;
+    ChunkId id = layout.ChunkIdAt(chunk_coords);
+    const Chunk* chunk = cube_.FindChunk(id);
+    if (chunk != nullptr) {
+      ++stats_.chunks_read;
+      if (disk != nullptr) disk->ReadChunk(id);
+      layout.ForEachCellInChunk(id, [&](const std::vector<int>& coords, int64_t off) {
+        CellValue v = chunk->Get(off);
+        if (v.is_null()) return;
+        ++stats_.cells_scanned;
+        for (GroupByResult& g : out) g.AccumulateFull(coords, v);
+      });
+    }
+    // Odometer over chunk coords in the requested dimension order.
+    int pos = 0;
+    while (pos < n) {
+      int dim = order[pos];
+      if (++chunk_coords[dim] < grid[dim]) break;
+      chunk_coords[dim] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return out;
+}
+
+}  // namespace olap

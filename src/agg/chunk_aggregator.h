@@ -1,0 +1,63 @@
+#ifndef OLAP_AGG_CHUNK_AGGREGATOR_H_
+#define OLAP_AGG_CHUNK_AGGREGATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/group_by.h"
+#include "agg/lattice.h"
+#include "cube/cube.h"
+#include "storage/simulated_disk.h"
+
+namespace olap {
+
+// Statistics from one aggregation pass.
+struct AggStats {
+  int64_t chunks_visited = 0;   // Chunk-grid cells traversed.
+  int64_t chunks_read = 0;      // Chunks that actually held data.
+  int64_t cells_scanned = 0;    // Non-⊥ input cells.
+  int64_t mmst_memory_cells = 0;  // Analytic Zhao memory bound for the pass.
+};
+
+// Simple whole-cube scanner: visits every stored cell once and projects it
+// onto each requested group-by. The oracle against which ChunkAggregator is
+// tested.
+class NaiveAggregator {
+ public:
+  // Computes the requested group-bys of `cube` (sum over dropped dims).
+  static std::vector<GroupByResult> Compute(const Cube& cube,
+                                            const std::vector<GroupByMask>& masks);
+};
+
+// Zhao-style aggregator: reads chunks in an explicit dimension order
+// (order[0] varies fastest) and accumulates every requested group-by in one
+// pass. Optionally charges each chunk read to a SimulatedDisk.
+//
+// The numeric results are identical to NaiveAggregator (tested); what the
+// dimension order changes is the I/O pattern and the analytic memory bound
+// (AggStats::mmst_memory_cells) — which is what the paper's Lemma 5.1
+// argument and the Zhao MMST are about.
+class ChunkAggregator {
+ public:
+  explicit ChunkAggregator(const Cube& cube) : cube_(cube) {}
+
+  // `order`: permutation of dimensions; order[0] is read fastest.
+  // `disk` may be null.
+  std::vector<GroupByResult> Compute(const std::vector<GroupByMask>& masks,
+                                     const std::vector<int>& order,
+                                     SimulatedDisk* disk = nullptr);
+
+  const AggStats& stats() const { return stats_; }
+
+ private:
+  const Cube& cube_;
+  AggStats stats_;
+};
+
+// Helper shared with the engine: makes one GroupByResult shell for `mask`
+// over `cube`'s position extents.
+GroupByResult MakeGroupByShell(const Cube& cube, GroupByMask mask);
+
+}  // namespace olap
+
+#endif  // OLAP_AGG_CHUNK_AGGREGATOR_H_

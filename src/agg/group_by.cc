@@ -1,0 +1,51 @@
+#include "agg/group_by.h"
+
+#include <cassert>
+
+namespace olap {
+
+GroupByResult::GroupByResult(GroupByMask mask, std::vector<int> kept_dims,
+                             std::vector<int> extents)
+    : mask_(mask), kept_dims_(std::move(kept_dims)), extents_(std::move(extents)) {
+  assert(kept_dims_.size() == extents_.size());
+  int64_t n = 1;
+  for (int e : extents_) n *= e;
+  cells_.assign(n, CellValue::NullStorage());
+}
+
+int64_t GroupByResult::IndexOf(const std::vector<int>& coords) const {
+  assert(coords.size() == extents_.size());
+  int64_t idx = 0;
+  for (size_t i = 0; i < coords.size(); ++i) {
+    assert(coords[i] >= 0 && coords[i] < extents_[i]);
+    idx = idx * extents_[i] + coords[i];
+  }
+  return idx;
+}
+
+CellValue GroupByResult::Get(const std::vector<int>& coords) const {
+  return CellValue::FromStorage(cells_[IndexOf(coords)]);
+}
+
+void GroupByResult::Accumulate(const std::vector<int>& coords, CellValue v) {
+  int64_t idx = IndexOf(coords);
+  CellValue sum = CellValue::FromStorage(cells_[idx]) + v;
+  cells_[idx] = CellValue::ToStorage(sum);
+}
+
+void GroupByResult::AccumulateFull(const std::vector<int>& full_coords,
+                                   CellValue v) {
+  std::vector<int> coords(kept_dims_.size());
+  for (size_t i = 0; i < kept_dims_.size(); ++i) coords[i] = full_coords[kept_dims_[i]];
+  Accumulate(coords, v);
+}
+
+int64_t GroupByResult::CountNonNull() const {
+  int64_t n = 0;
+  for (double raw : cells_) {
+    if (!CellValue::FromStorage(raw).is_null()) ++n;
+  }
+  return n;
+}
+
+}  // namespace olap

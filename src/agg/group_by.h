@@ -1,0 +1,57 @@
+#ifndef OLAP_AGG_GROUP_BY_H_
+#define OLAP_AGG_GROUP_BY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/lattice.h"
+#include "common/value.h"
+
+namespace olap {
+
+// The dense result of one group-by: an array over the cross product of the
+// kept dimensions' extents, ⊥-initialised, with sum aggregation.
+class GroupByResult {
+ public:
+  GroupByResult() = default;
+  // `kept_dims` are the dimensions in the group-by (ascending);
+  // `extents[i]` is the axis size of kept_dims[i].
+  GroupByResult(GroupByMask mask, std::vector<int> kept_dims,
+                std::vector<int> extents);
+
+  GroupByMask mask() const { return mask_; }
+  const std::vector<int>& kept_dims() const { return kept_dims_; }
+  const std::vector<int>& extents() const { return extents_; }
+  int64_t num_cells() const { return static_cast<int64_t>(cells_.size()); }
+
+  // `coords` indexes the kept dimensions, in kept_dims() order.
+  CellValue Get(const std::vector<int>& coords) const;
+  void Accumulate(const std::vector<int>& coords, CellValue v);
+
+  // Projects a full-rank cell coordinate onto this group-by and accumulates.
+  void AccumulateFull(const std::vector<int>& full_coords, CellValue v);
+
+  // Number of non-⊥ result cells.
+  int64_t CountNonNull() const;
+
+  friend bool operator==(const GroupByResult& a, const GroupByResult& b) {
+    if (a.mask_ != b.mask_ || a.extents_ != b.extents_) return false;
+    for (size_t i = 0; i < a.cells_.size(); ++i) {
+      if (CellValue::FromStorage(a.cells_[i]) != CellValue::FromStorage(b.cells_[i]))
+        return false;
+    }
+    return true;
+  }
+
+ private:
+  int64_t IndexOf(const std::vector<int>& coords) const;
+
+  GroupByMask mask_ = 0;
+  std::vector<int> kept_dims_;
+  std::vector<int> extents_;
+  std::vector<double> cells_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_AGG_GROUP_BY_H_

@@ -1,0 +1,78 @@
+#include "agg/lattice.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace olap {
+
+Lattice::Lattice(const ChunkLayout& layout)
+    : num_dims_(layout.num_dims()),
+      extents_(layout.extents()),
+      chunk_sizes_(layout.chunk_sizes()) {
+  assert(num_dims_ <= 30);
+}
+
+int64_t Lattice::MemoryRequirementCells(GroupByMask mask,
+                                        const std::vector<int>& order) const {
+  assert(static_cast<int>(order.size()) == num_dims_);
+  // Position in the read order of the slowest dimension not in `mask`.
+  int slowest_missing_pos = -1;
+  for (int pos = 0; pos < num_dims_; ++pos) {
+    int dim = order[pos];
+    if ((mask & (GroupByMask{1} << dim)) == 0) slowest_missing_pos = pos;
+  }
+  if (slowest_missing_pos < 0) return 0;  // Full group-by: raw input, no state.
+
+  int64_t cells = 1;
+  for (int pos = 0; pos < num_dims_; ++pos) {
+    int dim = order[pos];
+    if ((mask & (GroupByMask{1} << dim)) == 0) continue;
+    cells *= (pos < slowest_missing_pos) ? extents_[dim] : chunk_sizes_[dim];
+  }
+  return cells;
+}
+
+int64_t Lattice::TotalMemoryCells(const std::vector<int>& order) const {
+  int64_t total = 0;
+  for (GroupByMask mask = 0; mask < full_mask(); ++mask) {
+    total += MemoryRequirementCells(mask, order);
+  }
+  return total;
+}
+
+std::vector<int> Lattice::MinMemoryOrder() const {
+  std::vector<int> order(num_dims_);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return extents_[a] < extents_[b]; });
+  return order;
+}
+
+std::vector<GroupByMask> Lattice::BuildMmst(const std::vector<int>& order) const {
+  std::vector<int> pos_of_dim(num_dims_);
+  for (int pos = 0; pos < num_dims_; ++pos) pos_of_dim[order[pos]] = pos;
+
+  std::vector<GroupByMask> parent(full_mask() + 1, full_mask());
+  for (GroupByMask mask = 0; mask < full_mask(); ++mask) {
+    // Candidate parents add back exactly one missing dimension; prefer the
+    // parent whose extra dimension is fastest-varying in the read order.
+    int best_dim = -1;
+    for (int dim = 0; dim < num_dims_; ++dim) {
+      if ((mask & (GroupByMask{1} << dim)) != 0) continue;
+      if (best_dim < 0 || pos_of_dim[dim] < pos_of_dim[best_dim]) best_dim = dim;
+    }
+    parent[mask] = mask | (GroupByMask{1} << best_dim);
+  }
+  return parent;
+}
+
+int64_t Lattice::OutputCells(GroupByMask mask) const {
+  int64_t cells = 1;
+  for (int dim = 0; dim < num_dims_; ++dim) {
+    if (mask & (GroupByMask{1} << dim)) cells *= extents_[dim];
+  }
+  return cells;
+}
+
+}  // namespace olap

@@ -1,0 +1,70 @@
+#ifndef OLAP_AGG_LATTICE_H_
+#define OLAP_AGG_LATTICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/chunk_layout.h"
+
+namespace olap {
+
+// A group-by of the data cube: the subset of dimensions that are KEPT
+// (grouped on); bit d set means dimension d appears in the output.
+using GroupByMask = uint32_t;
+
+// The lattice of all 2^n group-bys of an n-dimensional array, with the
+// memory-requirement model and minimum-memory spanning tree (MMST) of
+// Zhao et al. (SIGMOD'97), which the paper's Sec. 5 builds on.
+//
+// Memory model: chunks are read in a *dimension order* — a permutation
+// `order` of the dimensions where order[0] varies fastest. For a group-by G,
+// let j be the position (in the order) of the slowest dimension NOT in G.
+// While scanning, the partial aggregate for G must hold the full extent of
+// every kept dimension placed before j and only one chunk's width of every
+// kept dimension placed after j:
+//
+//   Mem(G) = prod_{d in G} (pos(d) < j ? extent[d] : chunk_size[d])
+//
+// This reproduces the paper's worked example (Fig. 6): with order ABC and
+// 4 chunks of 4 cells per dimension, BC needs 1 chunk, AC needs 4, AB 16.
+class Lattice {
+ public:
+  explicit Lattice(const ChunkLayout& layout);
+
+  int num_dims() const { return num_dims_; }
+  GroupByMask full_mask() const { return (GroupByMask{1} << num_dims_) - 1; }
+
+  // Memory (in cells) needed to hold the in-flight partial aggregates of
+  // group-by `mask` when chunks are read in `order` (order[0] fastest).
+  int64_t MemoryRequirementCells(GroupByMask mask,
+                                 const std::vector<int>& order) const;
+
+  // Sum of MemoryRequirementCells over every proper group-by (mask != full),
+  // i.e. the memory needed to compute the whole cube in one pass.
+  int64_t TotalMemoryCells(const std::vector<int>& order) const;
+
+  // A dimension order sorted by increasing extent — Zhao et al.'s heuristic
+  // for minimizing total memory.
+  std::vector<int> MinMemoryOrder() const;
+
+  // Builds the minimum-memory spanning tree over the lattice: for each
+  // group-by (except the full mask, which is the root/raw input) choose the
+  // one-dimension-larger parent it is aggregated from. Parents are chosen
+  // to minimize the child's pipeline memory: the preferred parent drops the
+  // *fastest-varying* dimension possible (smallest position in `order`),
+  // since aggregating away the fastest dimension lets partials be flushed
+  // soonest. Returns parent[mask]; parent[full_mask] == full_mask.
+  std::vector<GroupByMask> BuildMmst(const std::vector<int>& order) const;
+
+  // Number of cells in the output of a group-by (product of kept extents).
+  int64_t OutputCells(GroupByMask mask) const;
+
+ private:
+  int num_dims_;
+  std::vector<int> extents_;
+  std::vector<int> chunk_sizes_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_AGG_LATTICE_H_

@@ -1,0 +1,67 @@
+#include "agg/rollup.h"
+
+namespace olap {
+
+CellValue SumOverScope(const Cube& data,
+                       const std::vector<std::vector<int>>& positions) {
+  const int n = static_cast<int>(positions.size());
+  for (const std::vector<int>& p : positions) {
+    if (p.empty()) return CellValue::Null();
+  }
+  std::vector<int> idx(n, 0);
+  std::vector<int> coords(n);
+  CellValue sum;  // ⊥ until a non-⊥ input arrives.
+  while (true) {
+    for (int d = 0; d < n; ++d) coords[d] = positions[d][idx[d]];
+    sum += data.GetCell(coords);
+    int d = n - 1;
+    while (d >= 0) {
+      if (++idx[d] < static_cast<int>(positions[d].size())) break;
+      idx[d] = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return sum;
+}
+
+CellValue SumOverScopeWeighted(
+    const Cube& data,
+    const std::vector<std::vector<std::pair<int, double>>>& positions) {
+  const int n = static_cast<int>(positions.size());
+  for (const auto& p : positions) {
+    if (p.empty()) return CellValue::Null();
+  }
+  std::vector<int> idx(n, 0);
+  std::vector<int> coords(n);
+  CellValue sum;  // ⊥ until a non-⊥ input arrives.
+  while (true) {
+    double weight = 1.0;
+    for (int d = 0; d < n; ++d) {
+      coords[d] = positions[d][idx[d]].first;
+      weight *= positions[d][idx[d]].second;
+    }
+    CellValue v = data.GetCell(coords);
+    if (!v.is_null()) sum += CellValue(v.value() * weight);
+    int d = n - 1;
+    while (d >= 0) {
+      if (++idx[d] < static_cast<int>(positions[d].size())) break;
+      idx[d] = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+  return sum;
+}
+
+CellValue EvaluateCell(const Cube& data, const CellRef& ref) {
+  std::vector<int> leaf_coords;
+  if (data.IsLeafRef(ref, &leaf_coords)) return data.GetCell(leaf_coords);
+  std::vector<std::vector<std::pair<int, double>>> positions(data.num_dims());
+  for (int d = 0; d < data.num_dims(); ++d) {
+    positions[d] = data.PositionsUnderWeighted(d, ref[d]);
+  }
+  return SumOverScopeWeighted(data, positions);
+}
+
+}  // namespace olap

@@ -1,0 +1,85 @@
+#include "agg/view_selection.h"
+
+#include <algorithm>
+
+namespace olap {
+
+namespace {
+
+bool IsSubset(GroupByMask w, GroupByMask v) { return (w & v) == w; }
+
+// Current per-group-by answer costs under a materialized set.
+std::vector<int64_t> Costs(const Lattice& lattice,
+                           const std::vector<GroupByMask>& materialized) {
+  const GroupByMask full = lattice.full_mask();
+  std::vector<int64_t> cost(full + 1);
+  for (GroupByMask w = 0; w <= full; ++w) {
+    int64_t best = lattice.OutputCells(full);  // Raw cube fallback.
+    for (GroupByMask v : materialized) {
+      if (IsSubset(w, v)) best = std::min(best, lattice.OutputCells(v));
+    }
+    cost[w] = best;
+  }
+  return cost;
+}
+
+}  // namespace
+
+int64_t AnswerCost(const Lattice& lattice, GroupByMask mask,
+                   const std::vector<GroupByMask>& materialized) {
+  int64_t best = lattice.OutputCells(lattice.full_mask());
+  for (GroupByMask v : materialized) {
+    if (IsSubset(mask, v)) best = std::min(best, lattice.OutputCells(v));
+  }
+  return best;
+}
+
+int64_t TotalAnswerCost(const Lattice& lattice,
+                        const std::vector<GroupByMask>& materialized) {
+  int64_t total = 0;
+  std::vector<int64_t> cost = Costs(lattice, materialized);
+  for (int64_t c : cost) total += c;
+  return total;
+}
+
+SelectedViews SelectViewsGreedy(const Lattice& lattice, int k) {
+  SelectedViews out;
+  const GroupByMask full = lattice.full_mask();
+  std::vector<int64_t> cost = Costs(lattice, {});
+  for (int64_t c : cost) out.initial_cost += c;
+  out.final_cost = out.initial_cost;
+
+  std::vector<bool> chosen(full + 1, false);
+  chosen[full] = true;  // The raw cube is always materialized.
+
+  for (int pick = 0; pick < k; ++pick) {
+    GroupByMask best_view = full;
+    int64_t best_benefit = 0;
+    for (GroupByMask v = 0; v < full; ++v) {
+      if (chosen[v]) continue;
+      const int64_t v_cells = lattice.OutputCells(v);
+      int64_t benefit = 0;
+      for (GroupByMask w = 0; w <= v; ++w) {
+        if (!IsSubset(w, v)) continue;
+        benefit += std::max<int64_t>(0, cost[w] - v_cells);
+      }
+      if (benefit > best_benefit ||
+          (benefit == best_benefit && benefit > 0 && v < best_view)) {
+        best_benefit = benefit;
+        best_view = v;
+      }
+    }
+    if (best_benefit <= 0) break;  // Nothing left worth materializing.
+    chosen[best_view] = true;
+    out.views.push_back(best_view);
+    out.benefits.push_back(best_benefit);
+    out.final_cost -= best_benefit;
+    const int64_t v_cells = lattice.OutputCells(best_view);
+    for (GroupByMask w = 0; w <= best_view; ++w) {
+      if (IsSubset(w, best_view)) cost[w] = std::min(cost[w], v_cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace olap

@@ -1,0 +1,44 @@
+#ifndef OLAP_AGG_VIEW_SELECTION_H_
+#define OLAP_AGG_VIEW_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/lattice.h"
+
+namespace olap {
+
+// Greedy view selection over the group-by lattice — Harinarayan, Rajaraman
+// & Ullman's algorithm ("Implementing Data Cubes Efficiently", SIGMOD'96),
+// which the paper cites as the basis for its "workload aware view
+// selection (a la [7])" future-work direction (Sec. 8).
+//
+// Model: a group-by w can be answered from any materialized view v with
+// w ⊆ v, at a cost equal to |v| (cells scanned). The raw cube (full mask)
+// is always materialized. Materializing v lowers the cost of every w ⊆ v
+// to at most |v|; the benefit of v is the total cost reduction across the
+// lattice. Greedy picks the best view k times.
+
+struct SelectedViews {
+  std::vector<GroupByMask> views;   // In selection order; excludes the root.
+  std::vector<int64_t> benefits;    // Benefit of each pick at pick time.
+  int64_t initial_cost = 0;         // Σ costs with only the raw cube.
+  int64_t final_cost = 0;           // Σ costs with all picks materialized.
+};
+
+// Cost of answering `mask` given `materialized` views (the full mask is
+// implicitly available): min |v| over v ⊇ mask.
+int64_t AnswerCost(const Lattice& lattice, GroupByMask mask,
+                   const std::vector<GroupByMask>& materialized);
+
+// Total cost of answering every group-by of the lattice.
+int64_t TotalAnswerCost(const Lattice& lattice,
+                        const std::vector<GroupByMask>& materialized);
+
+// Runs HRU greedy for `k` picks (fewer if the lattice is exhausted or no
+// pick has positive benefit).
+SelectedViews SelectViewsGreedy(const Lattice& lattice, int k);
+
+}  // namespace olap
+
+#endif  // OLAP_AGG_VIEW_SELECTION_H_

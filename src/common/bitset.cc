@@ -1,0 +1,137 @@
+#include "common/bitset.h"
+
+#include <bit>
+#include <cassert>
+
+namespace olap {
+
+namespace {
+constexpr int kWordBits = 64;
+int WordCount(int size) { return (size + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+DynamicBitset::DynamicBitset(int size) : size_(size), words_(WordCount(size)) {
+  assert(size >= 0);
+}
+
+void DynamicBitset::Set(int pos) {
+  assert(pos >= 0 && pos < size_);
+  words_[pos / kWordBits] |= uint64_t{1} << (pos % kWordBits);
+}
+
+void DynamicBitset::Reset(int pos) {
+  assert(pos >= 0 && pos < size_);
+  words_[pos / kWordBits] &= ~(uint64_t{1} << (pos % kWordBits));
+}
+
+void DynamicBitset::Assign(int pos, bool value) {
+  if (value) {
+    Set(pos);
+  } else {
+    Reset(pos);
+  }
+}
+
+bool DynamicBitset::Test(int pos) const {
+  assert(pos >= 0 && pos < size_);
+  return (words_[pos / kWordBits] >> (pos % kWordBits)) & 1;
+}
+
+void DynamicBitset::SetAll() {
+  for (uint64_t& w : words_) w = ~uint64_t{0};
+  TrimTail();
+}
+
+void DynamicBitset::ResetAll() {
+  for (uint64_t& w : words_) w = 0;
+}
+
+int DynamicBitset::Count() const {
+  int n = 0;
+  for (uint64_t w : words_) n += std::popcount(w);
+  return n;
+}
+
+int DynamicBitset::FindNext(int from) const {
+  if (from < 0) from = 0;
+  if (from >= size_) return -1;
+  int word = from / kWordBits;
+  uint64_t mask = words_[word] & (~uint64_t{0} << (from % kWordBits));
+  while (true) {
+    if (mask != 0) {
+      int pos = word * kWordBits + std::countr_zero(mask);
+      return pos < size_ ? pos : -1;
+    }
+    ++word;
+    if (word >= static_cast<int>(words_.size())) return -1;
+    mask = words_[word];
+  }
+}
+
+std::vector<int> DynamicBitset::ToVector() const {
+  std::vector<int> out;
+  for (int p = FindFirst(); p >= 0; p = FindNext(p + 1)) out.push_back(p);
+  return out;
+}
+
+DynamicBitset DynamicBitset::FromVector(int size,
+                                        const std::vector<int>& positions) {
+  DynamicBitset s(size);
+  for (int p : positions) s.Set(p);
+  return s;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::Subtract(const DynamicBitset& other) {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+bool DynamicBitset::DisjointWith(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  assert(size_ == other.size_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::string DynamicBitset::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int p = FindFirst(); p >= 0; p = FindNext(p + 1)) {
+    if (!first) out += ", ";
+    out += std::to_string(p);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+void DynamicBitset::TrimTail() {
+  int tail = size_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+}  // namespace olap

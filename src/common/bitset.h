@@ -1,0 +1,83 @@
+#ifndef OLAP_COMMON_BITSET_H_
+#define OLAP_COMMON_BITSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace olap {
+
+// A fixed-universe dynamic bitset used to represent validity sets
+// (subsets of the leaf members of a parameter dimension) and chunk sets.
+//
+// All binary operations require both operands to have the same size();
+// this is asserted in debug builds and is a documented precondition.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  // Constructs an all-zero set over a universe of `size` elements.
+  explicit DynamicBitset(int size);
+
+  // Universe size in bits (NOT the population count).
+  int size() const { return size_; }
+  bool empty_universe() const { return size_ == 0; }
+
+  void Set(int pos);
+  void Reset(int pos);
+  void Assign(int pos, bool value);
+  bool Test(int pos) const;
+
+  // Sets/clears every bit.
+  void SetAll();
+  void ResetAll();
+
+  // Number of set bits.
+  int Count() const;
+  bool None() const { return Count() == 0; }
+  bool Any() const { return Count() > 0; }
+
+  // Index of the first set bit at position >= from, or -1 if none.
+  int FindNext(int from) const;
+  int FindFirst() const { return FindNext(0); }
+
+  // Positions of all set bits, ascending.
+  std::vector<int> ToVector() const;
+  // Builds a set over `size` with the given positions set.
+  static DynamicBitset FromVector(int size, const std::vector<int>& positions);
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  // Removes other's bits from this set (set difference).
+  DynamicBitset& Subtract(const DynamicBitset& other);
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+
+  // True if this set and `other` share no elements.
+  bool DisjointWith(const DynamicBitset& other) const;
+  // True if every element of this set is in `other`.
+  bool IsSubsetOf(const DynamicBitset& other) const;
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  // E.g. "{1, 3, 7}".
+  std::string ToString() const;
+
+ private:
+  void TrimTail();  // Clears bits beyond size_ in the last word.
+
+  int size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_COMMON_BITSET_H_

@@ -1,0 +1,129 @@
+#ifndef OLAP_COMMON_STATUS_H_
+#define OLAP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace olap {
+
+// Canonical error space for the library. The project does not use C++
+// exceptions (fallible operations return Status or Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // Caller passed something malformed.
+  kNotFound,          // Named entity (member, cube, dimension) missing.
+  kAlreadyExists,     // Attempt to create a duplicate entity.
+  kOutOfRange,        // Ordinal/coordinate outside the valid domain.
+  kFailedPrecondition,// Object state does not permit the operation.
+  kUnimplemented,     // Declared but intentionally unsupported path.
+  kInternal,          // Invariant violation inside the library.
+};
+
+// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+// A cheap value type describing the outcome of a fallible operation.
+//
+// Example:
+//   Status s = cube.Write(addr, 3.0);
+//   if (!s.ok()) return s;
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value of type T or an error Status. Analogous to absl::StatusOr.
+//
+// Example:
+//   Result<Query> q = ParseQuery(text);
+//   if (!q.ok()) return q.status();
+//   Execute(*q);
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &const_cast<Result*>(this)->value(); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define OLAP_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::olap::Status olap_status_ = (expr);       \
+    if (!olap_status_.ok()) return olap_status_; \
+  } while (0)
+
+}  // namespace olap
+
+#endif  // OLAP_COMMON_STATUS_H_

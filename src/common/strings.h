@@ -1,0 +1,27 @@
+#ifndef OLAP_COMMON_STRINGS_H_
+#define OLAP_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace olap {
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+// True if `a` equals `b` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Splits on a single character, keeping empty tokens.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace olap
+
+#endif  // OLAP_COMMON_STRINGS_H_

@@ -1,0 +1,98 @@
+#ifndef OLAP_COMMON_VALUE_H_
+#define OLAP_COMMON_VALUE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace olap {
+
+// A cube cell holds either a numeric value or the null value ⊥ ("meaningless
+// combination", Sec. 2 of the paper — e.g. FTE/Joe in Feb when that member
+// instance is not valid in Feb).
+//
+// Storage representation: cells are raw doubles inside dense chunks; ⊥ is a
+// dedicated quiet-NaN bit pattern so a chunk stays a flat double array.
+// Client code should not store arbitrary NaNs in a cube: any NaN written is
+// canonicalised to ⊥.
+class CellValue {
+ public:
+  // Constructs ⊥.
+  constexpr CellValue() : bits_(kNullBits) {}
+  // Constructs a numeric cell; NaN inputs become ⊥.
+  explicit CellValue(double v) : bits_(Canonical(v)) {}
+
+  static constexpr CellValue Null() { return CellValue(); }
+
+  bool is_null() const { return bits_ == kNullBits; }
+  bool has_value() const { return !is_null(); }
+
+  // Numeric value; must not be called on ⊥.
+  double value() const { return FromBits(bits_); }
+  // Numeric value, or `fallback` for ⊥.
+  double value_or(double fallback) const {
+    return is_null() ? fallback : value();
+  }
+
+  // Raw storage conversion used by chunked storage.
+  static double ToStorage(CellValue v) { return FromBits(v.bits_); }
+  static CellValue FromStorage(double raw) { return CellValue(raw); }
+  // The double bit pattern chunks use for ⊥.
+  static double NullStorage() { return FromBits(kNullBits); }
+
+  // OLAP aggregation treats ⊥ as *missing*: it is skipped, and an
+  // aggregate over only-⊥ inputs is itself ⊥ (matches the paper's Fig. 2,
+  // where FTE/Joe Q1 = Jan + ⊥ + ⊥ = 10 + 10 in NY slice rows).
+  friend CellValue operator+(CellValue a, CellValue b) {
+    if (a.is_null()) return b;
+    if (b.is_null()) return a;
+    return CellValue(a.value() + b.value());
+  }
+  CellValue& operator+=(CellValue other) { return *this = *this + other; }
+
+  // Equality: ⊥ == ⊥, ⊥ != any number.
+  friend bool operator==(CellValue a, CellValue b) {
+    if (a.is_null() || b.is_null()) return a.is_null() == b.is_null();
+    return a.value() == b.value();
+  }
+  friend bool operator!=(CellValue a, CellValue b) { return !(a == b); }
+
+  // "⊥" or the shortest round-trip-ish decimal rendering.
+  std::string ToString() const;
+
+ private:
+  // A specific quiet-NaN payload reserved for ⊥.
+  static constexpr uint64_t kNullBits = 0x7ff8dead00000001ULL;
+
+  static uint64_t ToBits(double v) {
+    uint64_t b;
+    static_assert(sizeof(b) == sizeof(v));
+    __builtin_memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  static double FromBits(uint64_t b) {
+    double v;
+    __builtin_memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+  static uint64_t Canonical(double v) {
+    return std::isnan(v) ? kNullBits : ToBits(v);
+  }
+
+  uint64_t bits_;
+};
+
+inline std::string CellValue::ToString() const {
+  if (is_null()) return "⊥";
+  double v = value();
+  if (v == static_cast<int64_t>(v) &&
+      std::abs(v) < 1e15) {  // Render integral values without ".000000".
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return std::to_string(v);
+}
+
+}  // namespace olap
+
+#endif  // OLAP_COMMON_VALUE_H_

@@ -1,0 +1,23 @@
+#include "cube/chunk.h"
+
+#include <cassert>
+
+namespace olap {
+
+int64_t Chunk::CountNonNull() const {
+  int64_t n = 0;
+  for (double raw : cells_) {
+    if (!CellValue::FromStorage(raw).is_null()) ++n;
+  }
+  return n;
+}
+
+void Chunk::AccumulateFrom(const Chunk& other) {
+  assert(size() == other.size());
+  for (int64_t i = 0; i < size(); ++i) {
+    CellValue sum = Get(i) + other.Get(i);
+    Set(i, sum);
+  }
+}
+
+}  // namespace olap

@@ -1,0 +1,41 @@
+#ifndef OLAP_CUBE_CHUNK_H_
+#define OLAP_CUBE_CHUNK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/value.h"
+
+namespace olap {
+
+// One dense tile of a chunked multidimensional array. Cells are stored as
+// raw doubles with CellValue's ⊥ encoding; a freshly created chunk is
+// all-⊥.
+class Chunk {
+ public:
+  Chunk() = default;
+  explicit Chunk(int64_t num_cells)
+      : cells_(num_cells, CellValue::NullStorage()) {}
+
+  int64_t size() const { return static_cast<int64_t>(cells_.size()); }
+
+  CellValue Get(int64_t offset) const {
+    return CellValue::FromStorage(cells_[offset]);
+  }
+  void Set(int64_t offset, CellValue v) { cells_[offset] = CellValue::ToStorage(v); }
+
+  // Number of non-⊥ cells.
+  int64_t CountNonNull() const;
+
+  // Adds every non-⊥ cell of `other` into this chunk (⊥-skipping addition);
+  // both chunks must have the same size. Used when merging the sub-cubes of
+  // related member instances (Sec. 5.1).
+  void AccumulateFrom(const Chunk& other);
+
+ private:
+  std::vector<double> cells_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_CUBE_CHUNK_H_

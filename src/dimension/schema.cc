@@ -1,0 +1,72 @@
+#include "dimension/schema.h"
+
+#include "common/strings.h"
+
+namespace olap {
+
+int Schema::AddDimension(Dimension dim) {
+  dims_.push_back(std::move(dim));
+  parameter_of_.push_back(-1);
+  return num_dimensions() - 1;
+}
+
+Result<int> Schema::FindDimension(std::string_view name) const {
+  for (int i = 0; i < num_dimensions(); ++i) {
+    if (EqualsIgnoreCase(dims_[i].name(), name)) return i;
+  }
+  return Status::NotFound("no dimension named '" + std::string(name) + "'");
+}
+
+Status Schema::BindVarying(int varying_dim, int parameter_dim, bool ordered) {
+  if (varying_dim < 0 || varying_dim >= num_dimensions() || parameter_dim < 0 ||
+      parameter_dim >= num_dimensions()) {
+    return Status::InvalidArgument("dimension index out of range");
+  }
+  if (varying_dim == parameter_dim) {
+    return Status::InvalidArgument("a dimension cannot vary over itself");
+  }
+  OLAP_RETURN_IF_ERROR(dims_[varying_dim].MakeVarying(
+      dims_[parameter_dim].num_leaves(), ordered));
+  parameter_of_[varying_dim] = parameter_dim;
+  return Status::Ok();
+}
+
+Status Schema::RestoreVaryingLink(int varying_dim, int parameter_dim) {
+  if (varying_dim < 0 || varying_dim >= num_dimensions() || parameter_dim < 0 ||
+      parameter_dim >= num_dimensions() || varying_dim == parameter_dim) {
+    return Status::InvalidArgument("bad varying/parameter dimension indices");
+  }
+  const Dimension& dim = dims_[varying_dim];
+  if (!dim.is_varying()) {
+    return Status::FailedPrecondition("dimension is not varying");
+  }
+  if (dim.parameter_leaf_count() != dims_[parameter_dim].num_leaves()) {
+    return Status::InvalidArgument(
+        "validity universe does not match the parameter dimension");
+  }
+  parameter_of_[varying_dim] = parameter_dim;
+  return Status::Ok();
+}
+
+std::vector<int> Schema::VaryingDimensions() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_dimensions(); ++i) {
+    if (is_varying(i)) out.push_back(i);
+  }
+  return out;
+}
+
+int Schema::MeasureDimension() const {
+  for (int i = 0; i < num_dimensions(); ++i) {
+    if (dims_[i].kind() == DimensionKind::kMeasure) return i;
+  }
+  return -1;
+}
+
+std::vector<int> Schema::PositionExtents() const {
+  std::vector<int> out(num_dimensions());
+  for (int i = 0; i < num_dimensions(); ++i) out[i] = dims_[i].num_positions();
+  return out;
+}
+
+}  // namespace olap

@@ -1,0 +1,72 @@
+#ifndef OLAP_DIMENSION_SCHEMA_H_
+#define OLAP_DIMENSION_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "dimension/dimension.h"
+
+namespace olap {
+
+// The multidimensional outline of a cube: an ordered list of dimensions plus
+// the wiring between varying dimensions and the parameter dimensions that
+// drive their changes (Definition 2.1).
+//
+// Usage:
+//   Schema schema;
+//   int time = schema.AddDimension(Dimension("Time", DimensionKind::kParameter));
+//   int org  = schema.AddDimension(Dimension("Organization"));
+//   ... build hierarchies via schema.mutable_dimension(...) ...
+//   schema.BindVarying(org, time, /*ordered=*/true);
+//
+// A Schema is a value type; what-if operators copy and edit it.
+class Schema {
+ public:
+  Schema() = default;
+
+  // Adds a dimension; returns its index. Dimension names must be unique.
+  int AddDimension(Dimension dim);
+
+  int num_dimensions() const { return static_cast<int>(dims_.size()); }
+  const Dimension& dimension(int i) const { return dims_[i]; }
+  Dimension* mutable_dimension(int i) { return &dims_[i]; }
+
+  // Case-insensitive dimension lookup.
+  Result<int> FindDimension(std::string_view name) const;
+
+  // Declares `varying_dim` to vary over `parameter_dim` (Definition 2.1).
+  // The parameter dimension's hierarchy must be complete at bind time: its
+  // leaf count fixes the universe of every validity set. `ordered` follows
+  // the paper (Time is ordered, Location is not).
+  Status BindVarying(int varying_dim, int parameter_dim, bool ordered);
+
+  // Deserialization support: records the varying->parameter link for a
+  // dimension that is ALREADY varying (restored via
+  // Dimension::RestoreVarying). Validates that the parameter dimension's
+  // leaf count matches the restored validity universe.
+  Status RestoreVaryingLink(int varying_dim, int parameter_dim);
+
+  // Index of the parameter dimension driving `dim`, or -1.
+  int parameter_of(int dim) const { return parameter_of_[dim]; }
+  bool is_varying(int dim) const { return parameter_of_[dim] >= 0; }
+
+  // Indices of all varying dimensions, ascending.
+  std::vector<int> VaryingDimensions() const;
+
+  // Index of the first dimension with kind kMeasure, or -1.
+  int MeasureDimension() const;
+
+  // Number of axis positions per dimension, in dimension order
+  // (the extents of the cube's leaf-cell array).
+  std::vector<int> PositionExtents() const;
+
+ private:
+  std::vector<Dimension> dims_;
+  std::vector<int> parameter_of_;  // Per dimension; -1 when not varying.
+};
+
+}  // namespace olap
+
+#endif  // OLAP_DIMENSION_SCHEMA_H_

@@ -1,0 +1,76 @@
+#ifndef OLAP_ENGINE_DATABASE_H_
+#define OLAP_ENGINE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "agg/aggregate_cache.h"
+#include "common/status.h"
+#include "cube/cube.h"
+#include "mdx/binder.h"
+#include "rules/rule.h"
+
+namespace olap {
+
+// Catalog of cubes, rule sets and named sets — the "application/database"
+// the extended-MDX FROM clause addresses. Plays the role Essbase plays in
+// the paper's experiments.
+class Database : public mdx::NameResolver {
+ public:
+  Database() = default;
+
+  // Registers a cube under `name` ("App.Db" or any identifier). FROM
+  // clauses match the full dotted name or its last component,
+  // case-insensitively.
+  Status AddCube(std::string name, Cube cube);
+
+  Result<const Cube*> FindCube(std::string_view dotted_name) const;
+  Result<Cube*> FindMutableCube(std::string_view dotted_name);
+
+  // Parses and attaches a calculation rule (see rules/rule_parser.h) to the
+  // named cube.
+  Status AddRule(std::string_view cube_name, std::string_view rule_text);
+  // The cube's rule set (never null for a registered cube).
+  const RuleSet* rules(std::string_view cube_name) const;
+
+  // Materializes up to `max_views` greedy-selected aggregations for the
+  // cube (Essbase-style pre-built aggregations; see agg/aggregate_cache.h).
+  // Must be re-run after mutating the cube's data. Plain (non-what-if)
+  // queries are then answered from the views where possible.
+  Status BuildAggregates(std::string_view cube_name, int max_views);
+  // The cube's materialized aggregations, or null when none were built.
+  const AggregateCache* aggregates(std::string_view cube_name) const;
+
+  // Defines an Essbase-style named set: a name usable in queries whose
+  // ".Children" (or direct mention) expands to `members`.
+  Status DefineNamedSet(std::string set_name,
+                        std::vector<std::pair<int, MemberId>> members);
+  // Convenience: members are looked up by name within one dimension of the
+  // named cube.
+  Status DefineNamedSetByNames(std::string_view cube_name,
+                               std::string_view dim_name,
+                               const std::vector<std::string>& member_names,
+                               std::string set_name);
+
+  // mdx::NameResolver:
+  std::optional<std::vector<std::pair<int, MemberId>>> FindNamedSet(
+      std::string_view name) const override;
+
+ private:
+  struct Entry {
+    Cube cube;
+    RuleSet rules;
+    std::unique_ptr<AggregateCache> aggregates;
+  };
+  std::map<std::string, std::unique_ptr<Entry>> cubes_;  // Key: lower name.
+  std::map<std::string, std::vector<std::pair<int, MemberId>>> named_sets_;
+
+  const Entry* FindEntry(std::string_view dotted_name) const;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_ENGINE_DATABASE_H_

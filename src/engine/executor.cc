@@ -1,0 +1,436 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <thread>
+
+#include "common/strings.h"
+#include "mdx/parser.h"
+#include "rules/evaluator.h"
+
+namespace olap {
+
+namespace {
+
+using mdx::BoundAxis;
+using mdx::BoundQuery;
+using mdx::BoundTuple;
+
+// Expands every leaf-member reference to a varying dimension into one tuple
+// per *active* member instance (non-empty output validity set) — the
+// paper's convention that the perspective set determines which instances
+// appear in the output (Definition 3.4), and that an unqualified member
+// stands for all of its instances.
+std::vector<BoundTuple> ExpandInstances(const std::vector<BoundTuple>& tuples,
+                                        const Schema& schema) {
+  std::vector<BoundTuple> out;
+  for (const BoundTuple& tuple : tuples) {
+    std::vector<BoundTuple> acc = {tuple};
+    for (size_t slot = 0; slot < tuple.refs.size(); ++slot) {
+      const auto& [dim, ref] = tuple.refs[slot];
+      const Dimension& d = schema.dimension(dim);
+      if (!d.is_varying() || ref.instance != kInvalidInstance ||
+          !d.member(ref.member).is_leaf()) {
+        continue;
+      }
+      std::vector<InstanceId> active;
+      for (InstanceId i : d.InstancesOf(ref.member)) {
+        if (d.instance(i).validity.Any()) active.push_back(i);
+      }
+      std::vector<BoundTuple> next;
+      next.reserve(acc.size() * active.size());
+      for (const BoundTuple& base : acc) {
+        for (InstanceId i : active) {
+          BoundTuple expanded = base;
+          expanded.refs[slot].second = AxisRef::OfInstance(ref.member, i);
+          next.push_back(std::move(expanded));
+        }
+      }
+      acc = std::move(next);
+    }
+    out.insert(out.end(), acc.begin(), acc.end());
+  }
+  return out;
+}
+
+std::string TupleLabel(const BoundTuple& tuple, const Schema& schema) {
+  std::vector<std::string> parts;
+  for (const auto& [dim, ref] : tuple.refs) {
+    const Dimension& d = schema.dimension(dim);
+    if (ref.instance != kInvalidInstance) {
+      parts.push_back(d.instance(ref.instance).qualified_name);
+    } else {
+      parts.push_back(d.member(ref.member).name);
+    }
+  }
+  return Join(parts, ", ");
+}
+
+// The value of a DIMENSION PROPERTIES column for one row: the row's
+// coordinate along the named dimension, rendered through the instance's
+// path parent where applicable ("which department does this employee row
+// report to").
+std::string PropertyValue(const BoundTuple& tuple, const Schema& schema,
+                          int property_dim) {
+  for (const auto& [dim, ref] : tuple.refs) {
+    if (dim != property_dim) continue;
+    const Dimension& d = schema.dimension(dim);
+    if (ref.instance != kInvalidInstance) {
+      MemberId parent = d.instance(ref.instance).parent;
+      return parent == kInvalidMember ? "" : d.member(parent).name;
+    }
+    return d.member(ref.member).name;
+  }
+  return "";
+}
+
+// Sec. 6.3 scoping decision: confine instance merging to the varying
+// members the query touches, provided the query is non-visual and no tuple
+// aggregates over the varying dimension (then every member could
+// contribute to a derived cell). Mutates spec->scope_members on success.
+void ApplyAutoScope(const BoundQuery& bound, const Cube& cube,
+                    WhatIfSpec* spec) {
+  if (spec->mode != EvalMode::kNonVisual || spec->varying_dim < 0) return;
+  const Dimension& vd = cube.schema().dimension(spec->varying_dim);
+  std::set<MemberId> members;
+  bool aggregates_varying = false;
+  bool mentions_varying = false;
+  auto inspect = [&](const BoundTuple& t) {
+    for (const auto& [dim, ref] : t.refs) {
+      if (dim != spec->varying_dim) continue;
+      mentions_varying = true;
+      if (ref.instance != kInvalidInstance || vd.member(ref.member).is_leaf()) {
+        members.insert(ref.member);
+      } else {
+        aggregates_varying = true;
+      }
+    }
+  };
+  for (const BoundAxis& axis : bound.axes) {
+    for (const BoundTuple& t : axis.tuples) inspect(t);
+  }
+  inspect(bound.slicer);
+  if (!mentions_varying || aggregates_varying) return;
+  spec->scope_members.assign(members.begin(), members.end());
+  // Changed members must stay in scope for Split to take effect.
+  for (const ChangeTuple& c : spec->changes) {
+    if (members.insert(c.member).second) {
+      spec->scope_members.push_back(c.member);
+    }
+  }
+}
+
+}  // namespace
+
+Result<QueryResult> Executor::Execute(std::string_view mdx_text,
+                                      const QueryOptions& options) const {
+  Result<mdx::ParsedQuery> parsed = mdx::Parse(mdx_text);
+  if (!parsed.ok()) return parsed.status();
+
+  std::string cube_name = Join(parsed->cube_name, ".");
+  Result<const Cube*> cube = db_->FindCube(cube_name);
+  if (!cube.ok()) return cube.status();
+  const RuleSet* rules = db_->rules(cube_name);
+
+  Result<BoundQuery> bound = mdx::Bind(*parsed, (*cube)->schema(), db_, *cube);
+  if (!bound.ok()) return bound.status();
+
+  // Axis layout: ordinal 0 = columns, 1 = rows, 2 = pages. Pages are
+  // rendered by folding them into the rows (one row block per page tuple).
+  const BoundAxis* columns = nullptr;
+  const BoundAxis* rows = nullptr;
+  const BoundAxis* pages = nullptr;
+  for (const BoundAxis& axis : bound->axes) {
+    if (axis.ordinal == 0) {
+      columns = &axis;
+    } else if (axis.ordinal == 1) {
+      rows = &axis;
+    } else if (axis.ordinal == 2) {
+      pages = &axis;
+    } else {
+      return Status::Unimplemented("axes beyond PAGES are not supported");
+    }
+  }
+  if (columns == nullptr) {
+    return Status::InvalidArgument("query has no COLUMNS axis");
+  }
+  if (pages != nullptr && rows == nullptr) {
+    return Status::InvalidArgument("PAGES requires a ROWS axis");
+  }
+
+  QueryResult result;
+  std::optional<PerspectiveCube> pc;
+  std::vector<WhatIfSpec> specs = bound->specs;
+
+  // Data-driven scenarios first: allocations produce the base cube the
+  // structural what-if (if any) operates on.
+  const Cube* active = *cube;
+  std::optional<Cube> allocated;
+  for (const AllocationSpec& allocation : bound->allocations) {
+    Result<Cube> next = Allocate(*active, allocation);
+    if (!next.ok()) return next.status();
+    allocated = *std::move(next);
+    active = &*allocated;
+    result.used_whatif = true;
+  }
+
+  if (!specs.empty()) {
+    // Single-what-if queries can confine the instance merge (Sec. 6.3).
+    if (specs.size() == 1 && options.auto_scope) {
+      ApplyAutoScope(*bound, **cube, &specs[0]);
+    }
+
+    if (specs.size() == 1) {
+      Result<PerspectiveCube> computed = ComputePerspectiveCube(
+          *active, specs[0], options.strategy, options.disk, &result.whatif_stats);
+      if (!computed.ok()) return computed.status();
+      pc.emplace(*std::move(computed));
+    } else {
+      // Several varying dimensions: apply the specs as a pipeline, each
+      // stage transforming the previous stage's output cube. Derived cells
+      // of the final result follow the combined mode (visual wins).
+      EvalMode combined_mode = EvalMode::kNonVisual;
+      for (const WhatIfSpec& spec : specs) {
+        if (spec.mode == EvalMode::kVisual) combined_mode = EvalMode::kVisual;
+      }
+      Cube current = *active;
+      for (const WhatIfSpec& spec : specs) {
+        EvalStats stage_stats;
+        Result<PerspectiveCube> stage = ComputePerspectiveCube(
+            current, spec, options.strategy, options.disk, &stage_stats);
+        if (!stage.ok()) return stage.status();
+        result.whatif_stats.passes += stage_stats.passes;
+        result.whatif_stats.chunk_reads += stage_stats.chunk_reads;
+        result.whatif_stats.cells_moved += stage_stats.cells_moved;
+        result.whatif_stats.virtual_io_seconds += stage_stats.virtual_io_seconds;
+        current = stage->output();
+      }
+      pc.emplace(active, std::move(current), combined_mode);
+    }
+    result.used_whatif = true;
+  }
+
+  const Schema& eff_schema =
+      pc.has_value() ? pc->output().schema() : active->schema();
+
+  std::vector<BoundTuple> col_tuples =
+      ExpandInstances(columns->tuples, eff_schema);
+  std::vector<BoundTuple> row_tuples =
+      rows != nullptr ? ExpandInstances(rows->tuples, eff_schema)
+                      : std::vector<BoundTuple>{BoundTuple{}};
+  if (pages != nullptr) {
+    // Fold pages into rows: page-major ordering, combined coordinates.
+    std::vector<BoundTuple> page_tuples =
+        ExpandInstances(pages->tuples, eff_schema);
+    std::vector<BoundTuple> folded;
+    folded.reserve(page_tuples.size() * row_tuples.size());
+    for (const BoundTuple& page : page_tuples) {
+      for (const BoundTuple& row : row_tuples) {
+        BoundTuple combined = page;
+        for (const auto& ref : row.refs) {
+          for (const auto& existing : combined.refs) {
+            if (existing.first == ref.first) {
+              return Status::InvalidArgument(
+                  "PAGES and ROWS axes share dimension '" +
+                  eff_schema.dimension(ref.first).name() + "'");
+            }
+          }
+          combined.refs.push_back(ref);
+        }
+        folded.push_back(std::move(combined));
+      }
+    }
+    row_tuples = std::move(folded);
+  }
+
+  std::vector<std::string> col_labels, row_labels;
+  col_labels.reserve(col_tuples.size());
+  for (const BoundTuple& t : col_tuples) {
+    col_labels.push_back(TupleLabel(t, eff_schema));
+  }
+  row_labels.reserve(row_tuples.size());
+  for (const BoundTuple& t : row_tuples) {
+    std::string label = TupleLabel(t, eff_schema);
+    row_labels.push_back(label.empty() ? "(all)" : label);
+  }
+
+  ResultGrid grid(std::move(col_labels), std::move(row_labels));
+
+  // DIMENSION PROPERTIES columns on the rows axis.
+  if (rows != nullptr) {
+    for (const std::string& prop : rows->properties) {
+      Result<int> prop_dim = eff_schema.FindDimension(prop);
+      if (!prop_dim.ok()) return prop_dim.status();
+      std::vector<std::string> values;
+      values.reserve(row_tuples.size());
+      for (const BoundTuple& t : row_tuples) {
+        values.push_back(PropertyValue(t, eff_schema, *prop_dim));
+      }
+      grid.AddPropertyColumn(prop, std::move(values));
+    }
+  }
+
+  // Base coordinate: every dimension defaults to its root (aggregate),
+  // then the slicer and the axis tuples override.
+  CellRef base(eff_schema.num_dimensions());
+  for (int d = 0; d < eff_schema.num_dimensions(); ++d) {
+    base[d] = AxisRef::OfMember(eff_schema.dimension(d).root());
+  }
+  for (const auto& [dim, ref] : bound->slicer.refs) base[dim] = ref;
+
+  // Materialized aggregations only answer queries over the stored cube —
+  // any what-if transformation yields different data.
+  const AggregateCache* cache =
+      result.used_whatif ? nullptr : db_->aggregates(cube_name);
+
+  auto evaluate_rows = [&](int row_begin, int row_end) {
+    for (int r = row_begin; r < row_end; ++r) {
+      CellRef row_ref = base;
+      for (const auto& [dim, ref] : row_tuples[r].refs) row_ref[dim] = ref;
+      for (int c = 0; c < static_cast<int>(col_tuples.size()); ++c) {
+        CellRef cell_ref = row_ref;
+        for (const auto& [dim, ref] : col_tuples[c].refs) cell_ref[dim] = ref;
+        CellValue v =
+            pc.has_value()
+                ? pc->Evaluate(cell_ref, rules)
+                : CellEvaluator(*active, rules, cache).Evaluate(cell_ref);
+        grid.set(r, c, v);
+      }
+    }
+  };
+
+  const int num_rows = static_cast<int>(row_tuples.size());
+  const int threads = std::clamp(options.eval_threads, 1, std::max(1, num_rows));
+  if (threads <= 1) {
+    evaluate_rows(0, num_rows);
+  } else {
+    // Evaluation only reads the cubes, but the dimensions' lazily built
+    // leaf caches are not thread-safe on first touch — prime them up front.
+    for (const Schema* schema : {&eff_schema, &active->schema()}) {
+      for (int d = 0; d < schema->num_dimensions(); ++d) {
+        schema->dimension(d).Leaves();
+      }
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const int per_thread = (num_rows + threads - 1) / threads;
+    for (int t = 0; t < threads; ++t) {
+      int begin = t * per_thread;
+      int end = std::min(num_rows, begin + per_thread);
+      if (begin >= end) break;
+      workers.emplace_back(evaluate_rows, begin, end);
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  result.cells_evaluated =
+      static_cast<int64_t>(num_rows) * static_cast<int64_t>(col_tuples.size());
+  // NON EMPTY axes: drop all-⊥ rows/columns (the paper's figures likewise
+  // omit rows for non-active members).
+  const bool drop_rows = rows != nullptr && rows->non_empty;
+  const bool drop_cols = columns->non_empty;
+  if (drop_rows || drop_cols) {
+    std::vector<int> keep_rows, keep_cols;
+    for (int r = 0; r < grid.num_rows(); ++r) {
+      bool any = false;
+      for (int c = 0; c < grid.num_columns() && !any; ++c) {
+        any = !grid.at(r, c).is_null();
+      }
+      if (any || !drop_rows) keep_rows.push_back(r);
+    }
+    for (int c = 0; c < grid.num_columns(); ++c) {
+      bool any = false;
+      for (int r = 0; r < grid.num_rows() && !any; ++r) {
+        any = !grid.at(r, c).is_null();
+      }
+      if (any || !drop_cols) keep_cols.push_back(c);
+    }
+    std::vector<std::string> new_cols, new_rows;
+    for (int c : keep_cols) new_cols.push_back(grid.column_labels()[c]);
+    for (int r : keep_rows) new_rows.push_back(grid.row_labels()[r]);
+    ResultGrid filtered(std::move(new_cols), std::move(new_rows));
+    for (size_t r = 0; r < keep_rows.size(); ++r) {
+      for (size_t c = 0; c < keep_cols.size(); ++c) {
+        filtered.set(static_cast<int>(r), static_cast<int>(c),
+                     grid.at(keep_rows[r], keep_cols[c]));
+      }
+    }
+    for (int p = 0; p < grid.num_property_columns(); ++p) {
+      std::vector<std::string> values;
+      values.reserve(keep_rows.size());
+      for (int r : keep_rows) values.push_back(grid.property_values(p)[r]);
+      filtered.AddPropertyColumn(grid.property_name(p), std::move(values));
+    }
+    grid = std::move(filtered);
+  }
+
+  result.grid = std::move(grid);
+  return result;
+}
+
+Result<std::string> Executor::Explain(std::string_view mdx_text,
+                                      const QueryOptions& options) const {
+  Result<mdx::ParsedQuery> parsed = mdx::Parse(mdx_text);
+  if (!parsed.ok()) return parsed.status();
+  std::string cube_name = Join(parsed->cube_name, ".");
+  Result<const Cube*> cube = db_->FindCube(cube_name);
+  if (!cube.ok()) return cube.status();
+  Result<BoundQuery> bound = mdx::Bind(*parsed, (*cube)->schema(), db_, *cube);
+  if (!bound.ok()) return bound.status();
+
+  std::string out;
+  out += "cube: " + cube_name + " (" +
+         std::to_string((*cube)->CountNonNullCells()) + " cells, " +
+         std::to_string((*cube)->NumStoredChunks()) + " chunks)\n";
+  for (const BoundAxis& axis : bound->axes) {
+    const char* name = axis.ordinal == 0   ? "columns"
+                       : axis.ordinal == 1 ? "rows"
+                                           : "pages";
+    out += std::string(name) + ": " + std::to_string(axis.tuples.size()) +
+           " tuple(s)" + (axis.non_empty ? ", NON EMPTY" : "") + "\n";
+  }
+  if (!bound->slicer.refs.empty()) {
+    out += "slicer: " + std::to_string(bound->slicer.refs.size()) +
+           " coordinate(s)\n";
+  }
+  for (const AllocationSpec& allocation : bound->allocations) {
+    out += "allocation: move " +
+           std::to_string(static_cast<int>(allocation.fraction * 100)) +
+           "% along dimension '" +
+           (*cube)->schema().dimension(allocation.dim).name() + "'\n";
+  }
+  for (WhatIfSpec spec : bound->specs) {
+    if (options.auto_scope && bound->specs.size() == 1) {
+      ApplyAutoScope(*bound, **cube, &spec);
+    }
+    out += "what-if: dimension '" +
+           (*cube)->schema().dimension(spec.varying_dim).name() + "', " +
+           SemanticsName(spec.semantics) + ", " + EvalModeName(spec.mode);
+    if (!spec.perspectives.empty()) {
+      out += ", " + std::to_string(spec.perspectives.size()) +
+             " perspective(s) " + spec.perspectives.ToString();
+    }
+    if (!spec.changes.empty()) {
+      out += ", " + std::to_string(spec.changes.size()) + " positive change(s)";
+    }
+    out += spec.scope_members.empty()
+               ? ", unscoped merge\n"
+               : ", merge scoped to " +
+                     std::to_string(spec.scope_members.size()) + " member(s)\n";
+    out += std::string("strategy: ") +
+           (options.strategy == EvalStrategy::kDirect
+                ? "direct"
+                : "multiple-MDX simulation") +
+           "\n";
+  }
+  const AggregateCache* cache = db_->aggregates(cube_name);
+  if (cache != nullptr) {
+    out += "aggregations: " + std::to_string(cache->num_views()) + " view(s), " +
+           (bound->has_whatif() ? "bypassed (what-if query)"
+                                : "serving derived cells") +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace olap

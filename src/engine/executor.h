@@ -1,0 +1,66 @@
+#ifndef OLAP_ENGINE_EXECUTOR_H_
+#define OLAP_ENGINE_EXECUTOR_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/database.h"
+#include "engine/result_grid.h"
+#include "storage/simulated_disk.h"
+#include "whatif/perspective_cube.h"
+
+namespace olap {
+
+// Knobs for one query execution.
+struct QueryOptions {
+  // How a what-if clause is evaluated (the Fig. 11 comparison).
+  EvalStrategy strategy = EvalStrategy::kDirect;
+  // Charges chunk fetches to this device when non-null.
+  SimulatedDisk* disk = nullptr;
+  // Confine instance merging to the varying members the query actually
+  // touches (the Sec. 6.3 optimisation). Disabled automatically for visual
+  // mode and when the query aggregates over the varying dimension.
+  bool auto_scope = true;
+  // Number of threads evaluating grid cells (1 = serial). Rows are
+  // partitioned across threads; results are identical to serial.
+  int eval_threads = 1;
+};
+
+struct QueryResult {
+  ResultGrid grid;
+  bool used_whatif = false;
+  EvalStats whatif_stats;        // Zero when no what-if clause.
+  int64_t cells_evaluated = 0;   // Grid cells computed.
+};
+
+// Parses, binds and evaluates extended-MDX queries against a Database.
+//
+//   Database db; ... db.AddCube("Warehouse", cube) ...
+//   Executor exec(&db);
+//   Result<QueryResult> r = exec.Execute(
+//       "WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD "
+//       "VISUAL SELECT {Time.[Jan], Time.[Feb]} ON COLUMNS, "
+//       "{[Organization].Members} ON ROWS FROM Warehouse "
+//       "WHERE (Location.[NY], Measures.[Salary])");
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  Result<QueryResult> Execute(std::string_view mdx_text,
+                              const QueryOptions& options = QueryOptions()) const;
+
+  // Parses, binds and plans the query WITHOUT evaluating it; returns a
+  // human-readable description of what Execute would do: cube, axis sizes,
+  // what-if specs (semantics/mode/perspectives/changes, the Sec. 6.3
+  // scoping decision), allocations, evaluation strategy and whether
+  // materialized aggregations would serve derived cells.
+  Result<std::string> Explain(std::string_view mdx_text,
+                              const QueryOptions& options = QueryOptions()) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_ENGINE_EXECUTOR_H_

@@ -1,0 +1,121 @@
+#include "engine/result_grid.h"
+
+#include <algorithm>
+
+namespace olap {
+
+ResultGrid::ResultGrid(std::vector<std::string> column_labels,
+                       std::vector<std::string> row_labels)
+    : column_labels_(std::move(column_labels)),
+      row_labels_(std::move(row_labels)) {
+  values_.assign(static_cast<size_t>(num_rows()) * num_columns(), CellValue::Null());
+}
+
+void ResultGrid::AddPropertyColumn(std::string name,
+                                   std::vector<std::string> values) {
+  properties_.push_back(PropertyColumn{std::move(name), std::move(values)});
+}
+
+int64_t ResultGrid::CountNonNull() const {
+  int64_t n = 0;
+  for (const CellValue& v : values_) {
+    if (!v.is_null()) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+// Quotes a CSV field when needed.
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string ResultGrid::ToCsv() const {
+  std::string out;
+  for (size_t p = 0; p < properties_.size(); ++p) {
+    out += ",";
+    out += CsvField(properties_[p].name);
+  }
+  for (const std::string& label : column_labels_) {
+    out += ",";
+    out += CsvField(label);
+  }
+  out += "\n";
+  for (int r = 0; r < num_rows(); ++r) {
+    out += CsvField(row_labels_[r]);
+    for (size_t p = 0; p < properties_.size(); ++p) {
+      out += ",";
+      out += CsvField(properties_[p].values[r]);
+    }
+    for (int c = 0; c < num_columns(); ++c) {
+      out += ",";
+      CellValue v = at(r, c);
+      if (!v.is_null()) out += v.ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string ResultGrid::ToString() const {
+  // Column widths: row-label column, property columns, value columns.
+  size_t label_width = 0;
+  for (const std::string& label : row_labels_) {
+    label_width = std::max(label_width, label.size());
+  }
+  std::vector<size_t> prop_widths(properties_.size());
+  for (size_t p = 0; p < properties_.size(); ++p) {
+    prop_widths[p] = properties_[p].name.size();
+    for (const std::string& v : properties_[p].values) {
+      prop_widths[p] = std::max(prop_widths[p], v.size());
+    }
+  }
+  std::vector<size_t> col_widths(column_labels_.size());
+  for (int c = 0; c < num_columns(); ++c) {
+    col_widths[c] = column_labels_[c].size();
+    for (int r = 0; r < num_rows(); ++r) {
+      col_widths[c] = std::max(col_widths[c], at(r, c).ToString().size());
+    }
+  }
+
+  auto pad = [](const std::string& s, size_t width) {
+    std::string out = s;
+    // ⊥ is three UTF-8 bytes but one display column; compensate.
+    size_t display = s.size() - (s == "⊥" ? 2 : 0);
+    out.append(width > display ? width - display : 0, ' ');
+    return out;
+  };
+
+  std::string out;
+  out += pad("", label_width);
+  for (size_t p = 0; p < properties_.size(); ++p) {
+    out += "  " + pad(properties_[p].name, prop_widths[p]);
+  }
+  for (int c = 0; c < num_columns(); ++c) {
+    out += "  " + pad(column_labels_[c], col_widths[c]);
+  }
+  out += "\n";
+  for (int r = 0; r < num_rows(); ++r) {
+    out += pad(row_labels_[r], label_width);
+    for (size_t p = 0; p < properties_.size(); ++p) {
+      out += "  " + pad(properties_[p].values[r], prop_widths[p]);
+    }
+    for (int c = 0; c < num_columns(); ++c) {
+      out += "  " + pad(at(r, c).ToString(), col_widths[c]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace olap

@@ -1,0 +1,64 @@
+#ifndef OLAP_ENGINE_RESULT_GRID_H_
+#define OLAP_ENGINE_RESULT_GRID_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace olap {
+
+// The two-dimensional rendering an MDX query produces (rows × columns of
+// cell values, as in the paper's Fig. 3), plus optional per-row property
+// labels from DIMENSION PROPERTIES clauses.
+class ResultGrid {
+ public:
+  ResultGrid() = default;
+  ResultGrid(std::vector<std::string> column_labels,
+             std::vector<std::string> row_labels);
+
+  int num_rows() const { return static_cast<int>(row_labels_.size()); }
+  int num_columns() const { return static_cast<int>(column_labels_.size()); }
+
+  const std::vector<std::string>& column_labels() const { return column_labels_; }
+  const std::vector<std::string>& row_labels() const { return row_labels_; }
+
+  CellValue at(int row, int col) const { return values_[Index(row, col)]; }
+  void set(int row, int col, CellValue v) { values_[Index(row, col)] = v; }
+
+  // Optional property columns (e.g. the Department of each employee row).
+  void AddPropertyColumn(std::string name, std::vector<std::string> values);
+  int num_property_columns() const { return static_cast<int>(properties_.size()); }
+  const std::string& property_name(int i) const { return properties_[i].name; }
+  const std::vector<std::string>& property_values(int i) const {
+    return properties_[i].values;
+  }
+
+  // Number of non-⊥ cells.
+  int64_t CountNonNull() const;
+
+  // Fixed-width text table; ⊥ cells print as "⊥".
+  std::string ToString() const;
+
+  // RFC-4180-style CSV: header row (empty corner, property names, column
+  // labels), then one line per row. ⊥ cells are empty fields; labels
+  // containing commas/quotes/newlines are quoted.
+  std::string ToCsv() const;
+
+ private:
+  struct PropertyColumn {
+    std::string name;
+    std::vector<std::string> values;
+  };
+
+  int Index(int row, int col) const { return row * num_columns() + col; }
+
+  std::vector<std::string> column_labels_;
+  std::vector<std::string> row_labels_;
+  std::vector<CellValue> values_;
+  std::vector<PropertyColumn> properties_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_ENGINE_RESULT_GRID_H_

@@ -1,0 +1,117 @@
+#ifndef OLAP_MDX_AST_H_
+#define OLAP_MDX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace olap::mdx {
+
+// A set-valued expression of the extended-MDX dialect. The grammar covers
+// every construct used by the paper's queries (Fig. 10 a–c and Sec. 3.2):
+//
+//   [Org].[FTE].[Joe]                 member path
+//   Time.[Q1]                          ditto (bare + bracketed components)
+//   [FTE].Children                     children of a member / named set
+//   Location.Region.State.Members      members of a named level
+//   [Account].Levels(0).Members        members counted bottom-up (Essbase)
+//   Descendants([Period], 1, self_and_after)
+//   CrossJoin(set, set) / Union(set, set) / Head(set, n)
+//   { e1, e2, ... }                    enumeration
+//   ( m1, m2, ... )                    multi-dimension tuple
+struct SetExpr {
+  enum class Kind {
+    kMemberPath,     // path
+    kChildren,       // path.Children
+    kMembers,        // path.Members (dimension, level name, or member path)
+    kLevelsMembers,  // path.Levels(n).Members, n counted from the leaves
+    kDescendants,    // Descendants(path, depth, flag)
+    kCrossJoin,      // CrossJoin(args[0], args[1])
+    kUnion,          // Union(args[0], args[1])
+    kExcept,         // Except(args[0], args[1]) — set difference
+    kIntersect,      // Intersect(args[0], args[1])
+    kHead,           // Head(args[0], number)
+    kTail,           // Tail(args[0], number)
+    kFilter,         // Filter(args[0], path relop number) — value predicate
+    kOrder,          // Order(args[0], path [, ASC|DESC]) — sort by value
+    kTopCount,       // TopCount(args[0], n, path) — n largest by value
+    kBottomCount,    // BottomCount(args[0], n, path) — n smallest by value
+    kBraces,         // { args... } — concatenation
+    kTuple,          // ( args... ) — one tuple combining several dimensions
+  };
+
+  Kind kind = Kind::kMemberPath;
+  std::vector<std::string> path;                 // For path-based kinds.
+  std::vector<std::unique_ptr<SetExpr>> args;    // For set-valued arguments.
+  int number = 0;                                // Levels(n) / Head(..., n).
+  std::string flag;                              // Descendants flag.
+  // Filter condition: value-of(path) <relop> threshold, evaluated per
+  // tuple. relop ∈ {">", "<", ">=", "<=", "=", "<>"}; the paper's
+  // σ_{value θ c} predicates surfaced in the language (Sec. 4.1).
+  std::string relop;
+  double threshold = 0.0;
+};
+
+// One axis of the SELECT clause.
+struct AxisSpec {
+  std::unique_ptr<SetExpr> set;
+  int ordinal = 0;  // COLUMNS = 0, ROWS = 1, PAGES = 2, AXIS(n) = n.
+  bool non_empty = false;  // NON EMPTY prefix: drop all-⊥ result lines.
+  std::vector<std::string> properties;  // DIMENSION PROPERTIES [...] names.
+};
+
+// WITH PERSPECTIVE clause (negative scenarios, Sec. 3.3).
+struct PerspectiveClause {
+  std::vector<std::string> moments;  // Member names of the parameter dim.
+  std::string varying_dim;           // FOR <dim>.
+  std::string semantics;             // "", "STATIC", "FORWARD", ... raw words.
+  std::string mode;                  // "", "VISUAL", "NONVISUAL".
+};
+
+// One tuple of the WITH CHANGES relation R(m, o, n, t) (Sec. 3.4).
+struct ChangeSpec {
+  std::unique_ptr<SetExpr> member;  // m: a member path or path.Children.
+  std::string old_parent;           // o.
+  std::string new_parent;           // n.
+  std::string moment;               // t: member name of the parameter dim.
+};
+
+// WITH CHANGES clause (positive scenarios).
+struct ChangesClause {
+  std::vector<ChangeSpec> changes;
+  std::string varying_dim;  // Optional FOR <dim>; inferred from o otherwise.
+  std::string mode;
+};
+
+// WITH ALLOCATION clause — a data-driven scenario (structure unchanged,
+// data moved): "assume 10% of PTEs' salary during the first quarter in NY
+// was instead given to PTEs in MA" becomes
+//   WITH ALLOCATION {(0.1, [NY], [MA], ([PTE], [Qtr1], [Salary]))}.
+struct AllocationClause {
+  double fraction = 0.0;
+  std::vector<std::string> from_path;
+  std::vector<std::string> to_path;
+  std::unique_ptr<SetExpr> region;  // Optional tuple of region restrictions.
+};
+
+// A full parsed query. A WITH block may carry several PERSPECTIVE and
+// CHANGES clauses, each naming (or implying) a varying dimension — the
+// paper's "a cube may have several varying dimensions" (Sec. 2) and "a
+// query can have both positive and negative scenarios" (Sec. 3.2) — plus
+// ALLOCATION clauses for data-driven scenarios.
+struct ParsedQuery {
+  std::vector<PerspectiveClause> perspectives;
+  std::vector<ChangesClause> changes;
+  std::vector<AllocationClause> allocations;
+  std::vector<AxisSpec> axes;
+  std::vector<std::string> cube_name;          // FROM [App].[Db] components.
+  std::unique_ptr<SetExpr> where_tuple;        // Optional slicer.
+
+  bool has_whatif() const {
+    return !perspectives.empty() || !changes.empty() || !allocations.empty();
+  }
+};
+
+}  // namespace olap::mdx
+
+#endif  // OLAP_MDX_AST_H_

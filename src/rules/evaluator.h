@@ -1,0 +1,50 @@
+#ifndef OLAP_RULES_EVALUATOR_H_
+#define OLAP_RULES_EVALUATOR_H_
+
+#include <vector>
+
+#include "agg/aggregate_cache.h"
+#include "common/value.h"
+#include "cube/cube.h"
+#include "rules/rule.h"
+
+namespace olap {
+
+// Evaluates arbitrary (leaf or derived) cells of a cube under a rule set:
+// this is the paper's `func(C, d, t, e)` machinery (Sec. 4.3).
+//
+//  * A cell whose measure coordinate has a matching rule is *derived by
+//    formula*: the formula's measure references are evaluated recursively at
+//    the same non-measure coordinates.
+//  * Otherwise a non-leaf cell is *derived by roll-up*: the ⊥-skipping sum
+//    of its descendant leaf cells.
+//  * Leaf cells read storage directly.
+//
+// Rules evaluated against a different data cube than the one that defines
+// them implement the Eval operator E(C1, C2): construct the evaluator with
+// C1's rules and C2 as `data` (visual mode evaluates rules on the
+// perspective output cube, non-visual on the input cube).
+class CellEvaluator {
+ public:
+  // `rules` may be null (pure roll-up cube); `cache` may be null (no
+  // materialized aggregations — every derived cell scans leaves). The
+  // cache, if given, must have been built from `data`. All references must
+  // outlive the evaluator.
+  CellEvaluator(const Cube& data, const RuleSet* rules,
+                const AggregateCache* cache = nullptr)
+      : data_(data), rules_(rules), cache_(cache) {}
+
+  CellValue Evaluate(const CellRef& ref) const;
+
+ private:
+  CellValue EvaluateInternal(const CellRef& ref,
+                             std::vector<MemberId>* measure_stack) const;
+
+  const Cube& data_;
+  const RuleSet* rules_;
+  const AggregateCache* cache_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_RULES_EVALUATOR_H_

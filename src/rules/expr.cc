@@ -1,0 +1,91 @@
+#include "rules/expr.h"
+
+namespace olap {
+
+std::unique_ptr<Expr> Expr::Constant(double v) {
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kConstant;
+  e->constant_ = v;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MeasureRef(MemberId measure, std::string name) {
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kMeasureRef;
+  e->measure_ = measure;
+  e->measure_name_ = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(Op op, std::unique_ptr<Expr> lhs,
+                                   std::unique_ptr<Expr> rhs) {
+  auto e = std::unique_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kBinary;
+  e->op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+void Expr::CollectMeasures(std::vector<MemberId>* out) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return;
+    case Kind::kMeasureRef:
+      out->push_back(measure_);
+      return;
+    case Kind::kBinary:
+      lhs_->CollectMeasures(out);
+      rhs_->CollectMeasures(out);
+      return;
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kConstant: {
+      CellValue v(constant_);
+      return v.ToString();
+    }
+    case Kind::kMeasureRef:
+      return measure_name_;
+    case Kind::kBinary: {
+      const char* op_str = "?";
+      switch (op_) {
+        case Op::kAdd:
+          op_str = " + ";
+          break;
+        case Op::kSub:
+          op_str = " - ";
+          break;
+        case Op::kMul:
+          op_str = " * ";
+          break;
+        case Op::kDiv:
+          op_str = " / ";
+          break;
+      }
+      std::string out = "(";
+      out += lhs_->ToString();
+      out += op_str;
+      out += rhs_->ToString();
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return Constant(constant_);
+    case Kind::kMeasureRef:
+      return MeasureRef(measure_, measure_name_);
+    case Kind::kBinary:
+      return Binary(op_, lhs_->Clone(), rhs_->Clone());
+  }
+  return nullptr;
+}
+
+}  // namespace olap

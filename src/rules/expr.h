@@ -1,0 +1,88 @@
+#ifndef OLAP_RULES_EXPR_H_
+#define OLAP_RULES_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "dimension/dimension.h"
+
+namespace olap {
+
+// Arithmetic expression over measures, used by cell-calculation rules
+// (Sec. 2 of the paper: "Margin = Sales - COGS",
+// "Margin% = Margin / COGS * 100").
+//
+// Null semantics for rules: any ⊥ operand makes the result ⊥, and so does
+// division by zero. (This differs deliberately from roll-up aggregation,
+// which *skips* ⊥ inputs.)
+class Expr {
+ public:
+  enum class Kind { kConstant, kMeasureRef, kBinary };
+  enum class Op { kAdd, kSub, kMul, kDiv };
+
+  static std::unique_ptr<Expr> Constant(double v);
+  static std::unique_ptr<Expr> MeasureRef(MemberId measure, std::string name);
+  static std::unique_ptr<Expr> Binary(Op op, std::unique_ptr<Expr> lhs,
+                                      std::unique_ptr<Expr> rhs);
+
+  Kind kind() const { return kind_; }
+  Op op() const { return op_; }
+  double constant() const { return constant_; }
+  MemberId measure() const { return measure_; }
+  const Expr* lhs() const { return lhs_.get(); }
+  const Expr* rhs() const { return rhs_.get(); }
+
+  // Collects every measure referenced in the expression tree.
+  void CollectMeasures(std::vector<MemberId>* out) const;
+
+  // Evaluates given a resolver for measure references.
+  template <typename MeasureFn>  // CellValue(MemberId)
+  CellValue Evaluate(const MeasureFn& measure_value) const {
+    switch (kind_) {
+      case Kind::kConstant:
+        return CellValue(constant_);
+      case Kind::kMeasureRef:
+        return measure_value(measure_);
+      case Kind::kBinary: {
+        CellValue a = lhs_->Evaluate(measure_value);
+        CellValue b = rhs_->Evaluate(measure_value);
+        if (a.is_null() || b.is_null()) return CellValue::Null();
+        switch (op_) {
+          case Op::kAdd:
+            return CellValue(a.value() + b.value());
+          case Op::kSub:
+            return CellValue(a.value() - b.value());
+          case Op::kMul:
+            return CellValue(a.value() * b.value());
+          case Op::kDiv:
+            if (b.value() == 0.0) return CellValue::Null();
+            return CellValue(a.value() / b.value());
+        }
+        return CellValue::Null();
+      }
+    }
+    return CellValue::Null();
+  }
+
+  // Round-trippable rendering, e.g. "(Sales - COGS)".
+  std::string ToString() const;
+
+  std::unique_ptr<Expr> Clone() const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kConstant;
+  Op op_ = Op::kAdd;
+  double constant_ = 0.0;
+  MemberId measure_ = kInvalidMember;
+  std::string measure_name_;
+  std::unique_ptr<Expr> lhs_;
+  std::unique_ptr<Expr> rhs_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_RULES_EXPR_H_

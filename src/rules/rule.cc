@@ -1,0 +1,46 @@
+#include "rules/rule.h"
+
+namespace olap {
+
+namespace {
+
+bool ScopeMatches(const Schema& schema, const ScopeRestriction& r,
+                  const CellRef& ref) {
+  const Dimension& dim = schema.dimension(r.dim);
+  const AxisRef& coord = ref[r.dim];
+  if (coord.instance != kInvalidInstance) {
+    // Instance coordinates match through the instance's path parent.
+    const MemberInstance& inst = dim.instance(coord.instance);
+    return dim.IsDescendantOrSelf(inst.parent, r.member) ||
+           inst.member == r.member;
+  }
+  return dim.IsDescendantOrSelf(coord.member, r.member);
+}
+
+}  // namespace
+
+const Rule* RuleSet::Match(const Schema& schema, int measure_dim,
+                           MemberId measure, const CellRef& ref) const {
+  (void)measure_dim;
+  const Rule* best = nullptr;
+  size_t best_specificity = 0;
+  for (const Rule& rule : rules_) {
+    if (rule.target != measure) continue;
+    bool all = true;
+    for (const ScopeRestriction& r : rule.scope) {
+      if (!ScopeMatches(schema, r, ref)) {
+        all = false;
+        break;
+      }
+    }
+    if (!all) continue;
+    size_t specificity = rule.scope.size() + 1;  // +1 so any match beats none.
+    if (best == nullptr || specificity >= best_specificity) {
+      best = &rule;
+      best_specificity = specificity;
+    }
+  }
+  return best;
+}
+
+}  // namespace olap

@@ -1,0 +1,74 @@
+#ifndef OLAP_RULES_RULE_H_
+#define OLAP_RULES_RULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cube/cube.h"
+#include "dimension/schema.h"
+#include "rules/expr.h"
+
+namespace olap {
+
+// A single scope restriction: "For Market = West" — the rule applies only
+// when the cell's coordinate along `dim` is `member` or a descendant of it.
+struct ScopeRestriction {
+  int dim = -1;
+  MemberId member = kInvalidMember;
+};
+
+// A cell-calculation rule (Sec. 2): defines the value of cells whose
+// measure coordinate is `target` (optionally restricted to a scope) as a
+// formula over other measures at the same non-measure coordinates.
+//
+// Example rules from the paper:
+//   Margin = Sales - COGS
+//   For Market = West, Margin = Sales - COGS
+//   For Market = East, Margin = 0.93 * Sales - COGS
+//   Margin% = Margin / COGS * 100
+struct Rule {
+  MemberId target = kInvalidMember;  // Measure this rule defines.
+  std::vector<ScopeRestriction> scope;
+  std::unique_ptr<Expr> formula;
+  std::string source_text;  // The text it was parsed from, for diagnostics.
+
+  Rule() = default;
+  Rule(const Rule& other) { *this = other; }
+  Rule& operator=(const Rule& other) {
+    target = other.target;
+    scope = other.scope;
+    formula = other.formula ? other.formula->Clone() : nullptr;
+    source_text = other.source_text;
+    return *this;
+  }
+  Rule(Rule&&) = default;
+  Rule& operator=(Rule&&) = default;
+};
+
+// An ordered collection of rules for one cube. When several rules match a
+// cell, the one with the most scope restrictions wins; among equals the
+// later rule wins (so specialised regional rules override a global rule, as
+// in the paper's Margin example).
+class RuleSet {
+ public:
+  RuleSet() = default;
+
+  void Add(Rule rule) { rules_.push_back(std::move(rule)); }
+  int size() const { return static_cast<int>(rules_.size()); }
+  bool empty() const { return rules_.empty(); }
+  const Rule& rule(int i) const { return rules_[i]; }
+
+  // The winning rule for a cell whose measure coordinate is `measure` and
+  // whose other coordinates are `ref` (schema order), or nullptr when no
+  // rule matches and the default roll-up applies.
+  const Rule* Match(const Schema& schema, int measure_dim, MemberId measure,
+                    const CellRef& ref) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_RULES_RULE_H_

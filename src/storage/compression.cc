@@ -1,0 +1,73 @@
+#include "storage/compression.h"
+
+#include <cstring>
+
+namespace olap {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  out->insert(out->end(), reinterpret_cast<const uint8_t*>(&v),
+              reinterpret_cast<const uint8_t*>(&v) + 4);
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  out->insert(out->end(), reinterpret_cast<const uint8_t*>(&v),
+              reinterpret_cast<const uint8_t*>(&v) + 8);
+}
+
+}  // namespace
+
+std::vector<uint8_t> CompressChunk(const Chunk& chunk) {
+  std::vector<uint8_t> out;
+  int64_t i = 0;
+  const int64_t n = chunk.size();
+  while (i < n) {
+    int64_t null_start = i;
+    while (i < n && chunk.Get(i).is_null()) ++i;
+    int64_t value_start = i;
+    while (i < n && !chunk.Get(i).is_null()) ++i;
+    PutU32(&out, static_cast<uint32_t>(value_start - null_start));
+    PutU32(&out, static_cast<uint32_t>(i - value_start));
+    for (int64_t j = value_start; j < i; ++j) {
+      PutF64(&out, chunk.Get(j).value());
+    }
+  }
+  return out;
+}
+
+Result<Chunk> DecompressChunk(const std::vector<uint8_t>& bytes,
+                              int64_t expected_cells) {
+  Chunk chunk(expected_cells);
+  size_t pos = 0;
+  int64_t cell = 0;
+  auto read_u32 = [&](uint32_t* v) {
+    if (pos + 4 > bytes.size()) return false;
+    std::memcpy(v, bytes.data() + pos, 4);
+    pos += 4;
+    return true;
+  };
+  while (pos < bytes.size()) {
+    uint32_t null_run = 0, value_run = 0;
+    if (!read_u32(&null_run) || !read_u32(&value_run)) {
+      return Status::InvalidArgument("truncated compressed chunk header");
+    }
+    cell += null_run;  // ⊥ cells are the chunk's default state.
+    if (cell + value_run > expected_cells ||
+        pos + static_cast<size_t>(value_run) * 8 > bytes.size()) {
+      return Status::InvalidArgument("compressed chunk overruns cell count");
+    }
+    for (uint32_t j = 0; j < value_run; ++j) {
+      double v;
+      std::memcpy(&v, bytes.data() + pos, 8);
+      pos += 8;
+      chunk.Set(cell++, CellValue(v));
+    }
+  }
+  if (cell > expected_cells) {
+    return Status::InvalidArgument("compressed chunk too long");
+  }
+  return chunk;
+}
+
+}  // namespace olap

@@ -1,0 +1,322 @@
+#include "storage/cube_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "storage/compression.h"
+
+namespace olap {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'L', 'A', 'P', 'C', 'U', 'B', '1'};
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void U32(uint32_t v) { out_.write(reinterpret_cast<const char*>(&v), 4); }
+  void I32(int32_t v) { out_.write(reinterpret_cast<const char*>(&v), 4); }
+  void U64(uint64_t v) { out_.write(reinterpret_cast<const char*>(&v), 8); }
+  void F64(double v) { out_.write(reinterpret_cast<const char*>(&v), 8); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+  void Bitset(const DynamicBitset& b) {
+    U32(static_cast<uint32_t>(b.size()));
+    std::vector<int> bits = b.ToVector();
+    U32(static_cast<uint32_t>(bits.size()));
+    for (int bit : bits) I32(bit);
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  bool ok() const { return static_cast<bool>(in_) && !failed_; }
+  void Fail() { failed_ = true; }
+
+  uint32_t U32() {
+    uint32_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), 4);
+    return v;
+  }
+  int32_t I32() {
+    int32_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), 4);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    in_.read(reinterpret_cast<char*>(&v), 8);
+    return v;
+  }
+  double F64() {
+    double v = 0;
+    in_.read(reinterpret_cast<char*>(&v), 8);
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    if (!in_ || n > (1u << 20)) {
+      Fail();
+      return "";
+    }
+    std::string s(n, '\0');
+    in_.read(s.data(), n);
+    return s;
+  }
+  Result<DynamicBitset> Bitset() {
+    uint32_t size = U32();
+    uint32_t count = U32();
+    if (!ok() || size > (1u << 24) || count > size) {
+      return Status::InvalidArgument("corrupt validity set");
+    }
+    DynamicBitset b(static_cast<int>(size));
+    for (uint32_t i = 0; i < count; ++i) {
+      int32_t bit = I32();
+      if (bit < 0 || bit >= static_cast<int32_t>(size)) {
+        return Status::InvalidArgument("corrupt validity bit");
+      }
+      b.Set(bit);
+    }
+    return b;
+  }
+
+ private:
+  std::istream& in_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Status SaveCube(const Cube& cube, const std::string& path, bool compress) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  Writer w(out);
+  w.U32(compress ? 1 : 0);  // Flags word.
+
+  const Schema& schema = cube.schema();
+  w.U32(static_cast<uint32_t>(schema.num_dimensions()));
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    const Dimension& dim = schema.dimension(d);
+    w.Str(dim.name());
+    w.U32(static_cast<uint32_t>(dim.kind()));
+    w.I32(schema.parameter_of(d));
+    // Members (root first; parents always precede children by id).
+    w.U32(static_cast<uint32_t>(dim.num_members()));
+    for (MemberId m = 0; m < dim.num_members(); ++m) {
+      w.Str(dim.member(m).name);
+      w.I32(dim.member(m).parent);
+      w.F64(dim.member(m).weight);
+    }
+    // Level names.
+    w.U32(static_cast<uint32_t>(dim.level_names().size()));
+    for (const std::string& level_name : dim.level_names()) w.Str(level_name);
+    // Varying metadata.
+    w.U32(dim.is_varying() ? 1 : 0);
+    if (dim.is_varying()) {
+      w.U32(static_cast<uint32_t>(dim.parameter_leaf_count()));
+      w.U32(dim.parameter_is_ordered() ? 1 : 0);
+      w.U32(static_cast<uint32_t>(dim.num_instances()));
+      for (const MemberInstance& inst : dim.instances()) {
+        w.I32(inst.member);
+        w.I32(inst.parent);
+        w.Bitset(inst.validity);
+      }
+    }
+  }
+
+  // Layout.
+  const ChunkLayout& layout = cube.layout();
+  w.U32(static_cast<uint32_t>(layout.num_dims()));
+  for (int s : layout.chunk_sizes()) w.I32(s);
+
+  // Chunks.
+  w.U64(static_cast<uint64_t>(cube.NumStoredChunks()));
+  cube.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    w.U64(static_cast<uint64_t>(id));
+    if (compress) {
+      std::vector<uint8_t> bytes = CompressChunk(chunk);
+      w.U32(static_cast<uint32_t>(bytes.size()));
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    } else {
+      for (int64_t i = 0; i < chunk.size(); ++i) {
+        w.F64(CellValue::ToStorage(chunk.Get(i)));
+      }
+    }
+  });
+  out.flush();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<Cube> LoadCube(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not an OLAPCUB1 file");
+  }
+  Reader r(in);
+
+  uint32_t flags = r.U32();
+  if (!r.ok() || flags > 1) {
+    return Status::InvalidArgument("unknown cube file flags");
+  }
+  const bool compressed = flags == 1;
+
+  uint32_t num_dims = r.U32();
+  if (!r.ok() || num_dims == 0 || num_dims > 64) {
+    return Status::InvalidArgument("corrupt dimension count");
+  }
+  Schema schema;
+  std::vector<int> parameter_of(num_dims, -1);
+  std::vector<uint32_t> varying_flags(num_dims, 0);
+  struct PendingVarying {
+    int param_leaf_count = 0;
+    bool ordered = false;
+    std::vector<MemberInstance> instances;
+  };
+  std::vector<PendingVarying> pending(num_dims);
+
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    std::string name = r.Str();
+    uint32_t kind = r.U32();
+    parameter_of[d] = r.I32();
+    if (!r.ok() || kind > 2) return Status::InvalidArgument("corrupt dimension");
+    Dimension dim(name, static_cast<DimensionKind>(kind));
+    uint32_t num_members = r.U32();
+    if (!r.ok() || num_members == 0 || num_members > (1u << 24)) {
+      return Status::InvalidArgument("corrupt member count");
+    }
+    // Member 0 is the root (created by the constructor); re-add the rest.
+    {
+      std::string root_name = r.Str();
+      int32_t root_parent = r.I32();
+      double root_weight = r.F64();
+      if (root_parent != kInvalidMember) {
+        return Status::InvalidArgument("corrupt root member");
+      }
+      (void)root_name;
+      (void)root_weight;
+    }
+    for (uint32_t m = 1; m < num_members; ++m) {
+      std::string member_name = r.Str();
+      int32_t parent = r.I32();
+      double weight = r.F64();
+      if (!r.ok() || parent < 0 || parent >= static_cast<int32_t>(m)) {
+        return Status::InvalidArgument("corrupt member parent");
+      }
+      Result<MemberId> added = dim.AddMember(member_name, parent, weight);
+      if (!added.ok()) return added.status();
+    }
+    // Level names (reserved; written empty by SaveCube).
+    uint32_t num_levels = r.U32();
+    if (!r.ok() || num_levels > (1u << 16)) {
+      return Status::InvalidArgument("corrupt level-name count");
+    }
+    for (uint32_t level = 0; level < num_levels; ++level) {
+      std::string level_name = r.Str();
+      if (!level_name.empty()) dim.SetLevelName(static_cast<int>(level), level_name);
+    }
+    uint32_t is_varying = r.U32();
+    varying_flags[d] = is_varying;
+    if (is_varying == 1) {
+      PendingVarying& pv = pending[d];
+      pv.param_leaf_count = static_cast<int>(r.U32());
+      pv.ordered = r.U32() == 1;
+      uint32_t num_instances = r.U32();
+      if (!r.ok() || num_instances > (1u << 24)) {
+        return Status::InvalidArgument("corrupt instance count");
+      }
+      pv.instances.resize(num_instances);
+      for (uint32_t i = 0; i < num_instances; ++i) {
+        pv.instances[i].member = r.I32();
+        pv.instances[i].parent = r.I32();
+        Result<DynamicBitset> validity = r.Bitset();
+        if (!validity.ok()) return validity.status();
+        pv.instances[i].validity = *std::move(validity);
+      }
+      OLAP_RETURN_IF_ERROR(dim.RestoreVarying(pv.param_leaf_count, pv.ordered,
+                                              std::move(pv.instances)));
+    } else if (is_varying != 0 || !r.ok()) {
+      return Status::InvalidArgument("corrupt varying flag");
+    }
+    schema.AddDimension(std::move(dim));
+  }
+  // Re-wire parameter links (the dimensions are already varying, so only
+  // the schema-level mapping needs recording).
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    if (parameter_of[d] >= 0) {
+      if (parameter_of[d] >= static_cast<int>(num_dims) || varying_flags[d] != 1) {
+        return Status::InvalidArgument("corrupt parameter wiring");
+      }
+      OLAP_RETURN_IF_ERROR(schema.RestoreVaryingLink(static_cast<int>(d),
+                                                     parameter_of[d]));
+    }
+  }
+
+  uint32_t layout_dims = r.U32();
+  if (!r.ok() || layout_dims != num_dims) {
+    return Status::InvalidArgument("corrupt layout rank");
+  }
+  CubeOptions options;
+  options.chunk_sizes.resize(num_dims);
+  for (uint32_t d = 0; d < num_dims; ++d) {
+    options.chunk_sizes[d] = r.I32();
+    if (!r.ok() || options.chunk_sizes[d] <= 0) {
+      return Status::InvalidArgument("corrupt chunk size");
+    }
+  }
+  Cube cube(std::move(schema), options);
+
+  uint64_t num_chunks = r.U64();
+  if (!r.ok() || num_chunks > (1ull << 32)) {
+    return Status::InvalidArgument("corrupt chunk count");
+  }
+  const int64_t cells_per_chunk = cube.layout().cells_per_chunk();
+  for (uint64_t c = 0; c < num_chunks; ++c) {
+    uint64_t id = r.U64();
+    if (!r.ok() || static_cast<int64_t>(id) >= cube.layout().num_chunks()) {
+      return Status::InvalidArgument("corrupt chunk id");
+    }
+    Chunk* chunk = cube.GetOrCreateChunk(static_cast<ChunkId>(id));
+    if (compressed) {
+      uint32_t num_bytes = r.U32();
+      if (!r.ok() || num_bytes > (1u << 28)) {
+        return Status::InvalidArgument("corrupt compressed chunk size");
+      }
+      std::vector<uint8_t> bytes(num_bytes);
+      in.read(reinterpret_cast<char*>(bytes.data()), num_bytes);
+      if (!in) return Status::InvalidArgument("truncated compressed chunk");
+      Result<Chunk> decoded = DecompressChunk(bytes, cells_per_chunk);
+      if (!decoded.ok()) return decoded.status();
+      *chunk = *std::move(decoded);
+    } else {
+      for (int64_t i = 0; i < cells_per_chunk; ++i) {
+        chunk->Set(i, CellValue::FromStorage(r.F64()));
+      }
+      if (!r.ok()) return Status::InvalidArgument("truncated chunk data");
+    }
+  }
+  return cube;
+}
+
+Result<int64_t> FileSize(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  return static_cast<int64_t>(in.tellg());
+}
+
+}  // namespace olap

@@ -1,0 +1,35 @@
+#ifndef OLAP_STORAGE_CUBE_IO_H_
+#define OLAP_STORAGE_CUBE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "cube/cube.h"
+
+namespace olap {
+
+// Binary persistence for cubes: the full schema (dimensions, hierarchies,
+// varying/parameter wiring, member instances with validity sets), the
+// chunk layout, and every stored chunk's cells.
+//
+// Format (little-endian, versioned):
+//   magic "OLAPCUB1", a flags word, then schema, layout and chunk
+//   sections. With `compress` set, chunk payloads use the ⊥-run-length
+//   codec of storage/compression.h — sparse perspective cubes shrink
+//   dramatically (see bench_ablation_compression). Not intended for
+//   cross-version compatibility — LoadCube rejects unknown layouts.
+//
+// Example:
+//   OLAP_RETURN_IF_ERROR(SaveCube(cube, "/tmp/warehouse.olap"));
+//   Result<Cube> loaded = LoadCube("/tmp/warehouse.olap");
+
+Status SaveCube(const Cube& cube, const std::string& path,
+                bool compress = false);
+Result<Cube> LoadCube(const std::string& path);
+
+// Size of the file SaveCube would produce, in bytes (for reporting).
+Result<int64_t> FileSize(const std::string& path);
+
+}  // namespace olap
+
+#endif  // OLAP_STORAGE_CUBE_IO_H_

@@ -1,0 +1,26 @@
+#include "storage/lru_cache.h"
+
+namespace olap {
+
+bool LruChunkCache::Touch(ChunkId id) {
+  if (capacity_ <= 0) return false;
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return true;
+  }
+  if (size() >= capacity_) {
+    index_.erase(entries_.back());
+    entries_.pop_back();
+  }
+  entries_.push_front(id);
+  index_[id] = entries_.begin();
+  return false;
+}
+
+void LruChunkCache::Clear() {
+  entries_.clear();
+  index_.clear();
+}
+
+}  // namespace olap

@@ -1,0 +1,40 @@
+#ifndef OLAP_STORAGE_LRU_CACHE_H_
+#define OLAP_STORAGE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "cube/chunk_layout.h"
+
+namespace olap {
+
+// Tracks which chunk ids are resident in a fixed-capacity cache with
+// least-recently-used eviction. It stores no chunk payloads — the engine
+// keeps data in memory; the cache only decides whether a read is charged
+// as a physical I/O (models the paper's 256 MB Essbase cube cache).
+class LruChunkCache {
+ public:
+  // capacity == 0 disables caching (every access misses).
+  explicit LruChunkCache(int64_t capacity) : capacity_(capacity) {}
+
+  int64_t capacity() const { return capacity_; }
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+  // Marks `id` as most recently used. Returns true on a hit (already
+  // resident); on a miss inserts it, evicting the LRU entry when full.
+  bool Touch(ChunkId id);
+
+  bool Contains(ChunkId id) const { return index_.count(id) > 0; }
+
+  void Clear();
+
+ private:
+  int64_t capacity_;
+  std::list<ChunkId> entries_;  // Front = most recently used.
+  std::unordered_map<ChunkId, std::list<ChunkId>::iterator> index_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_STORAGE_LRU_CACHE_H_

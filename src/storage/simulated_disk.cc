@@ -1,0 +1,31 @@
+#include "storage/simulated_disk.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace olap {
+
+double SimulatedDisk::ReadChunk(ChunkId id) {
+  if (cache_.Touch(id)) {
+    ++stats_.cache_hits;
+    return 0.0;
+  }
+  int64_t distance = std::llabs(id - head_);
+  double seek =
+      std::min(model_.seek_seconds_per_chunk * static_cast<double>(distance),
+               model_.max_seek_seconds);
+  double cost = seek + model_.transfer_seconds;
+  head_ = id;
+  ++stats_.physical_reads;
+  stats_.total_seek_chunks += distance;
+  stats_.virtual_seconds += cost;
+  return cost;
+}
+
+void SimulatedDisk::Reset() {
+  cache_.Clear();
+  head_ = 0;
+  stats_ = IoStats{};
+}
+
+}  // namespace olap

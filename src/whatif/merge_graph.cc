@@ -1,0 +1,104 @@
+#include "whatif/merge_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace olap {
+
+int MergeGraph::AddNode(ChunkId chunk) {
+  auto it = index_of_.find(chunk);
+  if (it != index_of_.end()) return it->second;
+  int node = num_nodes();
+  index_of_[chunk] = node;
+  chunk_of_.push_back(chunk);
+  adj_.emplace_back();
+  return node;
+}
+
+void MergeGraph::AddEdge(ChunkId a, ChunkId b) {
+  AddEdgeByIndex(AddNode(a), AddNode(b));
+}
+
+void MergeGraph::AddEdgeByIndex(int a, int b) {
+  assert(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes());
+  if (a == b || HasEdge(a, b)) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  ++num_edges_;
+}
+
+bool MergeGraph::HasEdge(int a, int b) const {
+  const std::vector<int>& smaller = degree(a) <= degree(b) ? adj_[a] : adj_[b];
+  int other = degree(a) <= degree(b) ? b : a;
+  return std::find(smaller.begin(), smaller.end(), other) != smaller.end();
+}
+
+int MergeGraph::max_degree() const {
+  int mx = 0;
+  for (int v = 0; v < num_nodes(); ++v) mx = std::max(mx, degree(v));
+  return mx;
+}
+
+std::vector<std::vector<int>> MergeGraph::ConnectedComponents() const {
+  std::vector<std::vector<int>> components;
+  std::vector<bool> seen(num_nodes(), false);
+  for (int start = 0; start < num_nodes(); ++start) {
+    if (seen[start]) continue;
+    std::vector<int> comp;
+    std::vector<int> stack = {start};
+    seen[start] = true;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      comp.push_back(v);
+      for (int w : adj_[v]) {
+        if (!seen[w]) {
+          seen[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+    std::sort(comp.begin(), comp.end());
+    components.push_back(std::move(comp));
+  }
+  return components;
+}
+
+MergeGraph BuildMergeGraph(const Cube& cube, int varying_dim,
+                           const std::vector<MemberId>& members) {
+  const Dimension& d = cube.schema().dimension(varying_dim);
+  assert(d.is_varying());
+  const int param_dim = cube.schema().parameter_of(varying_dim);
+  assert(param_dim >= 0);
+
+  MergeGraph graph;
+  std::vector<int> coords(cube.num_dims(), 0);
+  auto chunk_at = [&](int position, int moment) -> ChunkId {
+    std::fill(coords.begin(), coords.end(), 0);
+    coords[varying_dim] = position;
+    coords[param_dim] = moment;
+    return cube.layout().ChunkOf(coords);
+  };
+  const int param_chunk = cube.layout().chunk_sizes()[param_dim];
+
+  for (MemberId m : members) {
+    std::vector<InstanceId> insts = d.InstancesOf(m);
+    if (insts.size() < 2) continue;  // Nothing to merge.
+    const int target_pos = insts[0];
+    for (size_t i = 1; i < insts.size(); ++i) {
+      const MemberInstance& src = d.instance(insts[i]);
+      // One edge per parameter chunk column the source's validity touches.
+      int last_col = -1;
+      for (int t = src.validity.FindFirst(); t >= 0;
+           t = src.validity.FindNext(t + 1)) {
+        int col = t / param_chunk;
+        if (col == last_col) continue;
+        last_col = col;
+        graph.AddEdge(chunk_at(target_pos, t), chunk_at(insts[i], t));
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace olap

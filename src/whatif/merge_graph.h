@@ -1,0 +1,62 @@
+#ifndef OLAP_WHATIF_MERGE_GRAPH_H_
+#define OLAP_WHATIF_MERGE_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cube/cube.h"
+
+namespace olap {
+
+// The merge dependency graph of Sec. 5.2: nodes are chunks, and an edge
+// (ci, cj) means ci must be merged into cj or vice versa while computing a
+// perspective cube — so neither chunk can be fully processed until both have
+// been read. Undirected, simple (no self loops, no parallel edges).
+class MergeGraph {
+ public:
+  MergeGraph() = default;
+
+  // Adds (or finds) the node for `chunk`; returns its dense node index.
+  int AddNode(ChunkId chunk);
+  // Adds an undirected edge between the nodes of the two chunks.
+  void AddEdge(ChunkId a, ChunkId b);
+  void AddEdgeByIndex(int a, int b);
+
+  int num_nodes() const { return static_cast<int>(chunk_of_.size()); }
+  int num_edges() const { return num_edges_; }
+  ChunkId chunk(int node) const { return chunk_of_[node]; }
+  const std::vector<int>& neighbors(int node) const { return adj_[node]; }
+  int degree(int node) const { return static_cast<int>(adj_[node].size()); }
+  bool HasEdge(int a, int b) const;
+
+  int max_degree() const;
+
+  // Node sets of the connected components, each sorted ascending.
+  std::vector<std::vector<int>> ConnectedComponents() const;
+
+ private:
+  std::vector<ChunkId> chunk_of_;
+  std::unordered_map<ChunkId, int> index_of_;
+  std::vector<std::vector<int>> adj_;
+  int num_edges_ = 0;
+};
+
+// Builds the merge dependency graph for computing a perspective cube over
+// the instances of `members` in `varying_dim`: per member, the first
+// instance is the merge target, and every other instance's data must be
+// merged into it (the paper's Fig. 8 → Fig. 9 construction).
+//
+// Because relocation moves cells between instances *at the same parameter
+// moment* — Cout(d, t, e) = Cin(d_t, t, e) — the dependencies connect
+// chunks within the same parameter-dimension chunk column: for each source
+// instance and each parameter chunk column its validity set touches, the
+// target instance's chunk in that column must be co-resident with the
+// source instance's chunk in that column. All other dimensions are pinned
+// at position 0 (the paper's 2-D slice view of Fig. 8).
+MergeGraph BuildMergeGraph(const Cube& cube, int varying_dim,
+                           const std::vector<MemberId>& members);
+
+}  // namespace olap
+
+#endif  // OLAP_WHATIF_MERGE_GRAPH_H_

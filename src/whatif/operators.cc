@@ -1,0 +1,319 @@
+#include "whatif/operators.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rules/evaluator.h"
+
+namespace olap {
+
+namespace {
+
+// Rebuilds a cube with the same chunk geometry as `in` but (possibly)
+// updated schema metadata.
+CubeOptions OptionsOf(const Cube& in) {
+  CubeOptions opts;
+  opts.chunk_sizes = in.layout().chunk_sizes();
+  return opts;
+}
+
+// owner[t] = position of the instance of `m` valid at moment t, or -1.
+std::vector<int> OwnerByMoment(const Dimension& dim, MemberId m) {
+  std::vector<int> owner(dim.parameter_leaf_count(), -1);
+  for (const MemberInstance& inst : dim.instances()) {
+    if (inst.member != m) continue;
+    for (int t = inst.validity.FindFirst(); t >= 0;
+         t = inst.validity.FindNext(t + 1)) {
+      owner[t] = inst.id;
+    }
+  }
+  return owner;
+}
+
+}  // namespace
+
+Cube Select(const Cube& in, int dim, const std::function<bool(int)>& keep) {
+  Cube out = in;
+  const int n_positions = in.schema().dimension(dim).num_positions();
+  for (int pos = 0; pos < n_positions; ++pos) {
+    if (!keep(pos)) out.ClearSlice(dim, pos);
+  }
+  return out;
+}
+
+std::vector<bool> KeepMemberEquals(const Cube& in, int dim, MemberId m) {
+  const Dimension& d = in.schema().dimension(dim);
+  std::vector<bool> keep(d.num_positions(), false);
+  for (int pos = 0; pos < d.num_positions(); ++pos) {
+    keep[pos] = d.PositionMember(pos) == m;
+  }
+  return keep;
+}
+
+std::vector<bool> KeepDescendantOf(const Cube& in, int dim, MemberId ancestor) {
+  const Dimension& d = in.schema().dimension(dim);
+  std::vector<bool> keep(d.num_positions(), false);
+  for (int pos : in.PositionsUnder(dim, AxisRef::OfMember(ancestor))) {
+    keep[pos] = true;
+  }
+  return keep;
+}
+
+std::vector<bool> KeepValidityOverlaps(const Cube& in, int dim,
+                                       const DynamicBitset& moments) {
+  const Dimension& d = in.schema().dimension(dim);
+  std::vector<bool> keep(d.num_positions(), true);
+  if (!d.is_varying()) return keep;  // Non-varying: implicitly always valid.
+  for (const MemberInstance& inst : d.instances()) {
+    keep[inst.id] = !inst.validity.DisjointWith(moments);
+  }
+  return keep;
+}
+
+std::vector<bool> KeepWhereAnyValue(const Cube& in, int dim,
+                                    const std::function<bool(double)>& pred) {
+  std::vector<bool> keep(in.schema().dimension(dim).num_positions(), false);
+  in.ForEachCell([&](const std::vector<int>& coords, CellValue v) {
+    if (!keep[coords[dim]] && pred(v.value())) keep[coords[dim]] = true;
+  });
+  return keep;
+}
+
+Cube Relocate(const Cube& in, int varying_dim,
+              const std::vector<DynamicBitset>& vs_out,
+              const std::vector<MemberId>& scope_members,
+              bool copy_out_of_scope, int64_t* cells_moved) {
+  const Schema& schema_in = in.schema();
+  const Dimension& d_in = schema_in.dimension(varying_dim);
+  assert(d_in.is_varying());
+  assert(static_cast<int>(vs_out.size()) == d_in.num_instances());
+  const int param_dim = schema_in.parameter_of(varying_dim);
+  assert(param_dim >= 0);
+
+  std::unordered_set<MemberId> scope(scope_members.begin(), scope_members.end());
+  const bool scope_all = scope.empty();
+
+  // Output metadata: the transformed validity sets.
+  Schema schema_out = schema_in;
+  Dimension* d_out = schema_out.mutable_dimension(varying_dim);
+  for (const MemberInstance& inst : d_in.instances()) {
+    if (scope_all || scope.count(inst.member) > 0) {
+      d_out->SetInstanceValidity(inst.id, vs_out[inst.id]);
+    }
+  }
+
+  // dst_of[member][t]: the output instance owning moment t under vs_out.
+  // Phi guarantees the vs_out of one member's instances stay disjoint, so
+  // the assignment is unique (asserted).
+  std::unordered_map<MemberId, std::vector<int>> dst_of;
+  for (const MemberInstance& inst : d_in.instances()) {
+    if (!scope_all && scope.count(inst.member) == 0) continue;
+    auto [it, unused] = dst_of.try_emplace(
+        inst.member, std::vector<int>(d_in.parameter_leaf_count(), -1));
+    (void)unused;
+    const DynamicBitset& vs = vs_out[inst.id];
+    for (int t = vs.FindFirst(); t >= 0; t = vs.FindNext(t + 1)) {
+      assert(it->second[t] == -1 && "output validity sets must be disjoint");
+      it->second[t] = inst.id;
+    }
+  }
+
+  Cube out(schema_out, OptionsOf(in));
+  int64_t moved = 0;
+  std::vector<int> dst_coords;
+  auto relocate_cell = [&](const std::vector<int>& coords, CellValue v) {
+    const MemberInstance& inst = d_in.instance(coords[varying_dim]);
+    auto it = dst_of.find(inst.member);
+    if (it == dst_of.end()) {  // Out of scope.
+      if (copy_out_of_scope) {
+        out.SetCell(coords, v);
+        ++moved;
+      }
+      return;
+    }
+    const int t = coords[param_dim];
+    // Only data at the instance actually valid at t participates: that is
+    // Cin(d_t, t, e) in Definition 4.4.
+    if (!inst.validity.Test(t)) return;
+    const int dst = it->second[t];
+    if (dst < 0) return;  // No output instance claims this moment.
+    dst_coords = coords;
+    dst_coords[varying_dim] = dst;
+    out.SetCell(dst_coords, v);
+    ++moved;
+  };
+
+  if (!scope_all && !copy_out_of_scope) {
+    // Scoped relocation that drops out-of-scope data only needs to visit
+    // the chunks holding scoped instances (the Sec. 6.3 confinement).
+    std::vector<bool> wanted(d_in.num_positions(), false);
+    for (const MemberInstance& inst : d_in.instances()) {
+      if (scope.count(inst.member) > 0) wanted[inst.id] = true;
+    }
+    const ChunkLayout& layout = in.layout();
+    const int width = layout.chunk_sizes()[varying_dim];
+    in.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+      int chunk_base = layout.ChunkBase(id)[varying_dim];
+      bool relevant = false;
+      for (int pos = chunk_base;
+           pos < chunk_base + width && pos < d_in.num_positions(); ++pos) {
+        if (wanted[pos]) {
+          relevant = true;
+          break;
+        }
+      }
+      if (!relevant) return;
+      layout.ForEachCellInChunk(id, [&](const std::vector<int>& coords,
+                                        int64_t offset) {
+        CellValue v = chunk.Get(offset);
+        if (!v.is_null()) relocate_cell(coords, v);
+      });
+    });
+  } else {
+    in.ForEachCell(relocate_cell);
+  }
+  if (cells_moved != nullptr) *cells_moved += moved;
+  return out;
+}
+
+Result<Cube> Split(const Cube& in, int varying_dim, const ChangeRelation& r) {
+  const Schema& schema_in = in.schema();
+  const Dimension& d_in = schema_in.dimension(varying_dim);
+  if (!d_in.is_varying()) {
+    return Status::FailedPrecondition("Split requires a varying dimension");
+  }
+  if (!d_in.parameter_is_ordered()) {
+    // Definition 4.5's "before t / from t onward" split needs an order.
+    return Status::FailedPrecondition(
+        "Split requires an ordered parameter dimension");
+  }
+  const int param_dim = schema_in.parameter_of(varying_dim);
+  const int universe = d_in.parameter_leaf_count();
+
+  Schema schema_out = schema_in;
+  Dimension* d_out = schema_out.mutable_dimension(varying_dim);
+
+  // Apply the change tuples to the metadata sequentially.
+  std::unordered_set<MemberId> touched;
+  for (const ChangeTuple& tuple : r) {
+    if (tuple.moment < 0 || tuple.moment >= universe) {
+      return Status::OutOfRange("change moment out of range");
+    }
+    InstanceId src = d_out->FindInstance(tuple.member, tuple.old_parent);
+    if (src == kInvalidInstance) {
+      return Status::NotFound("no instance of member under the stated old parent");
+    }
+    DynamicBitset after(universe);
+    for (int t = tuple.moment; t < universe; ++t) after.Set(t);
+    after &= d_out->instance(src).validity;
+    if (after.None()) {
+      return Status::FailedPrecondition(
+          "old parent is not the member's parent at or after the change moment");
+    }
+    DynamicBitset before = d_out->instance(src).validity;
+    before.Subtract(after);
+    d_out->SetInstanceValidity(src, before);
+
+    InstanceId dst = d_out->FindInstance(tuple.member, tuple.new_parent);
+    if (dst == kInvalidInstance) {
+      Result<InstanceId> added =
+          d_out->AddInstance(tuple.member, tuple.new_parent, after);
+      if (!added.ok()) return added.status();
+      dst = *added;
+    } else {
+      DynamicBitset merged = d_out->instance(dst).validity;
+      merged |= after;
+      d_out->SetInstanceValidity(dst, merged);
+    }
+    touched.insert(tuple.member);
+  }
+
+  // Move the data: every moment of a touched member goes to the output
+  // instance that owns it after the splits.
+  std::unordered_map<MemberId, std::vector<int>> owner_out;
+  for (MemberId m : touched) owner_out[m] = OwnerByMoment(*d_out, m);
+
+  Cube out(schema_out, OptionsOf(in));
+  std::vector<int> dst_coords;
+  in.ForEachCell([&](const std::vector<int>& coords, CellValue v) {
+    const MemberInstance& inst = d_in.instance(coords[varying_dim]);
+    auto it = owner_out.find(inst.member);
+    if (it == owner_out.end()) {
+      out.SetCell(coords, v);
+      return;
+    }
+    const int t = coords[param_dim];
+    if (!inst.validity.Test(t)) return;  // Data at an invalid instance.
+    const int dst = it->second[t];
+    if (dst < 0) return;
+    dst_coords = coords;
+    dst_coords[varying_dim] = dst;
+    out.SetCell(dst_coords, v);
+  });
+  return out;
+}
+
+Result<Cube> Allocate(const Cube& in, const AllocationSpec& spec) {
+  if (spec.dim < 0 || spec.dim >= in.num_dims()) {
+    return Status::InvalidArgument("allocation dimension out of range");
+  }
+  if (spec.fraction < 0.0 || spec.fraction > 1.0) {
+    return Status::InvalidArgument("allocation fraction must be in [0, 1]");
+  }
+  std::vector<int> from_positions = in.PositionsUnder(spec.dim, spec.from);
+  std::vector<int> to_positions = in.PositionsUnder(spec.dim, spec.to);
+  if (from_positions.size() != 1 || to_positions.size() != 1) {
+    return Status::InvalidArgument(
+        "allocation source and target must each be a single leaf position");
+  }
+  const int from_pos = from_positions[0];
+  const int to_pos = to_positions[0];
+  if (from_pos == to_pos) {
+    return Status::InvalidArgument("allocation source equals target");
+  }
+
+  // Region membership per dimension, as position masks.
+  std::vector<std::vector<bool>> region_mask(in.num_dims());
+  for (const auto& [dim, ref] : spec.region) {
+    if (dim < 0 || dim >= in.num_dims()) {
+      return Status::InvalidArgument("allocation region dimension out of range");
+    }
+    if (dim == spec.dim) {
+      return Status::InvalidArgument(
+          "allocation region cannot restrict the allocation dimension");
+    }
+    std::vector<bool>& mask = region_mask[dim];
+    mask.assign(in.schema().dimension(dim).num_positions(), false);
+    for (int pos : in.PositionsUnder(dim, ref)) mask[pos] = true;
+  }
+
+  Cube out = in;
+  std::vector<int> dst_coords;
+  // Collect the moves first (mutating while iterating would be unsound).
+  std::vector<std::pair<std::vector<int>, double>> moves;
+  in.ForEachCell([&](const std::vector<int>& coords, CellValue v) {
+    if (coords[spec.dim] != from_pos) return;
+    for (int d = 0; d < in.num_dims(); ++d) {
+      if (!region_mask[d].empty() && !region_mask[d][coords[d]]) return;
+    }
+    moves.emplace_back(coords, v.value());
+  });
+  for (const auto& [coords, value] : moves) {
+    double moved = value * spec.fraction;
+    out.SetCell(coords, CellValue(value - moved));
+    dst_coords = coords;
+    dst_coords[spec.dim] = to_pos;
+    CellValue target = out.GetCell(dst_coords) + CellValue(moved);
+    out.SetCell(dst_coords, target);
+  }
+  return out;
+}
+
+CellValue EvalOperator(const Cube& c1, const RuleSet* rules, const Cube& c2,
+                       const CellRef& ref) {
+  (void)c1;  // C1 contributes the rule definitions, passed in `rules`.
+  return CellEvaluator(c2, rules).Evaluate(ref);
+}
+
+}  // namespace olap

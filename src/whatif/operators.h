@@ -1,0 +1,128 @@
+#ifndef OLAP_WHATIF_OPERATORS_H_
+#define OLAP_WHATIF_OPERATORS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "cube/cube.h"
+#include "rules/rule.h"
+#include "whatif/perspective.h"
+
+namespace olap {
+
+// ---------------------------------------------------------------------------
+// Selection (Definition 4.1)
+// ---------------------------------------------------------------------------
+
+// σ_p: keeps only the axis positions of `dim` for which `keep(pos)` is true;
+// the sub-cubes of every other position are removed (cells set to ⊥).
+// The output schema is unchanged — non-kept positions are simply inactive.
+Cube Select(const Cube& in, int dim, const std::function<bool(int)>& keep);
+
+// Predicate helpers producing keep-sets (Sec. 4.1's example predicates).
+
+// Positions whose member equals `m` / is a descendant of `m`.
+std::vector<bool> KeepMemberEquals(const Cube& in, int dim, MemberId m);
+std::vector<bool> KeepDescendantOf(const Cube& in, int dim, MemberId ancestor);
+// D.VS ∩ moments ≠ ∅ — varying dimensions only; non-varying positions are
+// all kept (their validity is implicitly the full universe).
+std::vector<bool> KeepValidityOverlaps(const Cube& in, int dim,
+                                       const DynamicBitset& moments);
+// Value predicate σ_{D θ c}: keep positions of `dim` that have at least one
+// cell in the cube slice satisfying pred(value), e.g. sales > 1000 with the
+// other coordinates restricted beforehand via Select.
+std::vector<bool> KeepWhereAnyValue(const Cube& in, int dim,
+                                    const std::function<bool(double)>& pred);
+
+// ---------------------------------------------------------------------------
+// Relocate (Definition 4.4)
+// ---------------------------------------------------------------------------
+
+// ρ(Cin, ṼS): builds the output cube whose leaf cells are
+//     Cout(d, t, e) = Cin(d_t, t, e)   if t ∈ ṼS(d)
+//     Cout(d, t, e) = ⊥                otherwise,
+// where d_t is the instance of d's member valid at t in the INPUT cube.
+// Non-leaf cells are not materialised (the evaluation mode decides which
+// cube derived cells are computed from — see PerspectiveCube).
+//
+// `vs_out` is indexed by InstanceId of `varying_dim`; the output cube's
+// dimension metadata is updated to these validity sets.
+//
+// `scope_members` optionally confines the data movement to instances of the
+// given members (the Sec. 6.3 optimisation: "the instance merge operation is
+// confined to query result sections with varying members"); cells of other
+// members are copied through unchanged when `copy_out_of_scope` is true and
+// omitted from the output when it is false (the caller then reads them from
+// the input cube — see PerspectiveCube). Empty scope = all members.
+// `cells_moved`, when non-null, receives the number of leaf cells written.
+Cube Relocate(const Cube& in, int varying_dim,
+              const std::vector<DynamicBitset>& vs_out,
+              const std::vector<MemberId>& scope_members = {},
+              bool copy_out_of_scope = true, int64_t* cells_moved = nullptr);
+
+// ---------------------------------------------------------------------------
+// Split (Definition 4.5) — positive scenarios
+// ---------------------------------------------------------------------------
+
+// One tuple of the positive-change relation R(m, o, n, t): "o is the current
+// parent of m at moment t, hypothetically change it to n from t onward".
+struct ChangeTuple {
+  MemberId member = kInvalidMember;      // m: leaf of the varying dimension.
+  MemberId old_parent = kInvalidMember;  // o: current parent at t.
+  MemberId new_parent = kInvalidMember;  // n: hypothetical parent from t on.
+  int moment = 0;                        // t: parameter-leaf ordinal.
+};
+using ChangeRelation = std::vector<ChangeTuple>;
+
+// S(Cin, R): for every (m, o, n, t) splits the instance o/m into a
+// "before t" version (keeps moments < t) and an "after t" version n/m
+// (receives moments >= t and the corresponding cells). Fails when o is not
+// actually m's parent over the reassigned moments.
+Result<Cube> Split(const Cube& in, int varying_dim, const ChangeRelation& r);
+
+// ---------------------------------------------------------------------------
+// Allocate — data-driven hypothetical scenarios
+// ---------------------------------------------------------------------------
+//
+// The paper's other family of what-if scenarios keeps the structure fixed
+// and moves data: "assume that 10% of PTEs' salary during first quarter in
+// NY was instead given to PTEs in MA — structure stays the same but data
+// allocation changes" (Sec. 1). Allocate implements exactly that shape.
+
+struct AllocationSpec {
+  // The dimension whose coordinate changes, and the single leaf position
+  // the data moves FROM / TO along it (e.g. Location: NY -> MA).
+  int dim = -1;
+  AxisRef from;
+  AxisRef to;
+  // Region restrictions on other dimensions: a cell participates only when
+  // its coordinate lies under the given member (e.g. Organization=PTE,
+  // Time=Qtr1, Measures=Salary). Dimensions without a restriction are
+  // unconstrained.
+  std::vector<std::pair<int, AxisRef>> region;
+  // Fraction of each participating cell's value moved, in [0, 1].
+  double fraction = 0.0;
+};
+
+// For every leaf cell c in the region with c[dim] = from: subtracts
+// fraction*value at c and adds it to the cell with c[dim] = to (other
+// coordinates unchanged). `from` and `to` must resolve to single leaf
+// positions of `dim`. The total over the cube is preserved.
+Result<Cube> Allocate(const Cube& in, const AllocationSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Evaluate (Definition 4.6)
+// ---------------------------------------------------------------------------
+
+// E(C1, C2): the value of cell `ref`, taking leaf values from C2 and
+// evaluating C1's rules over C2's cells for derived cells. C1 and C2 must
+// share dimensionality. E(C, C) is ordinary evaluation of C.
+CellValue EvalOperator(const Cube& c1, const RuleSet* rules, const Cube& c2,
+                       const CellRef& ref);
+
+}  // namespace olap
+
+#endif  // OLAP_WHATIF_OPERATORS_H_

@@ -1,0 +1,220 @@
+#include "whatif/pebbling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+
+namespace olap {
+
+namespace {
+
+// cost(x) = min over neighbours y of deg(y) - 1 (Sec. 5.2); 0 when isolated.
+std::vector<int> NodeCosts(const MergeGraph& g) {
+  std::vector<int> cost(g.num_nodes(), 0);
+  for (int v = 0; v < g.num_nodes(); ++v) {
+    int best = std::numeric_limits<int>::max();
+    for (int w : g.neighbors(v)) best = std::min(best, g.degree(w) - 1);
+    cost[v] = g.neighbors(v).empty() ? 0 : best;
+  }
+  return cost;
+}
+
+// True if all neighbours of `v` are pebbled (ever), i.e. v's pebble is
+// removable.
+bool Removable(const MergeGraph& g, const std::vector<bool>& pebbled_ever, int v) {
+  for (int w : g.neighbors(v)) {
+    if (!pebbled_ever[w]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+PebbleResult HeuristicPebble(const MergeGraph& g) {
+  PebbleResult result;
+  const int n = g.num_nodes();
+  std::vector<int> cost = NodeCosts(g);
+  std::vector<bool> in_p(n, false);   // Pebbled at some point.
+  std::vector<bool> in_q(n, false);   // Currently holding a pebble.
+  int q_count = 0;
+
+  auto place = [&](int v) {
+    in_p[v] = true;
+    in_q[v] = true;
+    ++q_count;
+    result.order.push_back(v);
+    result.peak_pebbles = std::max(result.peak_pebbles, q_count);
+  };
+  auto drain_removals = [&]() {
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      for (int v = 0; v < n; ++v) {
+        if (in_q[v] && Removable(g, in_p, v)) {
+          in_q[v] = false;
+          --q_count;
+          removed = true;
+        }
+      }
+    }
+  };
+
+  for (const std::vector<int>& comp : g.ConnectedComponents()) {
+    // Start at the minimum-cost node (ties: smallest index — components are
+    // sorted ascending).
+    int start = comp[0];
+    for (int v : comp) {
+      if (cost[v] < cost[start]) start = v;
+    }
+    place(start);
+    drain_removals();
+
+    size_t placed_in_comp = 1;
+    while (placed_in_comp < comp.size()) {
+      // Candidate placements: unpebbled neighbours of the pebbled region.
+      int best = -1;
+      bool best_enables = false;
+      for (int v : comp) {
+        if (in_p[v]) continue;
+        bool adjacent_to_p = false;
+        for (int w : g.neighbors(v)) {
+          if (in_p[w]) {
+            adjacent_to_p = true;
+            break;
+          }
+        }
+        if (!adjacent_to_p) continue;
+        // Would placing on v let some pebble (possibly v's own) come off?
+        in_p[v] = true;
+        bool enables = Removable(g, in_p, v);
+        if (!enables) {
+          for (int q = 0; q < n && !enables; ++q) {
+            if (in_q[q] && Removable(g, in_p, q)) enables = true;
+          }
+        }
+        in_p[v] = false;
+        if (best < 0 || (enables && !best_enables) ||
+            (enables == best_enables &&
+             (cost[v] < cost[best] || (cost[v] == cost[best] && v < best)))) {
+          best = v;
+          best_enables = enables;
+        }
+      }
+      if (best < 0) {
+        // Disconnected remainder inside a component cannot happen; fall back
+        // to the min-cost unpebbled node for safety.
+        for (int v : comp) {
+          if (!in_p[v] && (best < 0 || cost[v] < cost[best])) best = v;
+        }
+      }
+      assert(best >= 0);
+      place(best);
+      ++placed_in_comp;
+      drain_removals();
+    }
+    drain_removals();
+    assert(q_count == 0 && "every pebble is removable once its component is read");
+  }
+  return result;
+}
+
+int PeakPebblesForOrder(const MergeGraph& g, const std::vector<int>& order) {
+  const int n = g.num_nodes();
+  assert(static_cast<int>(order.size()) == n);
+  std::vector<bool> in_p(n, false), in_q(n, false);
+  int q_count = 0, peak = 0;
+  for (int v : order) {
+    in_p[v] = true;
+    in_q[v] = true;
+    ++q_count;
+    peak = std::max(peak, q_count);
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      for (int u = 0; u < n; ++u) {
+        if (in_q[u] && Removable(g, in_p, u)) {
+          in_q[u] = false;
+          --q_count;
+          removed = true;
+        }
+      }
+    }
+  }
+  return peak;
+}
+
+namespace {
+
+// Depth-first feasibility check: can the whole graph be pebbled without ever
+// exceeding `budget` pebbles? Removals are applied greedily (removing a
+// removable pebble never hurts), so a state is (P, Q) with Q canonical.
+class BudgetSearch {
+ public:
+  BudgetSearch(const MergeGraph& g, int budget) : g_(g), budget_(budget) {}
+
+  bool Feasible() {
+    uint32_t all = (g_.num_nodes() == 32)
+                       ? ~uint32_t{0}
+                       : ((uint32_t{1} << g_.num_nodes()) - 1);
+    return Dfs(0, 0, all);
+  }
+
+ private:
+  uint32_t Drain(uint32_t p, uint32_t q) const {
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      for (int v = 0; v < g_.num_nodes(); ++v) {
+        if ((q >> v) & 1) {
+          bool ok = true;
+          for (int w : g_.neighbors(v)) {
+            if (((p >> w) & 1) == 0) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) {
+            q &= ~(uint32_t{1} << v);
+            removed = true;
+          }
+        }
+      }
+    }
+    return q;
+  }
+
+  bool Dfs(uint32_t p, uint32_t q, uint32_t all) {
+    if (p == all) return true;
+    uint64_t key = (static_cast<uint64_t>(p) << 32) | q;
+    if (failed_.count(key)) return false;
+    if (__builtin_popcount(q) < budget_) {
+      for (int v = 0; v < g_.num_nodes(); ++v) {
+        if ((p >> v) & 1) continue;
+        uint32_t p2 = p | (uint32_t{1} << v);
+        uint32_t q2 = Drain(p2, q | (uint32_t{1} << v));
+        if (Dfs(p2, q2, all)) return true;
+      }
+    }
+    failed_.insert(key);
+    return false;
+  }
+
+  const MergeGraph& g_;
+  int budget_;
+  std::unordered_set<uint64_t> failed_;
+};
+
+}  // namespace
+
+int OptimalPeakPebbles(const MergeGraph& g, int max_nodes) {
+  if (g.num_nodes() > max_nodes || g.num_nodes() > 30) return -1;
+  if (g.num_nodes() == 0) return 0;
+  for (int budget = 1; budget <= g.num_nodes(); ++budget) {
+    if (BudgetSearch(g, budget).Feasible()) return budget;
+  }
+  return g.num_nodes();
+}
+
+}  // namespace olap

@@ -1,0 +1,178 @@
+#include "workload/extended_examples.h"
+
+#include <cassert>
+
+namespace olap {
+
+namespace {
+
+MemberId Add(Dimension* d, const std::string& name, MemberId parent) {
+  Result<MemberId> m = d->AddMember(name, parent);
+  assert(m.ok());
+  return *m;
+}
+
+}  // namespace
+
+MultiVaryingExample BuildMultiVaryingExample() {
+  Schema schema;
+
+  Dimension org("Organization");
+  MemberId fte = Add(&org, "FTE", org.root());
+  MemberId pte = Add(&org, "PTE", org.root());
+  MemberId joe = Add(&org, "Joe", fte);
+  MemberId lisa = Add(&org, "Lisa", fte);
+  MemberId tom = Add(&org, "Tom", pte);
+
+  Dimension product("Product");
+  MemberId hardware = Add(&product, "Hardware", product.root());
+  MemberId services = Add(&product, "Services", product.root());
+  MemberId gizmo = Add(&product, "Gizmo", hardware);
+  MemberId widget = Add(&product, "Widget", hardware);
+  MemberId audit = Add(&product, "Audit", services);
+
+  Dimension time("Time", DimensionKind::kParameter);
+  static const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  for (int q = 0; q < 4; ++q) {
+    MemberId quarter = Add(&time, "Q" + std::to_string(q + 1), time.root());
+    for (int m = 0; m < 3; ++m) Add(&time, kMonths[q * 3 + m], quarter);
+  }
+
+  Dimension measures("Measures", DimensionKind::kMeasure);
+  Add(&measures, "Revenue", measures.root());
+
+  MultiVaryingExample ex;
+  ex.org_dim = schema.AddDimension(std::move(org));
+  ex.product_dim = schema.AddDimension(std::move(product));
+  ex.time_dim = schema.AddDimension(std::move(time));
+  ex.measures_dim = schema.AddDimension(std::move(measures));
+
+  Status s = schema.BindVarying(ex.org_dim, ex.time_dim, /*ordered=*/true);
+  assert(s.ok());
+  s = schema.BindVarying(ex.product_dim, ex.time_dim, /*ordered=*/true);
+  assert(s.ok());
+
+  Dimension* org_mut = schema.mutable_dimension(ex.org_dim);
+  s = org_mut->ApplyChange(joe, pte, 3);  // Joe: FTE -> PTE in Apr.
+  assert(s.ok());
+  Dimension* product_mut = schema.mutable_dimension(ex.product_dim);
+  s = product_mut->ApplyChange(gizmo, services, 6);  // Gizmo -> Services, Jul.
+  assert(s.ok());
+  (void)s;
+
+  ex.joe = joe;
+  ex.lisa = lisa;
+  ex.tom = tom;
+  ex.gizmo = gizmo;
+  ex.widget = widget;
+  ex.audit = audit;
+  ex.fte_joe = org_mut->FindInstance(joe, fte);
+  ex.pte_joe = org_mut->FindInstance(joe, pte);
+  ex.hardware_gizmo = product_mut->FindInstance(gizmo, hardware);
+  ex.services_gizmo = product_mut->FindInstance(gizmo, services);
+
+  CubeOptions options;
+  options.chunk_size = 3;
+  Cube cube(std::move(schema), options);
+
+  const Dimension& d_org = cube.schema().dimension(ex.org_dim);
+  const Dimension& d_product = cube.schema().dimension(ex.product_dim);
+  std::vector<int> coords(4, 0);
+  for (const MemberInstance& emp : d_org.instances()) {
+    for (const MemberInstance& prod : d_product.instances()) {
+      for (int t = 0; t < 12; ++t) {
+        if (!emp.validity.Test(t) || !prod.validity.Test(t)) continue;
+        coords[ex.org_dim] = emp.id;
+        coords[ex.product_dim] = prod.id;
+        coords[ex.time_dim] = t;
+        coords[ex.measures_dim] = 0;
+        cube.SetCell(coords, CellValue(1.0));
+      }
+    }
+  }
+  ex.cube = std::move(cube);
+  return ex;
+}
+
+LocationVaryingExample BuildLocationVaryingExample() {
+  Schema schema;
+
+  Dimension org("Organization");
+  MemberId fte = Add(&org, "FTE", org.root());
+  MemberId pte = Add(&org, "PTE", org.root());
+  MemberId joe = Add(&org, "Joe", fte);
+  MemberId lisa = Add(&org, "Lisa", fte);
+  MemberId tom = Add(&org, "Tom", pte);
+
+  Dimension location("Location", DimensionKind::kParameter);
+  MemberId east = Add(&location, "East", location.root());
+  MemberId west = Add(&location, "West", location.root());
+  Add(&location, "NY", east);
+  Add(&location, "MA", east);
+  Add(&location, "CA", west);
+
+  Dimension time("Time");
+  Add(&time, "Jan", time.root());
+  Add(&time, "Feb", time.root());
+  Add(&time, "Mar", time.root());
+
+  Dimension measures("Measures", DimensionKind::kMeasure);
+  Add(&measures, "Hours", measures.root());
+  Add(&measures, "Salary", measures.root());
+
+  LocationVaryingExample ex;
+  ex.org_dim = schema.AddDimension(std::move(org));
+  ex.location_dim = schema.AddDimension(std::move(location));
+  ex.time_dim = schema.AddDimension(std::move(time));
+  ex.measures_dim = schema.AddDimension(std::move(measures));
+
+  // Organization varies by WHERE the work is performed — an unordered
+  // parameter dimension (Definition 2.1).
+  Status s = schema.BindVarying(ex.org_dim, ex.location_dim, /*ordered=*/false);
+  assert(s.ok());
+
+  Dimension* org_mut = schema.mutable_dimension(ex.org_dim);
+  {
+    // Lisa is classified PTE for work performed in MA (ordinal 1).
+    DynamicBitset ma(3);
+    ma.Set(1);
+    s = org_mut->ApplyChangeAt(lisa, pte, ma);
+    assert(s.ok());
+  }
+  (void)s;
+
+  ex.joe = joe;
+  ex.lisa = lisa;
+  ex.tom = tom;
+  ex.fte = fte;
+  ex.pte = pte;
+  ex.fte_lisa = org_mut->FindInstance(lisa, fte);
+  ex.pte_lisa = org_mut->FindInstance(lisa, pte);
+
+  CubeOptions options;
+  options.chunk_size = 2;
+  Cube cube(std::move(schema), options);
+
+  // Hours worked: everyone logs 8 hours in each valid location each month.
+  const Dimension& d_org = cube.schema().dimension(ex.org_dim);
+  std::vector<int> coords(4, 0);
+  for (const MemberInstance& emp : d_org.instances()) {
+    for (int loc = 0; loc < 3; ++loc) {
+      if (!emp.validity.Test(loc)) continue;
+      for (int t = 0; t < 3; ++t) {
+        coords[ex.org_dim] = emp.id;
+        coords[ex.location_dim] = loc;
+        coords[ex.time_dim] = t;
+        coords[ex.measures_dim] = 0;  // Hours.
+        cube.SetCell(coords, CellValue(8.0));
+        coords[ex.measures_dim] = 1;  // Salary.
+        cube.SetCell(coords, CellValue(100.0));
+      }
+    }
+  }
+  ex.cube = std::move(cube);
+  return ex;
+}
+
+}  // namespace olap

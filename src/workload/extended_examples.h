@@ -1,0 +1,61 @@
+#ifndef OLAP_WORKLOAD_EXTENDED_EXAMPLES_H_
+#define OLAP_WORKLOAD_EXTENDED_EXAMPLES_H_
+
+#include "cube/cube.h"
+
+namespace olap {
+
+// A cube with TWO varying dimensions (Sec. 2: "A cube may have several
+// varying dimensions, each depending on one or more parameters"):
+//
+//   Organization (varying over Time): FTE {Joe, Lisa}, PTE {Tom}
+//     — Joe moves FTE -> PTE in Apr.
+//   Product (varying over Time): Hardware {Gizmo, Widget}, Services {Audit}
+//     — Gizmo moves Hardware -> Services in Jul.
+//   Time (ordered parameter): 12 months under 4 quarters.
+//   Measures: Revenue.
+//
+// Data: every (active employee instance, active product instance, month)
+// cell is 1.0 — so totals simply count active combinations.
+struct MultiVaryingExample {
+  Cube cube;
+  int org_dim = 0;
+  int product_dim = 1;
+  int time_dim = 2;
+  int measures_dim = 3;
+
+  MemberId joe, lisa, tom;
+  MemberId gizmo, widget, audit;
+  InstanceId fte_joe, pte_joe;
+  InstanceId hardware_gizmo, services_gizmo;
+};
+
+MultiVaryingExample BuildMultiVaryingExample();
+
+// A cube whose varying dimension is driven by an UNORDERED parameter
+// (scenario S2 of the paper's Sec. 2: "What if FTE Lisa performed some
+// work in MA where she is classified as PTE?" — work performed in
+// different locations is classified differently):
+//
+//   Organization (varying over Location, unordered):
+//     FTE {Joe, Lisa}, PTE {Tom} — Lisa is PTE in MA, FTE elsewhere.
+//   Location (unordered parameter): East {NY, MA}, West {CA}.
+//   Time: Jan..Mar (regular).
+//   Measures: Hours, Salary.
+struct LocationVaryingExample {
+  Cube cube;
+  int org_dim = 0;
+  int location_dim = 1;
+  int time_dim = 2;
+  int measures_dim = 3;
+
+  MemberId joe, lisa, tom, fte, pte;
+  InstanceId fte_lisa, pte_lisa;
+  int ny_ordinal = 0, ma_ordinal = 1, ca_ordinal = 2;
+};
+
+LocationVaryingExample BuildLocationVaryingExample();
+
+}  // namespace olap
+
+#endif  // OLAP_WORKLOAD_EXTENDED_EXAMPLES_H_

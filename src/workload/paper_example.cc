@@ -1,0 +1,131 @@
+#include "workload/paper_example.h"
+
+#include <cassert>
+
+namespace olap {
+
+namespace {
+
+MemberId Add(Dimension* d, const std::string& name, MemberId parent) {
+  Result<MemberId> m = d->AddMember(name, parent);
+  assert(m.ok());
+  return *m;
+}
+
+}  // namespace
+
+PaperExample BuildPaperExample(int months) {
+  assert(months >= 6 && months % 3 == 0);
+
+  Schema schema;
+
+  // Organization (built before BindVarying so every leaf starts with a
+  // single everywhere-valid instance).
+  Dimension org("Organization");
+  MemberId fte = Add(&org, "FTE", org.root());
+  MemberId pte = Add(&org, "PTE", org.root());
+  MemberId contractor = Add(&org, "Contractor", org.root());
+  MemberId joe = Add(&org, "Joe", fte);
+  MemberId lisa = Add(&org, "Lisa", fte);
+  MemberId sue = Add(&org, "Sue", fte);
+  MemberId tom = Add(&org, "Tom", pte);
+  MemberId dave = Add(&org, "Dave", pte);
+  MemberId jane = Add(&org, "Jane", contractor);
+
+  Dimension location("Location");
+  location.SetLevelName(1, "Region");
+  location.SetLevelName(2, "State");
+  MemberId east = Add(&location, "East", location.root());
+  MemberId west = Add(&location, "West", location.root());
+  MemberId south = Add(&location, "South", location.root());
+  Add(&location, "NY", east);
+  Add(&location, "MA", east);
+  Add(&location, "NH", east);
+  Add(&location, "CA", west);
+  Add(&location, "OR", west);
+  Add(&location, "WA", west);
+  Add(&location, "TX", south);
+  Add(&location, "FL", south);
+
+  Dimension time("Time", DimensionKind::kParameter);
+  static const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  for (int q = 0; q * 3 < months; ++q) {
+    MemberId quarter = Add(&time, "Qtr" + std::to_string(q + 1), time.root());
+    for (int m = 0; m < 3; ++m) Add(&time, kMonths[q * 3 + m], quarter);
+  }
+
+  Dimension measures("Measures", DimensionKind::kMeasure);
+  MemberId compensation = Add(&measures, "Compensation", measures.root());
+  MemberId productivity = Add(&measures, "Productivity", measures.root());
+  Add(&measures, "Salary", compensation);
+  Add(&measures, "Benefits", compensation);
+  Add(&measures, "Products", productivity);
+  Add(&measures, "Services", productivity);
+
+  PaperExample ex;
+  ex.org_dim = schema.AddDimension(std::move(org));
+  ex.location_dim = schema.AddDimension(std::move(location));
+  ex.time_dim = schema.AddDimension(std::move(time));
+  ex.measures_dim = schema.AddDimension(std::move(measures));
+
+  Status bound = schema.BindVarying(ex.org_dim, ex.time_dim, /*ordered=*/true);
+  assert(bound.ok());
+  (void)bound;
+
+  // Joe's reclassifications: PTE from Feb (1), Contractor from Mar (2),
+  // absent in May (4).
+  Dimension* org_dim = schema.mutable_dimension(ex.org_dim);
+  Status change = org_dim->ApplyChange(joe, pte, 1);
+  assert(change.ok());
+  change = org_dim->ApplyChange(joe, contractor, 2);
+  assert(change.ok());
+  {
+    DynamicBitset may(org_dim->parameter_leaf_count());
+    may.Set(4);
+    change = org_dim->Deactivate(joe, may);
+    assert(change.ok());
+  }
+  (void)change;
+
+  ex.fte = fte;
+  ex.pte = pte;
+  ex.contractor = contractor;
+  ex.joe = joe;
+  ex.lisa = lisa;
+  ex.sue = sue;
+  ex.tom = tom;
+  ex.dave = dave;
+  ex.jane = jane;
+  ex.fte_joe = org_dim->FindInstance(joe, fte);
+  ex.pte_joe = org_dim->FindInstance(joe, pte);
+  ex.contractor_joe = org_dim->FindInstance(joe, contractor);
+
+  CubeOptions options;
+  options.chunk_size = 3;
+  Cube cube(std::move(schema), options);
+
+  // Data for the (NY, Salary) slice of Fig. 2: 10 for every active
+  // employee-month, except (Contractor/Joe, Mar) = 30.
+  auto set = [&](const std::string& who, const std::string& month, double v) {
+    Status s = cube.SetByName({who, "NY", month, "Salary"}, CellValue(v));
+    assert(s.ok());
+    (void)s;
+  };
+  set("FTE/Joe", "Jan", 10);
+  set("PTE/Joe", "Feb", 10);
+  set("Contractor/Joe", "Mar", 30);
+  set("Contractor/Joe", "Apr", 10);
+  set("Contractor/Joe", "Jun", 10);
+  static const char* kFirstSix[6] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun"};
+  for (const char* month : kFirstSix) {
+    set("Lisa", month, 10);
+    set("Tom", month, 10);
+    set("Jane", month, 10);
+  }
+
+  ex.cube = std::move(cube);
+  return ex;
+}
+
+}  // namespace olap

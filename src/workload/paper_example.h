@@ -1,0 +1,48 @@
+#ifndef OLAP_WORKLOAD_PAPER_EXAMPLE_H_
+#define OLAP_WORKLOAD_PAPER_EXAMPLE_H_
+
+#include "cube/cube.h"
+
+namespace olap {
+
+// The paper's running example (Fig. 1 hierarchies, Fig. 2 cube slice).
+//
+// Dimensions:
+//   Organization (varying over Time):
+//     FTE {Joe, Lisa, Sue}, PTE {Tom, Dave}, Contractor {Jane}
+//   Location: East {NY, MA, NH}, West {CA, OR, WA}, South {TX, FL}
+//     (level names: Region, State)
+//   Time (ordered parameter): Qtr1 {Jan, Feb, Mar}, Qtr2 {Apr, May, Jun}
+//   Measures: Compensation {Salary, Benefits}, Productivity {Products,
+//     Services}
+//
+// Joe's reclassifications (Sec. 2): child of FTE in Jan, of PTE in Feb, of
+// Contractor from Mar onward — except May, when he has no valid instance at
+// all ("possible vacation"). Hence VS(FTE/Joe)={Jan}, VS(PTE/Joe)={Feb},
+// VS(Contractor/Joe)={Mar, Apr, Jun}.
+//
+// Data in the (NY, Salary) slice follows Fig. 2 as far as the text pins it
+// down: every active employee-month is 10, except (Contractor/Joe, Mar)=30
+// (the value Sec. 3.3 says (PTE/Joe, Mar) "inherits" under forward
+// semantics). Sue and Dave are non-active members (no data).
+struct PaperExample {
+  Cube cube;
+  int org_dim = 0;
+  int location_dim = 1;
+  int time_dim = 2;
+  int measures_dim = 3;
+
+  // Frequently used members (Organization).
+  MemberId fte, pte, contractor;
+  MemberId joe, lisa, sue, tom, dave, jane;
+  // Instances of Joe.
+  InstanceId fte_joe, pte_joe, contractor_joe;
+};
+
+// Builds the running-example cube. `months` >= 6 extends Time with Qtr3/Qtr4
+// (the default 6 matches Fig. 2 exactly).
+PaperExample BuildPaperExample(int months = 6);
+
+}  // namespace olap
+
+#endif  // OLAP_WORKLOAD_PAPER_EXAMPLE_H_

@@ -1,0 +1,97 @@
+#include "workload/product.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace olap {
+
+namespace {
+
+MemberId Add(Dimension* d, const std::string& name, MemberId parent) {
+  Result<MemberId> m = d->AddMember(name, parent);
+  assert(m.ok());
+  return *m;
+}
+
+}  // namespace
+
+ProductCube BuildProductCube(const ProductCubeConfig& config) {
+  Rng rng(config.seed);
+  Schema schema;
+
+  Dimension product("Product");
+  std::vector<MemberId> groups;
+  for (int g = 0; g < config.num_groups; ++g) {
+    groups.push_back(Add(&product, std::to_string((g + 1) * 100), product.root()));
+  }
+  // Leaf order fixes instance order (and hence axis positions): the probe
+  // first, then enough fillers that the probe's second instance — created
+  // by ApplyChange and appended after every initial instance — lands
+  // `separation_chunks` chunks away.
+  MemberId probe = Add(&product, "1001", groups[0]);
+  const int num_fillers = config.separation_chunks * config.chunk_products;
+  std::vector<MemberId> fillers;
+  fillers.reserve(num_fillers);
+  for (int i = 0; i < num_fillers; ++i) {
+    MemberId group = groups[(i + 1) % config.num_groups];
+    fillers.push_back(Add(&product, "F" + std::to_string(i + 1), group));
+  }
+
+  Dimension time("Time", DimensionKind::kParameter);
+  static const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  for (int m = 0; m < config.num_months && m < 12; ++m) {
+    Add(&time, kMonths[m], time.root());
+  }
+
+  Dimension measures("Measures", DimensionKind::kMeasure);
+  Add(&measures, "Sales", measures.root());
+
+  ProductCube pc;
+  pc.product_dim = schema.AddDimension(std::move(product));
+  pc.time_dim = schema.AddDimension(std::move(time));
+  pc.measures_dim = schema.AddDimension(std::move(measures));
+  pc.groups = groups;
+  pc.probe = probe;
+
+  Status bound = schema.BindVarying(pc.product_dim, pc.time_dim, /*ordered=*/true);
+  assert(bound.ok());
+  (void)bound;
+
+  Dimension* product_mut = schema.mutable_dimension(pc.product_dim);
+  Status moved = product_mut->ApplyChange(probe, groups.size() > 1 ? groups[1]
+                                                                   : groups[0],
+                                          config.move_moment);
+  assert(moved.ok());
+  (void)moved;
+  pc.probe_first = product_mut->FindInstance(probe, groups[0]);
+  pc.probe_second =
+      product_mut->FindInstance(probe, groups.size() > 1 ? groups[1] : groups[0]);
+
+  CubeOptions options;
+  options.chunk_sizes = {config.chunk_products, 3, 1};
+  Cube cube(std::move(schema), options);
+
+  const Dimension& d = cube.schema().dimension(pc.product_dim);
+  std::vector<int> coords(3, 0);
+  auto fill_member = [&](MemberId m) {
+    for (InstanceId inst : d.InstancesOf(m)) {
+      const DynamicBitset& vs = d.instance(inst).validity;
+      for (int t = vs.FindFirst(); t >= 0; t = vs.FindNext(t + 1)) {
+        coords[pc.product_dim] = inst;
+        coords[pc.time_dim] = t;
+        coords[pc.measures_dim] = 0;
+        cube.SetCell(coords, CellValue(10.0 + rng.NextBelow(20)));
+      }
+    }
+  };
+  fill_member(probe);
+  if (config.fill_data) {
+    for (MemberId f : fillers) fill_member(f);
+  }
+  pc.cube = std::move(cube);
+  return pc;
+}
+
+}  // namespace olap

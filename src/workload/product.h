@@ -1,0 +1,50 @@
+#ifndef OLAP_WORKLOAD_PRODUCT_H_
+#define OLAP_WORKLOAD_PRODUCT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cube/cube.h"
+
+namespace olap {
+
+// A product cube with *controlled physical placement* of one member's two
+// instances, for the paper's Fig. 12 co-location experiment: "the number of
+// chunks separating the queried employee instances is [N] ... then
+// increased by inserting data into the cube that resulted in the creation
+// of multiples of [N] chunks between the chosen employee instances".
+//
+// Dimensions: Product (varying over Time, products roll up into groups),
+// Time (12 months), Measures (Sales).
+//
+// The probe product starts under group 0 and moves to group 1 at
+// `move_moment`; `separation_chunks` filler products are laid out between
+// its two instances along the product axis (one product per chunk when
+// chunk_products == 1).
+struct ProductCubeConfig {
+  int num_groups = 3;
+  int separation_chunks = 100;  // Chunks between the probe's two instances.
+  int chunk_products = 1;       // Chunk width along the product axis.
+  int num_months = 12;
+  int move_moment = 6;          // Probe moves to group 1 from this month on.
+  bool fill_data = true;        // Write data for filler products too.
+  uint64_t seed = 7;
+};
+
+struct ProductCube {
+  Cube cube;
+  int product_dim = 0;
+  int time_dim = 1;
+  int measures_dim = 2;
+
+  MemberId probe = kInvalidMember;       // The 2-instance product.
+  InstanceId probe_first = kInvalidInstance;
+  InstanceId probe_second = kInvalidInstance;
+  std::vector<MemberId> groups;
+};
+
+ProductCube BuildProductCube(const ProductCubeConfig& config);
+
+}  // namespace olap
+
+#endif  // OLAP_WORKLOAD_PRODUCT_H_

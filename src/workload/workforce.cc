@@ -1,0 +1,198 @@
+#include "workload/workforce.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace olap {
+
+namespace {
+
+MemberId Add(Dimension* d, const std::string& name, MemberId parent) {
+  Result<MemberId> m = d->AddMember(name, parent);
+  assert(m.ok());
+  return *m;
+}
+
+std::string PadNumber(int n, int width) {
+  std::string s = std::to_string(n);
+  return std::string(width > static_cast<int>(s.size())
+                         ? width - static_cast<int>(s.size())
+                         : 0,
+                     '0') +
+         s;
+}
+
+}  // namespace
+
+WorkforceCube BuildWorkforceCube(const WorkforceConfig& config) {
+  assert(config.num_changing <= config.num_employees);
+  Rng rng(config.seed);
+  Schema schema;
+
+  // Department: employees roll up into departments.
+  Dimension dept("Department");
+  std::vector<MemberId> departments;
+  departments.reserve(config.num_departments);
+  for (int i = 0; i < config.num_departments; ++i) {
+    departments.push_back(Add(&dept, "Dept" + PadNumber(i + 1, 2), dept.root()));
+  }
+  std::vector<MemberId> employees;
+  employees.reserve(config.num_employees);
+  for (int i = 0; i < config.num_employees; ++i) {
+    MemberId home = departments[i % config.num_departments];
+    employees.push_back(Add(&dept, "Emp" + PadNumber(i + 1, 5), home));
+  }
+
+  // Period: Year -> quarters -> months.
+  Dimension period("Period", DimensionKind::kParameter);
+  static const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  assert(config.num_months <= 12 && config.num_months % 3 == 0);
+  for (int q = 0; q * 3 < config.num_months; ++q) {
+    MemberId quarter = Add(&period, "Q" + std::to_string(q + 1), period.root());
+    for (int m = 0; m < 3; ++m) Add(&period, kMonths[q * 3 + m], quarter);
+  }
+
+  // Account: flat list of measures ("salary, grade etc").
+  Dimension account("Account", DimensionKind::kMeasure);
+  for (int i = 0; i < config.num_measures; ++i) {
+    Add(&account, "Measure" + PadNumber(i + 1, 3), account.root());
+  }
+
+  // Scenario / Currency / Version / ValueType (Fig. 10's column vocabulary).
+  Dimension scenario("Scenario");
+  std::vector<MemberId> scenarios;
+  scenarios.push_back(Add(&scenario, "Current", scenario.root()));
+  static const char* kScenarioNames[] = {"Forecast", "Budget", "Plan", "Stretch",
+                                         "Prior", "Upside", "Downside"};
+  for (int i = 1; i < config.num_scenarios; ++i) {
+    scenarios.push_back(Add(&scenario, kScenarioNames[(i - 1) % 7], scenario.root()));
+  }
+
+  Dimension currency("Currency");
+  MemberId local = Add(&currency, "Local", currency.root());
+  Add(&currency, "USD", currency.root());
+
+  Dimension version("Version");
+  MemberId bu_version = Add(&version, "BU Version_1", version.root());
+
+  Dimension value_type("ValueType");
+  MemberId input_value = Add(&value_type, "HSP_InputValue", value_type.root());
+  (void)local;
+  (void)bu_version;
+  (void)input_value;
+
+  WorkforceCube wf;
+  wf.dept_dim = schema.AddDimension(std::move(dept));
+  wf.period_dim = schema.AddDimension(std::move(period));
+  wf.account_dim = schema.AddDimension(std::move(account));
+  wf.scenario_dim = schema.AddDimension(std::move(scenario));
+  wf.currency_dim = schema.AddDimension(std::move(currency));
+  wf.version_dim = schema.AddDimension(std::move(version));
+  wf.value_type_dim = schema.AddDimension(std::move(value_type));
+
+  Status bound = schema.BindVarying(wf.dept_dim, wf.period_dim, /*ordered=*/true);
+  assert(bound.ok());
+  (void)bound;
+
+  // Reclassify the changing employees: each moves between 1 and 11 times
+  // over the 12 months, to a uniformly random other department.
+  Dimension* dept_mut = schema.mutable_dimension(wf.dept_dim);
+  for (int i = 0; i < config.num_changing; ++i) {
+    MemberId emp = employees[i];
+    wf.changing_employees.push_back(emp);
+    int moves = static_cast<int>(
+        rng.NextInRange(config.min_moves, config.max_moves));
+    // Distinct, sorted move moments in [1, num_months).
+    DynamicBitset chosen(config.num_months);
+    for (int m = 0; m < moves && m < config.num_months - 1; ++m) {
+      int moment;
+      do {
+        moment = static_cast<int>(rng.NextInRange(1, config.num_months - 1));
+      } while (chosen.Test(moment));
+      chosen.Set(moment);
+    }
+    MemberId current = schema.dimension(wf.dept_dim).member(emp).parent;
+    for (int t = chosen.FindFirst(); t >= 0; t = chosen.FindNext(t + 1)) {
+      MemberId target;
+      do {
+        target = departments[rng.NextBelow(departments.size())];
+      } while (target == current);
+      Status s = dept_mut->ApplyChange(emp, target, t);
+      assert(s.ok());
+      (void)s;
+      current = target;
+    }
+  }
+  for (int i = config.num_changing; i < config.num_employees; ++i) {
+    wf.stable_employees.push_back(employees[i]);
+  }
+
+  CubeOptions options;
+  options.chunk_size = config.chunk_size;
+  Cube cube(std::move(schema), options);
+
+  // Load data: one value per (employee instance valid at month, month,
+  // measure, scenario) at Local / BU Version_1 / HSP_InputValue.
+  const Dimension& d = cube.schema().dimension(wf.dept_dim);
+  const Dimension& acct = cube.schema().dimension(wf.account_dim);
+  const int num_accounts = acct.num_leaves();
+  std::vector<int> coords(cube.num_dims(), 0);
+  for (MemberId emp : employees) {
+    for (InstanceId inst : d.InstancesOf(emp)) {
+      const DynamicBitset& vs = d.instance(inst).validity;
+      for (int t = vs.FindFirst(); t >= 0; t = vs.FindNext(t + 1)) {
+        for (int a = 0; a < num_accounts; ++a) {
+          for (size_t s = 0; s < scenarios.size(); ++s) {
+            coords[wf.dept_dim] = inst;
+            coords[wf.period_dim] = t;
+            coords[wf.account_dim] = a;
+            coords[wf.scenario_dim] = static_cast<int>(s);
+            coords[wf.currency_dim] = 0;   // Local.
+            coords[wf.version_dim] = 0;    // BU Version_1.
+            coords[wf.value_type_dim] = 0; // HSP_InputValue.
+            double value = 1000.0 + (emp % 97) + 10.0 * a + t + 3.0 * s;
+            cube.SetCell(coords, CellValue(value));
+          }
+        }
+      }
+    }
+  }
+  wf.cube = std::move(cube);
+  return wf;
+}
+
+Status RegisterWorkforce(Database* db, const std::string& cube_name,
+                         WorkforceCube workforce) {
+  const Schema& schema = workforce.cube.schema();
+  const Dimension& dept = schema.dimension(workforce.dept_dim);
+  const std::vector<MemberId>& changing = workforce.changing_employees;
+
+  // [EmployeeS3]: prefer a changing employee with exactly two instances.
+  MemberId employee_s3 = changing.empty() ? kInvalidMember : changing[0];
+  for (MemberId emp : changing) {
+    if (dept.InstancesOf(emp).size() == 2) {
+      employee_s3 = emp;
+      break;
+    }
+  }
+
+  OLAP_RETURN_IF_ERROR(db->AddCube(cube_name, std::move(workforce.cube)));
+  std::vector<std::pair<int, MemberId>> sets[3];
+  for (size_t i = 0; i < changing.size(); ++i) {
+    sets[i % 3].emplace_back(workforce.dept_dim, changing[i]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    OLAP_RETURN_IF_ERROR(db->DefineNamedSet(
+        "EmployeesWithAtleastOneMove-Set" + std::to_string(i + 1),
+        std::move(sets[i])));
+  }
+  if (employee_s3 != kInvalidMember) {
+    OLAP_RETURN_IF_ERROR(db->DefineNamedSet(
+        "EmployeeS3", {{workforce.dept_dim, employee_s3}}));
+  }
+  return Status::Ok();
+}
+
+}  // namespace olap

@@ -1,0 +1,64 @@
+#ifndef OLAP_WORKLOAD_WORKFORCE_H_
+#define OLAP_WORKLOAD_WORKFORCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cube/cube.h"
+#include "engine/database.h"
+
+namespace olap {
+
+// Synthetic generator reproducing the *shape* of the paper's Sec. 6
+// dataset: "a real customer workforce planning application consisting of 7
+// dimensions. 20,250 employees are organized into 51 departments in one
+// dimension; ... the reporting structure of 250 employees [changes] such
+// that they move frequently between different departments in a 12 month
+// period, between 1 and 11 times. ... 100 different measures are input for
+// each employee over 12 months across 5 different business scenarios."
+//
+// The defaults are scaled down for laptop-sized runs; the ratios (≈1% of
+// employees changing, 1–11 moves) follow the paper. All randomness is
+// seeded — the same config always builds the same cube.
+struct WorkforceConfig {
+  int num_departments = 51;
+  int num_employees = 2025;
+  int num_changing = 250;  // Employees whose reporting structure changes.
+  int min_moves = 1;
+  int max_moves = 11;
+  int num_months = 12;
+  int num_measures = 10;
+  int num_scenarios = 5;
+  int chunk_size = 4;
+  uint64_t seed = 42;
+};
+
+// Dimension order: Department, Period, Account, Scenario, Currency,
+// Version, ValueType (7 dimensions, Fig. 10 vocabulary).
+struct WorkforceCube {
+  Cube cube;
+  int dept_dim = 0;
+  int period_dim = 1;
+  int account_dim = 2;
+  int scenario_dim = 3;
+  int currency_dim = 4;
+  int version_dim = 5;
+  int value_type_dim = 6;
+
+  std::vector<MemberId> changing_employees;  // Department-dim member ids.
+  std::vector<MemberId> stable_employees;
+};
+
+WorkforceCube BuildWorkforceCube(const WorkforceConfig& config);
+
+// Registers the cube as `cube_name` in `db` and defines the named sets the
+// Fig. 10 queries use: [EmployeesWithAtleastOneMove-Set1|2|3] (the changing
+// employees in three roughly equal groups) and [EmployeeS3] (one changing
+// employee with exactly two instances if available, else the first).
+Status RegisterWorkforce(Database* db, const std::string& cube_name,
+                         WorkforceCube workforce);
+
+}  // namespace olap
+
+#endif  // OLAP_WORKLOAD_WORKFORCE_H_

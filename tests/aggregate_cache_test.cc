@@ -1,0 +1,146 @@
+#include "agg/aggregate_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "agg/rollup.h"
+#include "engine/executor.h"
+#include "rules/evaluator.h"
+#include "workload/paper_example.h"
+#include "workload/workforce.h"
+
+namespace olap {
+namespace {
+
+class AggregateCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = BuildPaperExample(); }
+
+  CellRef Ref(const AxisRef& org, const std::string& loc,
+              const std::string& time, const std::string& measure) {
+    const Schema& s = ex_.cube.schema();
+    return CellRef{
+        org,
+        AxisRef::OfMember(*s.dimension(ex_.location_dim).FindMember(loc)),
+        AxisRef::OfMember(*s.dimension(ex_.time_dim).FindMember(time)),
+        AxisRef::OfMember(*s.dimension(ex_.measures_dim).FindMember(measure))};
+  }
+
+  PaperExample ex_;
+};
+
+TEST_F(AggregateCacheTest, GreedyBuildMaterializesViews) {
+  AggregateCache cache = AggregateCache::BuildGreedy(ex_.cube, 4);
+  EXPECT_EQ(cache.num_views(), 4);
+  EXPECT_GT(cache.TotalCells(), 0);
+}
+
+TEST_F(AggregateCacheTest, CachedAnswersMatchLeafScans) {
+  AggregateCache cache = AggregateCache::BuildGreedy(ex_.cube, 8);
+  // Every derived ref a few representative shapes: the cache must agree
+  // with the direct roll-up whenever it answers.
+  const Schema& s = ex_.cube.schema();
+  std::vector<CellRef> refs = {
+      Ref(AxisRef::OfMember(s.dimension(ex_.org_dim).root()), "Location",
+          "Time", "Measures"),
+      Ref(AxisRef::OfMember(ex_.fte), "Location", "Time", "Measures"),
+      Ref(AxisRef::OfMember(s.dimension(ex_.org_dim).root()), "NY", "Time",
+          "Measures"),
+      Ref(AxisRef::OfMember(s.dimension(ex_.org_dim).root()), "East", "Qtr1",
+          "Measures"),
+      Ref(AxisRef::OfMember(ex_.joe), "Location", "Time", "Salary"),
+  };
+  for (const CellRef& ref : refs) {
+    std::optional<CellValue> cached = cache.TryAnswer(ex_.cube, ref);
+    if (cached.has_value()) {
+      EXPECT_EQ(*cached, EvaluateCell(ex_.cube, ref));
+    }
+  }
+  EXPECT_GT(cache.hits, 0);
+}
+
+TEST_F(AggregateCacheTest, GrandTotalFromEmptyView) {
+  // The empty group-by (grand total) is among the first greedy picks.
+  AggregateCache cache = AggregateCache::BuildGreedy(ex_.cube, 10);
+  CellRef total = Ref(AxisRef::OfMember(ex_.cube.schema().dimension(0).root()),
+                      "Location", "Time", "Measures");
+  std::optional<CellValue> v = cache.TryAnswer(ex_.cube, total);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, CellValue(250.0));
+}
+
+TEST_F(AggregateCacheTest, FullyRestrictedRefMisses) {
+  AggregateCache cache = AggregateCache::BuildGreedy(ex_.cube, 4);
+  // A leaf ref restricts every dimension; no proper view covers it.
+  CellRef leaf = Ref(AxisRef::OfInstance(ex_.joe, ex_.fte_joe), "NY", "Jan",
+                     "Salary");
+  EXPECT_FALSE(cache.TryAnswer(ex_.cube, leaf).has_value());
+  EXPECT_GT(cache.misses, 0);
+}
+
+TEST_F(AggregateCacheTest, EvaluatorUsesCache) {
+  AggregateCache cache = AggregateCache::BuildGreedy(ex_.cube, 8);
+  CellEvaluator with_cache(ex_.cube, nullptr, &cache);
+  CellEvaluator without_cache(ex_.cube, nullptr);
+  CellRef ref = Ref(AxisRef::OfMember(ex_.pte), "Location", "Time", "Measures");
+  int64_t hits_before = cache.hits;
+  EXPECT_EQ(with_cache.Evaluate(ref), without_cache.Evaluate(ref));
+  EXPECT_GT(cache.hits, hits_before);
+}
+
+TEST(AggregateCacheEngineTest, QueriesAgreeWithAndWithoutAggregates) {
+  WorkforceConfig config;
+  config.num_departments = 8;
+  config.num_employees = 64;
+  config.num_changing = 8;
+  config.num_measures = 3;
+  config.num_scenarios = 2;
+  WorkforceCube wf = BuildWorkforceCube(config);
+
+  Database plain_db, agg_db;
+  ASSERT_TRUE(RegisterWorkforce(&plain_db, "App.Db", wf).ok());
+  ASSERT_TRUE(RegisterWorkforce(&agg_db, "App.Db", std::move(wf)).ok());
+  ASSERT_TRUE(agg_db.BuildAggregates("App.Db", 12).ok());
+  ASSERT_NE(agg_db.aggregates("App.Db"), nullptr);
+
+  const char* queries[] = {
+      // Aggregate-heavy: departments x quarters (cache-friendly).
+      "SELECT {([Current], [Local])} ON COLUMNS, "
+      "{CrossJoin({[Department].Children}, {Descendants([Period],1)})} "
+      "ON ROWS FROM App.Db",
+      // Mixed leaf/aggregate.
+      "SELECT {[Account].Levels(0).Members} ON COLUMNS, "
+      "{Descendants([Period],1)} ON ROWS FROM App.Db",
+      // What-if query: the cache must be bypassed, results identical.
+      "WITH PERSPECTIVE {(Jan), (Jul)} FOR Department STATIC "
+      "SELECT {([Current])} ON COLUMNS, "
+      "{[EmployeesWithAtleastOneMove-Set1].Children} ON ROWS FROM App.Db",
+  };
+  Executor plain(&plain_db), aggregated(&agg_db);
+  for (const char* query : queries) {
+    Result<QueryResult> a = plain.Execute(query);
+    Result<QueryResult> b = aggregated.Execute(query);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ASSERT_EQ(a->grid.num_rows(), b->grid.num_rows()) << query;
+    ASSERT_EQ(a->grid.num_columns(), b->grid.num_columns()) << query;
+    for (int r = 0; r < a->grid.num_rows(); ++r) {
+      for (int c = 0; c < a->grid.num_columns(); ++c) {
+        EXPECT_EQ(a->grid.at(r, c), b->grid.at(r, c))
+            << query << " @ " << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(AggregateCacheEngineTest, BuildAggregatesValidation) {
+  Database db;
+  EXPECT_EQ(db.BuildAggregates("Nope", 4).code(), StatusCode::kNotFound);
+  PaperExample ex = BuildPaperExample();
+  ASSERT_TRUE(db.AddCube("W", std::move(ex.cube)).ok());
+  EXPECT_EQ(db.BuildAggregates("W", -1).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(db.BuildAggregates("W", 0).ok());
+  EXPECT_EQ(db.aggregates("W")->num_views(), 0);
+}
+
+}  // namespace
+}  // namespace olap

@@ -1,0 +1,160 @@
+// Data-driven hypothetical scenarios (Sec. 1/3.2): the Allocate operator
+// and the WITH ALLOCATION clause.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "whatif/operators.h"
+#include "workload/paper_example.h"
+
+namespace olap {
+namespace {
+
+class AllocationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = BuildPaperExample();
+    const Schema& s = ex_.cube.schema();
+    ny_ = AxisRef::OfMember(*s.dimension(ex_.location_dim).FindMember("NY"));
+    ma_ = AxisRef::OfMember(*s.dimension(ex_.location_dim).FindMember("MA"));
+    qtr1_ = AxisRef::OfMember(*s.dimension(ex_.time_dim).FindMember("Qtr1"));
+    salary_ =
+        AxisRef::OfMember(*s.dimension(ex_.measures_dim).FindMember("Salary"));
+  }
+
+  // The paper's example: 10% of PTEs' Q1 salary in NY given to PTEs in MA.
+  AllocationSpec PaperSpec() {
+    AllocationSpec spec;
+    spec.dim = ex_.location_dim;
+    spec.from = ny_;
+    spec.to = ma_;
+    spec.region = {{ex_.org_dim, AxisRef::OfMember(ex_.pte)},
+                   {ex_.time_dim, qtr1_},
+                   {ex_.measures_dim, salary_}};
+    spec.fraction = 0.1;
+    return spec;
+  }
+
+  PaperExample ex_;
+  AxisRef ny_, ma_, qtr1_, salary_;
+};
+
+TEST_F(AllocationTest, MovesFractionWithinRegion) {
+  Result<Cube> out = Allocate(ex_.cube, PaperSpec());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  // Tom (PTE) Jan NY: 10 -> 9, and 1 appears in MA.
+  EXPECT_EQ(*out->GetByName({"Tom", "NY", "Jan", "Salary"}), CellValue(9.0));
+  EXPECT_EQ(*out->GetByName({"Tom", "MA", "Jan", "Salary"}), CellValue(1.0));
+  // PTE/Joe Feb NY likewise.
+  EXPECT_EQ(*out->GetByName({"PTE/Joe", "NY", "Feb", "Salary"}), CellValue(9.0));
+  EXPECT_EQ(*out->GetByName({"PTE/Joe", "MA", "Feb", "Salary"}), CellValue(1.0));
+}
+
+TEST_F(AllocationTest, CellsOutsideRegionUntouched) {
+  Result<Cube> out = Allocate(ex_.cube, PaperSpec());
+  ASSERT_TRUE(out.ok());
+  // FTE members are outside the Organization=PTE region.
+  EXPECT_EQ(*out->GetByName({"Lisa", "NY", "Jan", "Salary"}), CellValue(10.0));
+  EXPECT_TRUE(out->GetByName({"Lisa", "MA", "Jan", "Salary"})->is_null());
+  // Q2 cells are outside Time=Qtr1.
+  EXPECT_EQ(*out->GetByName({"Tom", "NY", "Apr", "Salary"}), CellValue(10.0));
+  // Contractors too.
+  EXPECT_EQ(*out->GetByName({"Jane", "NY", "Jan", "Salary"}), CellValue(10.0));
+}
+
+TEST_F(AllocationTest, TotalIsPreserved) {
+  Result<Cube> out = Allocate(ex_.cube, PaperSpec());
+  ASSERT_TRUE(out.ok());
+  CellValue before, after;
+  ex_.cube.ForEachCell(
+      [&](const std::vector<int>&, CellValue v) { before += v; });
+  out->ForEachCell([&](const std::vector<int>&, CellValue v) { after += v; });
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(AllocationTest, FullFractionMovesEverything) {
+  AllocationSpec spec = PaperSpec();
+  spec.fraction = 1.0;
+  Result<Cube> out = Allocate(ex_.cube, spec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out->GetByName({"Tom", "NY", "Jan", "Salary"}), CellValue(0.0));
+  EXPECT_EQ(*out->GetByName({"Tom", "MA", "Jan", "Salary"}), CellValue(10.0));
+}
+
+TEST_F(AllocationTest, Validation) {
+  AllocationSpec spec = PaperSpec();
+  spec.fraction = 1.5;
+  EXPECT_EQ(Allocate(ex_.cube, spec).status().code(),
+            StatusCode::kInvalidArgument);
+  spec = PaperSpec();
+  spec.to = spec.from;
+  EXPECT_EQ(Allocate(ex_.cube, spec).status().code(),
+            StatusCode::kInvalidArgument);
+  spec = PaperSpec();
+  spec.from = AxisRef::OfMember(
+      *ex_.cube.schema().dimension(ex_.location_dim).FindMember("East"));
+  EXPECT_EQ(Allocate(ex_.cube, spec).status().code(),
+            StatusCode::kInvalidArgument);  // Not a single leaf.
+  spec = PaperSpec();
+  spec.region.push_back({spec.dim, ny_});
+  EXPECT_EQ(Allocate(ex_.cube, spec).status().code(),
+            StatusCode::kInvalidArgument);  // Region on allocation dim.
+}
+
+// --- End to end through MDX -------------------------------------------------
+
+class AllocationMdxTest : public AllocationTest {
+ protected:
+  void SetUp() override {
+    AllocationTest::SetUp();
+    ASSERT_TRUE(db_.AddCube("Warehouse", ex_.cube).ok());
+    exec_ = std::make_unique<Executor>(&db_);
+  }
+
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(AllocationMdxTest, WithAllocationClause) {
+  Result<QueryResult> r = exec_->Execute(
+      "WITH ALLOCATION {(0.1, [NY], [MA], ([PTE], [Qtr1], [Salary]))} "
+      "SELECT {Location.[NY], Location.[MA]} ON COLUMNS, "
+      "{[PTE]} ON ROWS FROM Warehouse WHERE (Time.[Qtr1], [Salary])");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->used_whatif);
+  // PTE Q1 NY: Tom 30 + PTE/Joe 10 = 40 recorded; 10% moved to MA.
+  EXPECT_EQ(r->grid.at(0, 0), CellValue(36.0));
+  EXPECT_EQ(r->grid.at(0, 1), CellValue(4.0));
+}
+
+TEST_F(AllocationMdxTest, AllocationComposesWithPerspective) {
+  // Data scenario + structural scenario in one query: move 50% of PTE
+  // salaries NY->MA, then freeze January's structure forward (visual).
+  Result<QueryResult> r = exec_->Execute(
+      "WITH ALLOCATION {(0.5, [NY], [MA], ([PTE], [Qtr1], [Salary]))} "
+      "PERSPECTIVE {(Jan)} FOR Organization DYNAMIC FORWARD VISUAL "
+      "SELECT {Location.[NY], Location.[MA]} ON COLUMNS, "
+      "{[Organization]} ON ROWS FROM Warehouse WHERE (Time.[Qtr1], [Salary])");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Totals across the whole Organization are allocation-shifted but
+  // structure-independent: NY Q1 total was 100 (Joe 10+10+30, Lisa 30,
+  // Tom 30, Jane 30 = 130? Count: Joe Jan 10, PTE/Joe Feb 10,
+  // Contractor/Joe Mar 30, Lisa 30, Tom 30, Jane 30 = 140). Tom's Q1 30
+  // is PTE: 15 moves; PTE/Joe's Feb 10: 5 moves. NY 140-20=120, MA 20.
+  EXPECT_EQ(r->grid.at(0, 0) + r->grid.at(0, 1), CellValue(140.0));
+  EXPECT_EQ(r->grid.at(0, 1), CellValue(20.0));
+}
+
+TEST_F(AllocationMdxTest, BadAllocationErrors) {
+  EXPECT_FALSE(exec_
+                   ->Execute("WITH ALLOCATION {(0.1, [NY], Time.[Jan])} "
+                             "SELECT {[Salary]} ON COLUMNS FROM Warehouse")
+                   .ok());  // Cross-dimension move.
+  EXPECT_FALSE(exec_
+                   ->Execute("WITH ALLOCATION {(0.1, [NY])} "
+                             "SELECT {[Salary]} ON COLUMNS FROM Warehouse")
+                   .ok());  // Malformed clause.
+}
+
+}  // namespace
+}  // namespace olap

@@ -1,0 +1,90 @@
+// End-to-end backward / extended-backward semantics: "symmetric to the
+// forward, except members of I are ordered in descending order" (Sec. 3.3).
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "workload/paper_example.h"
+
+namespace olap {
+namespace {
+
+class BackwardSemanticsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = BuildPaperExample();
+    ASSERT_TRUE(db_.AddCube("Warehouse", ex_.cube).ok());
+    exec_ = std::make_unique<Executor>(&db_);
+  }
+
+  QueryResult MustExecute(const std::string& mdx) {
+    Result<QueryResult> r = exec_->Execute(mdx);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *std::move(r) : QueryResult{};
+  }
+
+  PaperExample ex_;
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(BackwardSemanticsTest, BackwardImposesStructureOntoThePast) {
+  // P = {Jun}: the June structure (Joe = Contractor) governs [.., Jun];
+  // Joe's entire history is re-arranged under Contractor/Joe.
+  QueryResult r = MustExecute(
+      "WITH PERSPECTIVE {(Jun)} FOR Organization DYNAMIC BACKWARD "
+      "SELECT {Time.[Jan], Time.[Feb], Time.[Mar], Time.[May], Time.[Jun]} "
+      "ON COLUMNS, {[Organization].[Joe]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_EQ(r.grid.num_rows(), 1);
+  EXPECT_EQ(r.grid.row_labels()[0], "Contractor/Joe");
+  EXPECT_EQ(r.grid.at(0, 0), CellValue(10.0));   // Jan, from FTE/Joe.
+  EXPECT_EQ(r.grid.at(0, 1), CellValue(10.0));   // Feb, from PTE/Joe.
+  EXPECT_EQ(r.grid.at(0, 2), CellValue(30.0));   // Mar, own.
+  EXPECT_TRUE(r.grid.at(0, 3).is_null());        // May: no instance exists.
+  EXPECT_EQ(r.grid.at(0, 4), CellValue(10.0));   // Jun, own.
+}
+
+TEST_F(BackwardSemanticsTest, BackwardKeepsPostPmaxOriginals) {
+  // P = {Feb}: [.., Feb] governed by the Feb structure (PTE/Joe); moments
+  // after Pmax keep their original assignment — but only instances that
+  // survive (contain a perspective) appear at all.
+  QueryResult r = MustExecute(
+      "WITH PERSPECTIVE {(Feb)} FOR Organization DYNAMIC BACKWARD "
+      "SELECT {Time.[Jan], Time.[Feb], Time.[Mar]} ON COLUMNS, "
+      "{[Organization].[Joe]} ON ROWS FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_EQ(r.grid.num_rows(), 1);
+  EXPECT_EQ(r.grid.row_labels()[0], "PTE/Joe");
+  EXPECT_EQ(r.grid.at(0, 0), CellValue(10.0));  // Jan from FTE/Joe.
+  EXPECT_EQ(r.grid.at(0, 1), CellValue(10.0));  // Own Feb.
+  // Mar belonged to Contractor/Joe, which does not survive {Feb}: dropped.
+  EXPECT_TRUE(r.grid.at(0, 2).is_null());
+}
+
+TEST_F(BackwardSemanticsTest, ExtendedBackwardOwnsTheFuture) {
+  // Extended backward {Feb}: the Pmax instance also owns everything after.
+  QueryResult r = MustExecute(
+      "WITH PERSPECTIVE {(Feb)} FOR Organization EXTENDED BACKWARD "
+      "SELECT {Time.[Mar], Time.[Apr], Time.[Jun]} ON COLUMNS, "
+      "{[Organization].[Joe]} ON ROWS FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_EQ(r.grid.num_rows(), 1);
+  EXPECT_EQ(r.grid.row_labels()[0], "PTE/Joe");
+  EXPECT_EQ(r.grid.at(0, 0), CellValue(30.0));  // Mar from Contractor/Joe.
+  EXPECT_EQ(r.grid.at(0, 1), CellValue(10.0));  // Apr.
+  EXPECT_EQ(r.grid.at(0, 2), CellValue(10.0));  // Jun.
+}
+
+TEST_F(BackwardSemanticsTest, BackwardVisualQuarterTotals) {
+  QueryResult r = MustExecute(
+      "WITH PERSPECTIVE {(Jun)} FOR Organization DYNAMIC BACKWARD VISUAL "
+      "SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS, "
+      "{[Contractor]} ON ROWS FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_EQ(r.grid.num_rows(), 1);
+  // Contractor Q1 = Jane 30 + Contractor/Joe {Jan 10, Feb 10, Mar 30} = 80.
+  EXPECT_EQ(r.grid.at(0, 0), CellValue(80.0));
+  // Q2 = Jane 30 + Joe {Apr 10, Jun 10} = 50.
+  EXPECT_EQ(r.grid.at(0, 1), CellValue(50.0));
+}
+
+}  // namespace
+}  // namespace olap

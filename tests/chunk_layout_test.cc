@@ -1,0 +1,95 @@
+#include "cube/chunk_layout.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+// The paper's Fig. 6 geometry: 3 dimensions, 4 chunks of 4 cells each.
+ChunkLayout Fig6Layout() { return ChunkLayout::Uniform({16, 16, 16}, 4); }
+
+TEST(ChunkLayoutTest, BasicGeometry) {
+  ChunkLayout layout = Fig6Layout();
+  EXPECT_EQ(layout.num_dims(), 3);
+  EXPECT_EQ(layout.chunks_per_dim(), (std::vector<int>{4, 4, 4}));
+  EXPECT_EQ(layout.num_chunks(), 64);
+  EXPECT_EQ(layout.cells_per_chunk(), 64);
+  EXPECT_EQ(layout.num_cells(), 16 * 16 * 16);
+}
+
+TEST(ChunkLayoutTest, EdgeChunksArePadded) {
+  ChunkLayout layout({10, 7}, {4, 3});
+  EXPECT_EQ(layout.chunks_per_dim(), (std::vector<int>{3, 3}));
+  EXPECT_EQ(layout.num_chunks(), 9);
+  EXPECT_EQ(layout.cells_per_chunk(), 12);
+}
+
+TEST(ChunkLayoutTest, ChunkSizeClampedToExtent) {
+  ChunkLayout layout({3, 100}, {10, 10});
+  EXPECT_EQ(layout.chunk_sizes(), (std::vector<int>{3, 10}));
+}
+
+TEST(ChunkLayoutTest, ChunkOfAndBack) {
+  ChunkLayout layout = Fig6Layout();
+  std::vector<int> coords = {5, 0, 15};
+  ChunkId id = layout.ChunkOf(coords);
+  std::vector<int> cc = layout.ChunkCoords(id);
+  EXPECT_EQ(cc, (std::vector<int>{1, 0, 3}));
+  EXPECT_EQ(layout.ChunkIdAt(cc), id);
+  EXPECT_EQ(layout.ChunkBase(id), (std::vector<int>{4, 0, 12}));
+}
+
+TEST(ChunkLayoutTest, LastDimensionVariesFastestInChunkIds) {
+  ChunkLayout layout = Fig6Layout();
+  EXPECT_EQ(layout.ChunkOf({0, 0, 0}), 0);
+  EXPECT_EQ(layout.ChunkOf({0, 0, 4}), 1);
+  EXPECT_EQ(layout.ChunkOf({0, 4, 0}), 4);
+  EXPECT_EQ(layout.ChunkOf({4, 0, 0}), 16);
+}
+
+TEST(ChunkLayoutTest, OffsetInChunkIsRowMajorWithinTile) {
+  ChunkLayout layout = Fig6Layout();
+  EXPECT_EQ(layout.OffsetInChunk({0, 0, 0}), 0);
+  EXPECT_EQ(layout.OffsetInChunk({0, 0, 1}), 1);
+  EXPECT_EQ(layout.OffsetInChunk({0, 1, 0}), 4);
+  EXPECT_EQ(layout.OffsetInChunk({1, 0, 0}), 16);
+  EXPECT_EQ(layout.OffsetInChunk({5, 6, 7}), 16 + 2 * 4 + 3);
+}
+
+TEST(ChunkLayoutTest, EveryCellMapsToUniqueChunkOffsetPair) {
+  ChunkLayout layout({5, 6}, {2, 4});
+  std::set<std::pair<ChunkId, int64_t>> seen;
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b < 6; ++b) {
+      auto key = std::make_pair(layout.ChunkOf({a, b}),
+                                layout.OffsetInChunk({a, b}));
+      EXPECT_TRUE(seen.insert(key).second) << "collision at " << a << "," << b;
+    }
+  }
+  EXPECT_EQ(seen.size(), 30u);
+}
+
+TEST(ChunkLayoutTest, ForEachCellInChunkSkipsPadding) {
+  ChunkLayout layout({5, 5}, {4, 4});
+  // The corner chunk (1,1) covers cells {4}x{4} only.
+  ChunkId corner = layout.ChunkIdAt({1, 1});
+  int count = 0;
+  layout.ForEachCellInChunk(corner, [&](const std::vector<int>& coords, int64_t) {
+    EXPECT_EQ(coords[0], 4);
+    EXPECT_EQ(coords[1], 4);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+  // An interior chunk visits all 16 cells with distinct offsets.
+  std::set<int64_t> offsets;
+  layout.ForEachCellInChunk(layout.ChunkIdAt({0, 0}),
+                            [&](const std::vector<int>&, int64_t off) {
+                              offsets.insert(off);
+                            });
+  EXPECT_EQ(offsets.size(), 16u);
+}
+
+}  // namespace
+}  // namespace olap

@@ -1,0 +1,94 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+TEST(DynamicBitsetTest, StartsEmpty) {
+  DynamicBitset s(100);
+  EXPECT_EQ(s.size(), 100);
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_TRUE(s.None());
+  EXPECT_EQ(s.FindFirst(), -1);
+}
+
+TEST(DynamicBitsetTest, SetResetTest) {
+  DynamicBitset s(70);
+  s.Set(0);
+  s.Set(63);
+  s.Set(64);
+  s.Set(69);
+  EXPECT_TRUE(s.Test(0));
+  EXPECT_TRUE(s.Test(63));
+  EXPECT_TRUE(s.Test(64));
+  EXPECT_TRUE(s.Test(69));
+  EXPECT_FALSE(s.Test(1));
+  EXPECT_EQ(s.Count(), 4);
+  s.Reset(63);
+  EXPECT_FALSE(s.Test(63));
+  EXPECT_EQ(s.Count(), 3);
+  s.Assign(5, true);
+  EXPECT_TRUE(s.Test(5));
+  s.Assign(5, false);
+  EXPECT_FALSE(s.Test(5));
+}
+
+TEST(DynamicBitsetTest, SetAllRespectsUniverse) {
+  DynamicBitset s(70);
+  s.SetAll();
+  EXPECT_EQ(s.Count(), 70);
+  s.ResetAll();
+  EXPECT_EQ(s.Count(), 0);
+}
+
+TEST(DynamicBitsetTest, FindNextIteratesAscending) {
+  DynamicBitset s = DynamicBitset::FromVector(130, {3, 64, 65, 129});
+  EXPECT_EQ(s.FindFirst(), 3);
+  EXPECT_EQ(s.FindNext(4), 64);
+  EXPECT_EQ(s.FindNext(65), 65);
+  EXPECT_EQ(s.FindNext(66), 129);
+  EXPECT_EQ(s.FindNext(130), -1);
+  EXPECT_EQ(s.ToVector(), (std::vector<int>{3, 64, 65, 129}));
+}
+
+TEST(DynamicBitsetTest, BitwiseOps) {
+  DynamicBitset a = DynamicBitset::FromVector(10, {1, 2, 3});
+  DynamicBitset b = DynamicBitset::FromVector(10, {3, 4});
+  EXPECT_EQ((a | b).ToVector(), (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ((a & b).ToVector(), (std::vector<int>{3}));
+  DynamicBitset diff = a;
+  diff.Subtract(b);
+  EXPECT_EQ(diff.ToVector(), (std::vector<int>{1, 2}));
+}
+
+TEST(DynamicBitsetTest, DisjointAndSubset) {
+  DynamicBitset a = DynamicBitset::FromVector(10, {1, 2});
+  DynamicBitset b = DynamicBitset::FromVector(10, {3, 4});
+  DynamicBitset c = DynamicBitset::FromVector(10, {1, 2, 5});
+  EXPECT_TRUE(a.DisjointWith(b));
+  EXPECT_FALSE(a.DisjointWith(c));
+  EXPECT_TRUE(a.IsSubsetOf(c));
+  EXPECT_FALSE(c.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(DynamicBitsetTest, EqualityAndToString) {
+  DynamicBitset a = DynamicBitset::FromVector(10, {1, 7});
+  DynamicBitset b = DynamicBitset::FromVector(10, {1, 7});
+  DynamicBitset c = DynamicBitset::FromVector(11, {1, 7});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);  // Different universes are never equal.
+  EXPECT_EQ(a.ToString(), "{1, 7}");
+  EXPECT_EQ(DynamicBitset(4).ToString(), "{}");
+}
+
+TEST(DynamicBitsetTest, EmptyUniverse) {
+  DynamicBitset s(0);
+  EXPECT_TRUE(s.empty_universe());
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_EQ(s.FindFirst(), -1);
+}
+
+}  // namespace
+}  // namespace olap

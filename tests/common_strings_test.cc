@@ -1,0 +1,40 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, "/"), "a/b/c");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(Split("a/b/c", '/'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("abc", '/'), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split("a//b", '/'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", '/'), (std::vector<std::string>{""}));
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+}  // namespace
+}  // namespace olap

@@ -1,0 +1,76 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+TEST(CellValueTest, DefaultIsNull) {
+  CellValue v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(v.value_or(-1.0), -1.0);
+}
+
+TEST(CellValueTest, NumericRoundTrip) {
+  CellValue v(12.5);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v.value(), 12.5);
+  EXPECT_EQ(v.value_or(-1.0), 12.5);
+}
+
+TEST(CellValueTest, NanBecomesNull) {
+  CellValue v(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST(CellValueTest, ZeroAndNegativeAreNotNull) {
+  EXPECT_FALSE(CellValue(0.0).is_null());
+  EXPECT_FALSE(CellValue(-3.25).is_null());
+  EXPECT_FALSE(CellValue(std::numeric_limits<double>::infinity()).is_null());
+}
+
+TEST(CellValueTest, StorageRoundTrip) {
+  CellValue v(7.0);
+  double raw = CellValue::ToStorage(v);
+  EXPECT_EQ(CellValue::FromStorage(raw), v);
+  double null_raw = CellValue::NullStorage();
+  EXPECT_TRUE(CellValue::FromStorage(null_raw).is_null());
+}
+
+// Aggregation treats ⊥ as missing: sums skip it; all-⊥ stays ⊥.
+TEST(CellValueTest, AdditionSkipsNull) {
+  CellValue null_v;
+  CellValue ten(10.0);
+  EXPECT_EQ(null_v + null_v, CellValue::Null());
+  EXPECT_EQ(null_v + ten, ten);
+  EXPECT_EQ(ten + null_v, ten);
+  EXPECT_EQ(ten + ten, CellValue(20.0));
+}
+
+TEST(CellValueTest, PlusEqualsAccumulates) {
+  CellValue acc;
+  acc += CellValue(1.0);
+  acc += CellValue();
+  acc += CellValue(2.0);
+  EXPECT_EQ(acc, CellValue(3.0));
+}
+
+TEST(CellValueTest, EqualityTreatsNullAsEqualToNullOnly) {
+  EXPECT_EQ(CellValue::Null(), CellValue::Null());
+  EXPECT_NE(CellValue::Null(), CellValue(0.0));
+  EXPECT_EQ(CellValue(5.0), CellValue(5.0));
+  EXPECT_NE(CellValue(5.0), CellValue(6.0));
+}
+
+TEST(CellValueTest, ToStringRendersIntegersCompactly) {
+  EXPECT_EQ(CellValue(10.0).ToString(), "10");
+  EXPECT_EQ(CellValue(-3.0).ToString(), "-3");
+  EXPECT_EQ(CellValue::Null().ToString(), "⊥");
+}
+
+}  // namespace
+}  // namespace olap

@@ -1,0 +1,120 @@
+#include "storage/compression.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/cube_io.h"
+#include "whatif/perspective_cube.h"
+#include "workload/paper_example.h"
+
+namespace olap {
+namespace {
+
+Chunk MakeChunk(const std::vector<CellValue>& cells) {
+  Chunk chunk(static_cast<int64_t>(cells.size()));
+  for (size_t i = 0; i < cells.size(); ++i) chunk.Set(i, cells[i]);
+  return chunk;
+}
+
+void ExpectChunksEqual(const Chunk& a, const Chunk& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.Get(i), b.Get(i)) << "cell " << i;
+  }
+}
+
+TEST(CompressionTest, AllNullChunkIsEightBytes) {
+  Chunk chunk(256);
+  std::vector<uint8_t> bytes = CompressChunk(chunk);
+  EXPECT_EQ(bytes.size(), 8u);  // One (null_run=256, value_run=0) record.
+  Result<Chunk> decoded = DecompressChunk(bytes, 256);
+  ASSERT_TRUE(decoded.ok());
+  ExpectChunksEqual(chunk, *decoded);
+}
+
+TEST(CompressionTest, DenseChunkHasSmallOverhead) {
+  std::vector<CellValue> cells;
+  for (int i = 0; i < 64; ++i) cells.push_back(CellValue(i * 1.5));
+  Chunk chunk = MakeChunk(cells);
+  std::vector<uint8_t> bytes = CompressChunk(chunk);
+  EXPECT_EQ(bytes.size(), 8u + 64u * 8u);  // One record header + raw values.
+  Result<Chunk> decoded = DecompressChunk(bytes, 64);
+  ASSERT_TRUE(decoded.ok());
+  ExpectChunksEqual(chunk, *decoded);
+}
+
+TEST(CompressionTest, MixedRunsRoundTrip) {
+  std::vector<CellValue> cells(100);
+  cells[0] = CellValue(1.0);
+  cells[50] = CellValue(-2.5);
+  cells[51] = CellValue(0.0);  // Zero is a value, not ⊥.
+  cells[99] = CellValue(7.0);
+  Chunk chunk = MakeChunk(cells);
+  Result<Chunk> decoded = DecompressChunk(CompressChunk(chunk), 100);
+  ASSERT_TRUE(decoded.ok());
+  ExpectChunksEqual(chunk, *decoded);
+  EXPECT_EQ(decoded->CountNonNull(), 4);
+}
+
+TEST(CompressionTest, RandomChunksRoundTrip) {
+  Rng rng(303);
+  for (int trial = 0; trial < 20; ++trial) {
+    int64_t size = 1 + static_cast<int64_t>(rng.NextBelow(500));
+    Chunk chunk(size);
+    for (int64_t i = 0; i < size; ++i) {
+      if (rng.NextBool(0.3)) {
+        chunk.Set(i, CellValue(static_cast<double>(rng.NextBelow(1000))));
+      }
+    }
+    Result<Chunk> decoded = DecompressChunk(CompressChunk(chunk), size);
+    ASSERT_TRUE(decoded.ok()) << "trial " << trial;
+    ExpectChunksEqual(chunk, *decoded);
+  }
+}
+
+TEST(CompressionTest, CorruptInputRejected) {
+  Chunk chunk(16);
+  chunk.Set(3, CellValue(5.0));
+  std::vector<uint8_t> bytes = CompressChunk(chunk);
+  // Truncated header.
+  std::vector<uint8_t> short_bytes(bytes.begin(), bytes.begin() + 3);
+  EXPECT_FALSE(DecompressChunk(short_bytes, 16).ok());
+  // Cell overrun: claim more cells than the chunk holds.
+  EXPECT_FALSE(DecompressChunk(bytes, 2).ok());
+}
+
+TEST(CompressionTest, CompressedSaveRoundTripsAndShrinks) {
+  // A perspective cube output is ⊥-heavy: ideal for the codec.
+  PaperExample ex = BuildPaperExample();
+  WhatIfSpec spec;
+  spec.varying_dim = ex.org_dim;
+  spec.perspectives = Perspectives({0});
+  spec.semantics = Semantics::kStatic;
+  Result<PerspectiveCube> pc = ComputePerspectiveCube(ex.cube, spec);
+  ASSERT_TRUE(pc.ok());
+
+  std::string raw_path = std::string(::testing::TempDir()) + "/raw.olap";
+  std::string packed_path = std::string(::testing::TempDir()) + "/packed.olap";
+  ASSERT_TRUE(SaveCube(pc->output(), raw_path, /*compress=*/false).ok());
+  ASSERT_TRUE(SaveCube(pc->output(), packed_path, /*compress=*/true).ok());
+
+  Result<int64_t> raw_size = FileSize(raw_path);
+  Result<int64_t> packed_size = FileSize(packed_path);
+  ASSERT_TRUE(raw_size.ok());
+  ASSERT_TRUE(packed_size.ok());
+  EXPECT_LT(*packed_size, *raw_size);
+
+  Result<Cube> loaded = LoadCube(packed_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->CountNonNullCells(), pc->output().CountNonNullCells());
+  pc->output().ForEachCell([&](const std::vector<int>& coords, CellValue v) {
+    EXPECT_EQ(loaded->GetCell(coords), v);
+  });
+  std::remove(raw_path.c_str());
+  std::remove(packed_path.c_str());
+}
+
+}  // namespace
+}  // namespace olap

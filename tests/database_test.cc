@@ -1,0 +1,68 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_example.h"
+
+namespace olap {
+namespace {
+
+TEST(DatabaseTest, AddAndFindCube) {
+  Database db;
+  PaperExample ex = BuildPaperExample();
+  ASSERT_TRUE(db.AddCube("App.Db", ex.cube).ok());
+  EXPECT_TRUE(db.FindCube("App.Db").ok());
+  EXPECT_TRUE(db.FindCube("app.db").ok());
+  // Last-component fallback, as written in the paper's FROM [App].[Db].
+  EXPECT_TRUE(db.FindCube("Db").ok());
+  EXPECT_EQ(db.FindCube("Other").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.AddCube("App.Db", ex.cube).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, RulesAttachAndParse) {
+  Database db;
+  PaperExample ex = BuildPaperExample();
+  ASSERT_TRUE(db.AddCube("Warehouse", ex.cube).ok());
+  EXPECT_TRUE(db.AddRule("Warehouse", "Compensation = Salary + Benefits").ok());
+  const RuleSet* rules = db.rules("Warehouse");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->size(), 1);
+  EXPECT_EQ(db.AddRule("Warehouse", "Nothing = Nonsense +").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.AddRule("Missing", "Salary = Benefits").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.rules("Missing"), nullptr);
+}
+
+TEST(DatabaseTest, NamedSets) {
+  Database db;
+  PaperExample ex = BuildPaperExample();
+  ASSERT_TRUE(db.AddCube("Warehouse", ex.cube).ok());
+  ASSERT_TRUE(db.DefineNamedSetByNames("Warehouse", "Organization",
+                                       {"Joe", "Lisa"}, "Movers")
+                  .ok());
+  auto set = db.FindNamedSet("movers");
+  ASSERT_TRUE(set.has_value());
+  ASSERT_EQ(set->size(), 2u);
+  EXPECT_EQ((*set)[0].second, ex.joe);
+  EXPECT_FALSE(db.FindNamedSet("nope").has_value());
+  EXPECT_EQ(db.DefineNamedSetByNames("Warehouse", "Organization", {"Nobody"},
+                                     "Bad")
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, FindMutableCubeAllowsDataLoad) {
+  Database db;
+  PaperExample ex = BuildPaperExample();
+  ASSERT_TRUE(db.AddCube("Warehouse", ex.cube).ok());
+  Result<Cube*> cube = db.FindMutableCube("Warehouse");
+  ASSERT_TRUE(cube.ok());
+  ASSERT_TRUE(
+      (*cube)->SetByName({"Lisa", "MA", "Jan", "Salary"}, CellValue(5)).ok());
+  EXPECT_EQ(*(*db.FindCube("Warehouse"))->GetByName({"Lisa", "MA", "Jan", "Salary"}),
+            CellValue(5));
+}
+
+}  // namespace
+}  // namespace olap

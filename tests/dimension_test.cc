@@ -1,0 +1,282 @@
+#include "dimension/dimension.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+// Builds the paper's Organization hierarchy (Fig. 1).
+Dimension MakeOrg() {
+  Dimension org("Organization");
+  MemberId fte = *org.AddChildOfRoot("FTE");
+  MemberId pte = *org.AddChildOfRoot("PTE");
+  MemberId contractor = *org.AddChildOfRoot("Contractor");
+  EXPECT_TRUE(org.AddMember("Joe", fte).ok());
+  EXPECT_TRUE(org.AddMember("Lisa", fte).ok());
+  EXPECT_TRUE(org.AddMember("Sue", fte).ok());
+  EXPECT_TRUE(org.AddMember("Tom", pte).ok());
+  EXPECT_TRUE(org.AddMember("Dave", pte).ok());
+  EXPECT_TRUE(org.AddMember("Jane", contractor).ok());
+  return org;
+}
+
+TEST(DimensionTest, RootCarriesDimensionName) {
+  Dimension d("Time");
+  EXPECT_EQ(d.num_members(), 1);
+  EXPECT_EQ(d.member(d.root()).name, "Time");
+  EXPECT_EQ(d.member(d.root()).level, 0);
+  EXPECT_TRUE(d.member(d.root()).is_leaf());
+}
+
+TEST(DimensionTest, HierarchyStructure) {
+  Dimension org = MakeOrg();
+  MemberId fte = *org.FindMember("FTE");
+  MemberId joe = *org.FindMember("Joe");
+  EXPECT_EQ(org.member(joe).parent, fte);
+  EXPECT_EQ(org.member(joe).level, 2);
+  EXPECT_TRUE(org.member(joe).is_leaf());
+  EXPECT_FALSE(org.member(fte).is_leaf());
+  EXPECT_EQ(org.member(fte).children.size(), 3u);
+}
+
+TEST(DimensionTest, FindMemberIsCaseInsensitive) {
+  Dimension org = MakeOrg();
+  EXPECT_TRUE(org.FindMember("joe").ok());
+  EXPECT_TRUE(org.FindMember("JOE").ok());
+  EXPECT_EQ(org.FindMember("nobody").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DimensionTest, DuplicateNamesRejected) {
+  Dimension org = MakeOrg();
+  Result<MemberId> dup = org.AddChildOfRoot("Joe");
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DimensionTest, DescendantQueries) {
+  Dimension org = MakeOrg();
+  MemberId fte = *org.FindMember("FTE");
+  MemberId joe = *org.FindMember("Joe");
+  MemberId tom = *org.FindMember("Tom");
+  EXPECT_TRUE(org.IsDescendantOrSelf(joe, fte));
+  EXPECT_TRUE(org.IsDescendantOrSelf(joe, org.root()));
+  EXPECT_TRUE(org.IsDescendantOrSelf(fte, fte));
+  EXPECT_FALSE(org.IsDescendantOrSelf(tom, fte));
+  EXPECT_FALSE(org.IsDescendantOrSelf(fte, joe));
+}
+
+TEST(DimensionTest, LeavesAndOrdinals) {
+  Dimension org = MakeOrg();
+  const std::vector<MemberId>& leaves = org.Leaves();
+  ASSERT_EQ(leaves.size(), 6u);
+  EXPECT_EQ(org.member(leaves[0]).name, "Joe");
+  EXPECT_EQ(org.member(leaves[5]).name, "Jane");
+  EXPECT_EQ(org.LeafOrdinal(leaves[3]), 3);
+  EXPECT_EQ(org.LeafOrdinal(*org.FindMember("FTE")), -1);
+  EXPECT_EQ(org.LeafAt(1), *org.FindMember("Lisa"));
+}
+
+TEST(DimensionTest, LeavesUnderSubtree) {
+  Dimension org = MakeOrg();
+  std::vector<MemberId> under_fte = org.LeavesUnder(*org.FindMember("FTE"));
+  ASSERT_EQ(under_fte.size(), 3u);
+  EXPECT_EQ(org.member(under_fte[0]).name, "Joe");
+  EXPECT_EQ(org.member(under_fte[2]).name, "Sue");
+  // A leaf is its own leaf set.
+  EXPECT_EQ(org.LeavesUnder(*org.FindMember("Jane")).size(), 1u);
+}
+
+TEST(DimensionTest, MembersAtLevelAndDepthFromLeaf) {
+  Dimension org = MakeOrg();
+  EXPECT_EQ(org.MembersAtLevel(0).size(), 1u);
+  EXPECT_EQ(org.MembersAtLevel(1).size(), 3u);
+  EXPECT_EQ(org.MembersAtLevel(2).size(), 6u);
+  EXPECT_EQ(org.max_level(), 2);
+  EXPECT_EQ(org.MembersAtDepthFromLeaf(0).size(), 6u);  // Leaves.
+  EXPECT_EQ(org.MembersAtDepthFromLeaf(1).size(), 3u);  // FTE/PTE/Contractor.
+}
+
+TEST(DimensionTest, LevelNames) {
+  Dimension loc("Location");
+  loc.SetLevelName(1, "Region");
+  loc.SetLevelName(2, "State");
+  EXPECT_EQ(loc.FindLevelByName("region"), 1);
+  EXPECT_EQ(loc.FindLevelByName("STATE"), 2);
+  EXPECT_EQ(loc.FindLevelByName("County"), -1);
+}
+
+TEST(DimensionTest, OutlineString) {
+  Dimension org = MakeOrg();
+  ASSERT_TRUE(org.MakeVarying(6, true).ok());
+  MemberId joe = *org.FindMember("Joe");
+  MemberId pte = *org.FindMember("PTE");
+  ASSERT_TRUE(org.ApplyChange(joe, pte, 2).ok());
+  std::string outline = org.OutlineString();
+  EXPECT_NE(outline.find("Organization  (varying, ordered parameter, 6 moments)"),
+            std::string::npos);
+  EXPECT_NE(outline.find("FTE\n"), std::string::npos);
+  // Changing members list their instances with validity sets.
+  EXPECT_NE(outline.find("FTE/Joe @ {0, 1}"), std::string::npos);
+  EXPECT_NE(outline.find("PTE/Joe @ {2, 3, 4, 5}"), std::string::npos);
+  // Non-changing leaves are plain lines.
+  EXPECT_NE(outline.find("  Lisa\n"), std::string::npos);
+
+  // Consolidation operators render.
+  Dimension accounts("Accounts");
+  MemberId margin = *accounts.AddChildOfRoot("Margin");
+  ASSERT_TRUE(accounts.AddMember("Sales", margin).ok());
+  ASSERT_TRUE(accounts.AddMember("COGS", margin, -1.0).ok());
+  ASSERT_TRUE(accounts.AddChildOfRoot("Stats", 0.0).ok());
+  ASSERT_TRUE(accounts.AddChildOfRoot("Half", 0.5).ok());
+  std::string acc = accounts.OutlineString();
+  EXPECT_NE(acc.find("COGS (-)"), std::string::npos);
+  EXPECT_NE(acc.find("Stats (~)"), std::string::npos);
+  EXPECT_NE(acc.find("Half (*0.500000)"), std::string::npos);
+  EXPECT_EQ(acc.find("Sales ("), std::string::npos);  // Default weight: bare.
+}
+
+TEST(DimensionTest, PathName) {
+  Dimension org = MakeOrg();
+  MemberId joe = *org.FindMember("Joe");
+  EXPECT_EQ(org.PathName(joe), "FTE/Joe");
+  EXPECT_EQ(org.PathName(joe, /*include_root=*/true), "Organization/FTE/Joe");
+}
+
+// --- Varying-dimension behaviour -----------------------------------------
+
+TEST(DimensionVaryingTest, MakeVaryingCreatesEverywhereValidInstances) {
+  Dimension org = MakeOrg();
+  ASSERT_TRUE(org.MakeVarying(6, /*ordered=*/true).ok());
+  EXPECT_TRUE(org.is_varying());
+  EXPECT_EQ(org.num_instances(), 6);
+  for (const MemberInstance& inst : org.instances()) {
+    EXPECT_EQ(inst.validity.Count(), 6);
+    EXPECT_EQ(inst.parent, org.member(inst.member).parent);
+  }
+}
+
+TEST(DimensionVaryingTest, ApplyChangeSplitsValidity) {
+  Dimension org = MakeOrg();
+  ASSERT_TRUE(org.MakeVarying(6, true).ok());
+  MemberId joe = *org.FindMember("Joe");
+  MemberId pte = *org.FindMember("PTE");
+  ASSERT_TRUE(org.ApplyChange(joe, pte, 2).ok());
+
+  std::vector<InstanceId> insts = org.InstancesOf(joe);
+  ASSERT_EQ(insts.size(), 2u);
+  const MemberInstance& fte_joe = org.instance(insts[0]);
+  const MemberInstance& pte_joe = org.instance(insts[1]);
+  EXPECT_EQ(fte_joe.validity.ToVector(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(pte_joe.validity.ToVector(), (std::vector<int>{2, 3, 4, 5}));
+  EXPECT_EQ(pte_joe.qualified_name, "PTE/Joe");
+}
+
+// Sec. 3.1: moving back to a previous parent reuses the instance with the
+// identical root-to-leaf path ("it is treated as d1").
+TEST(DimensionVaryingTest, ReturningToOldParentReusesInstance) {
+  Dimension org = MakeOrg();
+  ASSERT_TRUE(org.MakeVarying(6, true).ok());
+  MemberId joe = *org.FindMember("Joe");
+  MemberId fte = *org.FindMember("FTE");
+  MemberId pte = *org.FindMember("PTE");
+  ASSERT_TRUE(org.ApplyChange(joe, pte, 2).ok());   // PTE from Mar.
+  ASSERT_TRUE(org.ApplyChange(joe, fte, 5).ok());   // Back to FTE in Jun.
+
+  std::vector<InstanceId> insts = org.InstancesOf(joe);
+  ASSERT_EQ(insts.size(), 2u);  // d1 reused, no third instance.
+  EXPECT_EQ(org.instance(insts[0]).validity.ToVector(),
+            (std::vector<int>{0, 1, 5}));
+  EXPECT_EQ(org.instance(insts[1]).validity.ToVector(),
+            (std::vector<int>{2, 3, 4}));
+}
+
+TEST(DimensionVaryingTest, InstanceValidAtFindsUniqueOwner) {
+  Dimension org = MakeOrg();
+  ASSERT_TRUE(org.MakeVarying(6, true).ok());
+  MemberId joe = *org.FindMember("Joe");
+  MemberId pte = *org.FindMember("PTE");
+  ASSERT_TRUE(org.ApplyChange(joe, pte, 3).ok());
+  InstanceId early = org.InstanceValidAt(joe, 0);
+  InstanceId late = org.InstanceValidAt(joe, 4);
+  EXPECT_NE(early, late);
+  EXPECT_EQ(org.instance(early).parent, *org.FindMember("FTE"));
+  EXPECT_EQ(org.instance(late).parent, pte);
+}
+
+TEST(DimensionVaryingTest, DeactivateRemovesMoments) {
+  Dimension org = MakeOrg();
+  ASSERT_TRUE(org.MakeVarying(6, true).ok());
+  MemberId joe = *org.FindMember("Joe");
+  DynamicBitset may(6);
+  may.Set(4);
+  ASSERT_TRUE(org.Deactivate(joe, may).ok());
+  EXPECT_EQ(org.InstanceValidAt(joe, 4), kInvalidInstance);
+  EXPECT_NE(org.InstanceValidAt(joe, 3), kInvalidInstance);
+}
+
+TEST(DimensionVaryingTest, ChangingMembers) {
+  Dimension org = MakeOrg();
+  ASSERT_TRUE(org.MakeVarying(6, true).ok());
+  MemberId joe = *org.FindMember("Joe");
+  MemberId pte = *org.FindMember("PTE");
+  EXPECT_TRUE(org.ChangingMembers().empty());
+  ASSERT_TRUE(org.ApplyChange(joe, pte, 2).ok());
+  EXPECT_EQ(org.ChangingMembers(), std::vector<MemberId>{joe});
+}
+
+TEST(DimensionVaryingTest, ChangeValidation) {
+  Dimension org = MakeOrg();
+  MemberId joe = *org.FindMember("Joe");
+  MemberId pte = *org.FindMember("PTE");
+  // Not varying yet.
+  EXPECT_EQ(org.ApplyChange(joe, pte, 2).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(org.MakeVarying(6, true).ok());
+  // Target must be non-leaf; moment must be in range.
+  EXPECT_EQ(org.ApplyChange(joe, *org.FindMember("Lisa"), 2).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(org.ApplyChange(joe, pte, 6).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(org.ApplyChange(pte, pte, 2).code(), StatusCode::kInvalidArgument);
+  // Unordered API required for unordered dims.
+  Dimension unordered = MakeOrg();
+  ASSERT_TRUE(unordered.MakeVarying(6, /*ordered=*/false).ok());
+  EXPECT_EQ(unordered.ApplyChange(joe, pte, 2).code(),
+            StatusCode::kFailedPrecondition);
+  DynamicBitset moments(6);
+  moments.Set(1);
+  EXPECT_TRUE(unordered.ApplyChangeAt(joe, pte, moments).ok());
+}
+
+TEST(DimensionVaryingTest, PositionsEnumerateInstances) {
+  Dimension org = MakeOrg();
+  ASSERT_TRUE(org.MakeVarying(6, true).ok());
+  MemberId joe = *org.FindMember("Joe");
+  MemberId pte = *org.FindMember("PTE");
+  ASSERT_TRUE(org.ApplyChange(joe, pte, 2).ok());
+  EXPECT_EQ(org.num_positions(), 7);  // 6 initial + 1 new instance.
+  EXPECT_EQ(org.PositionMember(6), joe);
+  EXPECT_EQ(org.PositionLabel(6), "PTE/Joe");
+  EXPECT_EQ(org.PositionLabel(1), "FTE/Lisa");
+}
+
+TEST(DimensionVaryingTest, CannotTurnInstancedLeafIntoInnerMember) {
+  Dimension org = MakeOrg();
+  ASSERT_TRUE(org.MakeVarying(6, true).ok());
+  MemberId joe = *org.FindMember("Joe");
+  Result<MemberId> bad = org.AddMember("Intern", joe);
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DimensionVaryingTest, AddInstanceRejectsDuplicatesAndInnerMembers) {
+  Dimension org = MakeOrg();
+  ASSERT_TRUE(org.MakeVarying(6, true).ok());
+  MemberId joe = *org.FindMember("Joe");
+  MemberId fte = *org.FindMember("FTE");
+  MemberId contractor = *org.FindMember("Contractor");
+  EXPECT_EQ(org.AddInstance(joe, fte, DynamicBitset(6)).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(org.AddInstance(joe, contractor, DynamicBitset(6)).ok());
+  EXPECT_EQ(org.AddInstance(fte, contractor, DynamicBitset(6)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace olap

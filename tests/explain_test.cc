@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "workload/paper_example.h"
+
+namespace olap {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = BuildPaperExample();
+    ASSERT_TRUE(db_.AddCube("Warehouse", ex_.cube).ok());
+    exec_ = std::make_unique<Executor>(&db_);
+  }
+
+  std::string MustExplain(const std::string& mdx,
+                          const QueryOptions& options = QueryOptions()) {
+    Result<std::string> r = exec_->Explain(mdx, options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : "";
+  }
+
+  PaperExample ex_;
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(ExplainTest, PlainQuery) {
+  std::string plan = MustExplain(
+      "SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS, "
+      "NON EMPTY {[FTE].Children} ON ROWS FROM Warehouse "
+      "WHERE ([NY], [Salary])");
+  EXPECT_NE(plan.find("cube: Warehouse"), std::string::npos);
+  EXPECT_NE(plan.find("columns: 2 tuple(s)"), std::string::npos);
+  EXPECT_NE(plan.find("rows: 3 tuple(s), NON EMPTY"), std::string::npos);
+  EXPECT_NE(plan.find("slicer: 2 coordinate(s)"), std::string::npos);
+  EXPECT_EQ(plan.find("what-if"), std::string::npos);
+}
+
+TEST_F(ExplainTest, WhatIfQueryShowsSpecAndScope) {
+  std::string plan = MustExplain(
+      "WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD "
+      "SELECT {Time.[Jan]} ON COLUMNS, {[Organization].[Joe]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  EXPECT_NE(plan.find("what-if: dimension 'Organization', DYNAMIC FORWARD, "
+                      "NON-VISUAL, 2 perspective(s) {1, 3}"),
+            std::string::npos);
+  EXPECT_NE(plan.find("merge scoped to 1 member(s)"), std::string::npos);
+  EXPECT_NE(plan.find("strategy: direct"), std::string::npos);
+}
+
+TEST_F(ExplainTest, VisualModeIsUnscoped) {
+  std::string plan = MustExplain(
+      "WITH PERSPECTIVE {(Feb)} FOR Organization DYNAMIC FORWARD VISUAL "
+      "SELECT {Time.[Jan]} ON COLUMNS, {[Organization].[Joe]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  EXPECT_NE(plan.find("VISUAL, 1 perspective(s)"), std::string::npos);
+  EXPECT_NE(plan.find("unscoped merge"), std::string::npos);
+}
+
+TEST_F(ExplainTest, StrategyAndAggregatesReported) {
+  ASSERT_TRUE(db_.BuildAggregates("Warehouse", 4).ok());
+  QueryOptions options;
+  options.strategy = EvalStrategy::kMultipleMdx;
+  std::string plan = MustExplain(
+      "WITH PERSPECTIVE {(Feb)} FOR Organization STATIC "
+      "SELECT {Time.[Jan]} ON COLUMNS, {[Organization].[Joe]} ON ROWS "
+      "FROM Warehouse",
+      options);
+  EXPECT_NE(plan.find("strategy: multiple-MDX simulation"), std::string::npos);
+  EXPECT_NE(plan.find("aggregations: 4 view(s), bypassed (what-if query)"),
+            std::string::npos);
+  plan = MustExplain("SELECT {Time.[Jan]} ON COLUMNS FROM Warehouse");
+  EXPECT_NE(plan.find("aggregations: 4 view(s), serving derived cells"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, AllocationReported) {
+  std::string plan = MustExplain(
+      "WITH ALLOCATION {(0.25, [NY], [MA], ([PTE], [Salary]))} "
+      "SELECT {Time.[Jan]} ON COLUMNS FROM Warehouse");
+  EXPECT_NE(plan.find("allocation: move 25% along dimension 'Location'"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, ErrorsPropagate) {
+  EXPECT_FALSE(exec_->Explain("garbage").ok());
+  EXPECT_FALSE(exec_->Explain("SELECT {x} ON COLUMNS FROM Nowhere").ok());
+}
+
+}  // namespace
+}  // namespace olap

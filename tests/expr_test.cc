@@ -1,0 +1,87 @@
+#include "rules/expr.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+CellValue Lookup(MemberId m) {
+  switch (m) {
+    case 1:
+      return CellValue(100.0);  // Sales.
+    case 2:
+      return CellValue(60.0);  // COGS.
+    case 3:
+      return CellValue::Null();  // Missing measure.
+    default:
+      return CellValue::Null();
+  }
+}
+
+TEST(ExprTest, Constant) {
+  auto e = Expr::Constant(3.5);
+  EXPECT_EQ(e->Evaluate(Lookup), CellValue(3.5));
+  EXPECT_EQ(e->ToString(), "3.500000");
+}
+
+TEST(ExprTest, MeasureRef) {
+  auto e = Expr::MeasureRef(1, "Sales");
+  EXPECT_EQ(e->Evaluate(Lookup), CellValue(100.0));
+  EXPECT_EQ(e->ToString(), "Sales");
+}
+
+TEST(ExprTest, Arithmetic) {
+  // Margin = Sales - COGS.
+  auto margin = Expr::Binary(Expr::Op::kSub, Expr::MeasureRef(1, "Sales"),
+                             Expr::MeasureRef(2, "COGS"));
+  EXPECT_EQ(margin->Evaluate(Lookup), CellValue(40.0));
+  EXPECT_EQ(margin->ToString(), "(Sales - COGS)");
+
+  auto scaled = Expr::Binary(Expr::Op::kMul, Expr::Constant(0.5),
+                             margin->Clone());
+  EXPECT_EQ(scaled->Evaluate(Lookup), CellValue(20.0));
+
+  auto ratio = Expr::Binary(Expr::Op::kDiv, Expr::MeasureRef(1, "Sales"),
+                            Expr::MeasureRef(2, "COGS"));
+  EXPECT_DOUBLE_EQ(ratio->Evaluate(Lookup).value(), 100.0 / 60.0);
+
+  auto sum = Expr::Binary(Expr::Op::kAdd, Expr::MeasureRef(1, "Sales"),
+                          Expr::Constant(1.0));
+  EXPECT_EQ(sum->Evaluate(Lookup), CellValue(101.0));
+}
+
+// Rule null semantics differ from aggregation: ⊥ propagates.
+TEST(ExprTest, NullOperandYieldsNull) {
+  auto e = Expr::Binary(Expr::Op::kAdd, Expr::MeasureRef(1, "Sales"),
+                        Expr::MeasureRef(3, "Missing"));
+  EXPECT_TRUE(e->Evaluate(Lookup).is_null());
+}
+
+TEST(ExprTest, DivisionByZeroYieldsNull) {
+  auto e = Expr::Binary(Expr::Op::kDiv, Expr::MeasureRef(1, "Sales"),
+                        Expr::Constant(0.0));
+  EXPECT_TRUE(e->Evaluate(Lookup).is_null());
+}
+
+TEST(ExprTest, CollectMeasures) {
+  auto e = Expr::Binary(
+      Expr::Op::kMul,
+      Expr::Binary(Expr::Op::kSub, Expr::MeasureRef(1, "Sales"),
+                   Expr::MeasureRef(2, "COGS")),
+      Expr::MeasureRef(1, "Sales"));
+  std::vector<MemberId> measures;
+  e->CollectMeasures(&measures);
+  EXPECT_EQ(measures, (std::vector<MemberId>{1, 2, 1}));
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  auto e = Expr::Binary(Expr::Op::kSub, Expr::MeasureRef(1, "Sales"),
+                        Expr::Constant(1.0));
+  auto clone = e->Clone();
+  e.reset();
+  EXPECT_EQ(clone->Evaluate(Lookup), CellValue(99.0));
+  EXPECT_EQ(clone->ToString(), "(Sales - 1)");
+}
+
+}  // namespace
+}  // namespace olap

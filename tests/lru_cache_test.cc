@@ -1,0 +1,53 @@
+#include "storage/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+TEST(LruChunkCacheTest, MissThenHit) {
+  LruChunkCache cache(2);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_TRUE(cache.Touch(1));
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(LruChunkCacheTest, EvictsLeastRecentlyUsed) {
+  LruChunkCache cache(2);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Touch(1);      // 1 becomes MRU; LRU is 2.
+  cache.Touch(3);      // Evicts 2.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_FALSE(cache.Touch(2));  // 2 misses again.
+}
+
+TEST(LruChunkCacheTest, ZeroCapacityAlwaysMisses) {
+  LruChunkCache cache(0);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_EQ(cache.size(), 0);
+}
+
+TEST(LruChunkCacheTest, ClearForgetsEverything) {
+  LruChunkCache cache(4);
+  cache.Touch(1);
+  cache.Touch(2);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.Touch(1));
+}
+
+TEST(LruChunkCacheTest, SizeNeverExceedsCapacity) {
+  LruChunkCache cache(3);
+  for (ChunkId id = 0; id < 100; ++id) cache.Touch(id);
+  EXPECT_EQ(cache.size(), 3);
+  EXPECT_TRUE(cache.Contains(99));
+  EXPECT_TRUE(cache.Contains(97));
+  EXPECT_FALSE(cache.Contains(96));
+}
+
+}  // namespace
+}  // namespace olap

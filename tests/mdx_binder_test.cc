@@ -1,0 +1,221 @@
+#include "mdx/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "mdx/parser.h"
+#include "workload/paper_example.h"
+
+namespace olap::mdx {
+namespace {
+
+using olap::BuildPaperExample;
+using olap::PaperExample;
+
+class FakeResolver : public NameResolver {
+ public:
+  explicit FakeResolver(std::vector<std::pair<int, MemberId>> members)
+      : members_(std::move(members)) {}
+
+  std::optional<std::vector<std::pair<int, MemberId>>> FindNamedSet(
+      std::string_view name) const override {
+    if (name == "MySet") return members_;
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::pair<int, MemberId>> members_;
+};
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ex_ = BuildPaperExample(); }
+
+  std::vector<BoundTuple> MustBindSet(const std::string& set_text,
+                                      const NameResolver* resolver = nullptr) {
+    // Wrap in a dummy query to reuse the parser.
+    Result<ParsedQuery> q =
+        Parse("SELECT " + set_text + " ON COLUMNS FROM Warehouse");
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    Result<std::vector<BoundTuple>> tuples =
+        BindSet(*q->axes[0].set, ex_.cube.schema(), resolver);
+    EXPECT_TRUE(tuples.ok()) << tuples.status().ToString() << " for " << set_text;
+    return tuples.ok() ? *tuples : std::vector<BoundTuple>{};
+  }
+
+  Status BindSetError(const std::string& set_text) {
+    Result<ParsedQuery> q =
+        Parse("SELECT " + set_text + " ON COLUMNS FROM Warehouse");
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    Result<std::vector<BoundTuple>> tuples =
+        BindSet(*q->axes[0].set, ex_.cube.schema(), nullptr);
+    EXPECT_FALSE(tuples.ok());
+    return tuples.status();
+  }
+
+  PaperExample ex_;
+};
+
+TEST_F(BinderTest, MemberPathWithDimensionPrefix) {
+  std::vector<BoundTuple> tuples = MustBindSet("{Time.[Qtr1]}");
+  ASSERT_EQ(tuples.size(), 1u);
+  ASSERT_EQ(tuples[0].refs.size(), 1u);
+  EXPECT_EQ(tuples[0].refs[0].first, ex_.time_dim);
+}
+
+TEST_F(BinderTest, GlobalMemberSearch) {
+  std::vector<BoundTuple> tuples = MustBindSet("{[Lisa]}");
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].refs[0].first, ex_.org_dim);
+  EXPECT_EQ(tuples[0].refs[0].second.member, ex_.lisa);
+}
+
+TEST_F(BinderTest, InstancePathPinsInstance) {
+  std::vector<BoundTuple> tuples = MustBindSet("{Organization.[FTE].[Joe]}");
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].refs[0].second.instance, ex_.fte_joe);
+  // Also without the dimension prefix.
+  tuples = MustBindSet("{[PTE].[Joe]}");
+  EXPECT_EQ(tuples[0].refs[0].second.instance, ex_.pte_joe);
+}
+
+TEST_F(BinderTest, InstancePathAcceptsHistoricalParents) {
+  // Contractor/Joe is an instance even though Joe's tree parent is FTE.
+  std::vector<BoundTuple> tuples = MustBindSet("{[Contractor].[Joe]}");
+  EXPECT_EQ(tuples[0].refs[0].second.instance, ex_.contractor_joe);
+}
+
+TEST_F(BinderTest, Children) {
+  std::vector<BoundTuple> tuples = MustBindSet("{[FTE].Children}");
+  ASSERT_EQ(tuples.size(), 3u);  // Joe, Lisa, Sue.
+  EXPECT_EQ(tuples[0].refs[0].second.member, ex_.joe);
+}
+
+TEST_F(BinderTest, LevelMembersByName) {
+  std::vector<BoundTuple> tuples = MustBindSet("Location.Region.State.Members");
+  EXPECT_EQ(tuples.size(), 8u);  // NY MA NH CA OR WA TX FL.
+  tuples = MustBindSet("Location.Region.Members");
+  EXPECT_EQ(tuples.size(), 3u);  // East West South.
+}
+
+TEST_F(BinderTest, LevelsMembersCountsFromLeaves) {
+  std::vector<BoundTuple> tuples = MustBindSet("{[Measures].Levels(0).Members}");
+  EXPECT_EQ(tuples.size(), 4u);  // Salary Benefits Products Services.
+  tuples = MustBindSet("{[Measures].Levels(1).Members}");
+  EXPECT_EQ(tuples.size(), 2u);  // Compensation, Productivity.
+}
+
+TEST_F(BinderTest, DimensionMembersExcludesRoot) {
+  std::vector<BoundTuple> tuples = MustBindSet("{Measures.Members}");
+  EXPECT_EQ(tuples.size(), 6u);
+}
+
+TEST_F(BinderTest, Descendants) {
+  std::vector<BoundTuple> tuples =
+      MustBindSet("{Descendants([Time], 1, self_and_after)}");
+  EXPECT_EQ(tuples.size(), 8u);  // 2 quarters + 6 months.
+  tuples = MustBindSet("{Descendants([Time], 1)}");
+  EXPECT_EQ(tuples.size(), 2u);  // Quarters only.
+  tuples = MustBindSet("{Descendants([Time], 0, leaves)}");
+  EXPECT_EQ(tuples.size(), 6u);  // Months.
+}
+
+TEST_F(BinderTest, CrossJoinCombinesDistinctDimensions) {
+  std::vector<BoundTuple> tuples =
+      MustBindSet("{CrossJoin({Time.[Jan], Time.[Feb]}, {[NY], [MA]})}");
+  ASSERT_EQ(tuples.size(), 4u);
+  EXPECT_EQ(tuples[0].refs.size(), 2u);
+  Status err = BindSetError("{CrossJoin({Time.[Jan]}, {Time.[Feb]})}");
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderTest, UnionDedups) {
+  std::vector<BoundTuple> tuples =
+      MustBindSet("{Union({[NY], [MA]}, {[MA], [CA]})}");
+  EXPECT_EQ(tuples.size(), 3u);
+}
+
+TEST_F(BinderTest, HeadTruncates) {
+  std::vector<BoundTuple> tuples = MustBindSet("{Head({[FTE].Children}, 2)}");
+  EXPECT_EQ(tuples.size(), 2u);
+  tuples = MustBindSet("{Head({[FTE].Children}, 99)}");
+  EXPECT_EQ(tuples.size(), 3u);
+}
+
+TEST_F(BinderTest, TupleCombinesSingleMembers) {
+  std::vector<BoundTuple> tuples = MustBindSet("{([NY], Time.[Jan], [Salary])}");
+  ASSERT_EQ(tuples.size(), 1u);
+  EXPECT_EQ(tuples[0].refs.size(), 3u);
+  Status err = BindSetError("{([NY], [MA])}");  // Same dimension twice.
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderTest, NamedSets) {
+  FakeResolver resolver({{ex_.org_dim, ex_.joe}, {ex_.org_dim, ex_.lisa}});
+  std::vector<BoundTuple> direct = MustBindSet("{[MySet]}", &resolver);
+  EXPECT_EQ(direct.size(), 2u);
+  std::vector<BoundTuple> children = MustBindSet("{[MySet].Children}", &resolver);
+  EXPECT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0].refs[0].second.member, ex_.joe);
+}
+
+TEST_F(BinderTest, BindingErrors) {
+  EXPECT_EQ(BindSetError("{[Nobody]}").code(), StatusCode::kNotFound);
+  // Lisa is not a descendant of PTE and PTE/Lisa is not an instance.
+  EXPECT_EQ(BindSetError("{[PTE].[Lisa]}").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(BindSetError("{Location.County.Members}").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, FullQueryBindsPerspectiveClause) {
+  Result<ParsedQuery> parsed = Parse(
+      "WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL "
+      "SELECT {Time.[Jan]} ON COLUMNS, {[FTE].Children} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_TRUE(parsed.ok());
+  Result<BoundQuery> bound = Bind(*parsed, ex_.cube.schema(), nullptr);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_TRUE(bound->has_whatif());
+  EXPECT_EQ(bound->specs[0].varying_dim, ex_.org_dim);
+  EXPECT_EQ(bound->specs[0].perspectives.moments(), (std::vector<int>{1, 3}));
+  EXPECT_EQ(bound->specs[0].semantics, Semantics::kForward);
+  EXPECT_EQ(bound->specs[0].mode, EvalMode::kVisual);
+  EXPECT_EQ(bound->slicer.refs.size(), 2u);
+  ASSERT_EQ(bound->axes.size(), 2u);
+  EXPECT_EQ(bound->axes[1].tuples.size(), 3u);
+}
+
+TEST_F(BinderTest, FullQueryBindsChangesClause) {
+  Result<ParsedQuery> parsed = Parse(
+      "WITH CHANGES {([FTE].[Lisa], [FTE], [PTE], [Apr])} "
+      "SELECT {Time.[Jan]} ON COLUMNS FROM Warehouse");
+  ASSERT_TRUE(parsed.ok());
+  Result<BoundQuery> bound = Bind(*parsed, ex_.cube.schema(), nullptr);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_TRUE(bound->has_whatif());
+  EXPECT_EQ(bound->specs[0].varying_dim, ex_.org_dim);  // Inferred from FTE.
+  ASSERT_EQ(bound->specs[0].changes.size(), 1u);
+  EXPECT_EQ(bound->specs[0].changes[0].member, ex_.lisa);
+  EXPECT_EQ(bound->specs[0].changes[0].old_parent, ex_.fte);
+  EXPECT_EQ(bound->specs[0].changes[0].new_parent, ex_.pte);
+  EXPECT_EQ(bound->specs[0].changes[0].moment, 3);
+}
+
+TEST_F(BinderTest, PerspectiveClauseValidation) {
+  // Non-varying dimension.
+  Result<ParsedQuery> parsed = Parse(
+      "WITH PERSPECTIVE {(Jan)} FOR Location "
+      "SELECT {Time.[Jan]} ON COLUMNS FROM Warehouse");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(Bind(*parsed, ex_.cube.schema(), nullptr).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Non-leaf perspective member.
+  parsed = Parse(
+      "WITH PERSPECTIVE {(Qtr1)} FOR Organization "
+      "SELECT {Time.[Jan]} ON COLUMNS FROM Warehouse");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(Bind(*parsed, ex_.cube.schema(), nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace olap::mdx

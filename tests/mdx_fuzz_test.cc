@@ -1,0 +1,100 @@
+// Robustness: the MDX front end must return INVALID_ARGUMENT-style errors,
+// never crash, on arbitrary garbage — random byte strings, random token
+// soups, and truncations/mutations of valid queries.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "mdx/parser.h"
+#include "workload/paper_example.h"
+
+namespace olap {
+namespace {
+
+const char* kValidQuery =
+    "WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD VISUAL "
+    "SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS, "
+    "{[Organization].[Joe]} ON ROWS FROM Warehouse WHERE ([NY], [Salary])";
+
+TEST(MdxFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    int len = static_cast<int>(rng.NextBelow(200));
+    for (int i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(32 + rng.NextBelow(95)));
+    }
+    Result<mdx::ParsedQuery> q = mdx::Parse(text);
+    (void)q;  // Any Status is fine; not crashing is the test.
+  }
+}
+
+TEST(MdxFuzzTest, RandomTokenSoupNeverCrashes) {
+  static const char* kTokens[] = {
+      "SELECT", "FROM",  "WHERE", "WITH",  "PERSPECTIVE", "CHANGES",
+      "ON",     "ROWS",  "COLUMNS", "FOR", "STATIC",      "DYNAMIC",
+      "FORWARD", "{",    "}",     "(",     ")",           ",",
+      ".",      "[Joe]", "[FTE]", "Time",  "CrossJoin",   "Union",
+      "Head",   "42",    "0.5",   "NON",   "EMPTY",       "Descendants",
+  };
+  Rng rng(202);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string text;
+    int len = static_cast<int>(rng.NextBelow(40));
+    for (int i = 0; i < len; ++i) {
+      text += kTokens[rng.NextBelow(std::size(kTokens))];
+      text += " ";
+    }
+    Result<mdx::ParsedQuery> q = mdx::Parse(text);
+    (void)q;
+  }
+}
+
+TEST(MdxFuzzTest, TruncationsOfValidQueryNeverCrash) {
+  std::string query = kValidQuery;
+  for (size_t len = 0; len <= query.size(); ++len) {
+    Result<mdx::ParsedQuery> q = mdx::Parse(query.substr(0, len));
+    (void)q;
+  }
+}
+
+TEST(MdxFuzzTest, MutationsThroughFullEngineNeverCrash) {
+  PaperExample ex = BuildPaperExample();
+  Database db;
+  ASSERT_TRUE(db.AddCube("Warehouse", std::move(ex.cube)).ok());
+  Executor exec(&db);
+
+  Rng rng(303);
+  std::string base = kValidQuery;
+  int executed_ok = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(3)) {
+        case 0:  // Replace a byte.
+          mutated[pos] = static_cast<char>(32 + rng.NextBelow(95));
+          break;
+        case 1:  // Delete a byte.
+          mutated.erase(pos, 1);
+          break;
+        default:  // Duplicate a byte.
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+    }
+    Result<QueryResult> r = exec.Execute(mutated);
+    if (r.ok()) ++executed_ok;
+  }
+  // Some mutations stay valid; most must fail cleanly. Either way, no
+  // crash, and the executor remains usable:
+  Result<QueryResult> sane = exec.Execute(base);
+  EXPECT_TRUE(sane.ok());
+}
+
+}  // namespace
+}  // namespace olap

@@ -1,0 +1,73 @@
+#include "mdx/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace olap::mdx {
+namespace {
+
+std::vector<Token> MustLex(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lex(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? *tokens : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  std::vector<Token> tokens = MustLex("   \n\t ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, Token::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndSymbols) {
+  std::vector<Token> tokens = MustLex("select {a, b} on columns");
+  ASSERT_EQ(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, Token::kIdent);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].kind, Token::kSymbol);
+  EXPECT_EQ(tokens[1].text, "{");
+  EXPECT_EQ(tokens[3].text, ",");
+  EXPECT_EQ(tokens[5].text, "}");
+}
+
+TEST(LexerTest, BracketNamesPreserveSpacesAndPunctuation) {
+  std::vector<Token> tokens =
+      MustLex("[BU Version_1].[EmployeesWithAtleastOneMove-Set1]");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, Token::kBracketName);
+  EXPECT_EQ(tokens[0].text, "BU Version_1");
+  EXPECT_EQ(tokens[1].text, ".");
+  EXPECT_EQ(tokens[2].text, "EmployeesWithAtleastOneMove-Set1");
+}
+
+TEST(LexerTest, Numbers) {
+  std::vector<Token> tokens = MustLex("Head(x, 50)");
+  EXPECT_EQ(tokens[4].kind, Token::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 50.0);
+  tokens = MustLex("1.5");
+  EXPECT_DOUBLE_EQ(tokens[0].number, 1.5);
+}
+
+TEST(LexerTest, LineComments) {
+  std::vector<Token> tokens = MustLex("select -- a comment\nx");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(LexerTest, UnterminatedBracketIsError) {
+  EXPECT_EQ(Lex("[oops").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, OffsetsPointIntoSource) {
+  std::vector<Token> tokens = MustLex("ab [cd]");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+TEST(LexerTest, UnderscoredIdentifiers) {
+  std::vector<Token> tokens = MustLex("self_and_after HSP_InputValue");
+  EXPECT_EQ(tokens[0].text, "self_and_after");
+  EXPECT_EQ(tokens[1].text, "HSP_InputValue");
+}
+
+}  // namespace
+}  // namespace olap::mdx

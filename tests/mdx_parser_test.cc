@@ -1,0 +1,201 @@
+#include "mdx/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace olap::mdx {
+namespace {
+
+ParsedQuery MustParse(std::string_view text) {
+  Result<ParsedQuery> q = Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString() << "\nquery: " << text;
+  return q.ok() ? *std::move(q) : ParsedQuery{};
+}
+
+TEST(ParserTest, MinimalSelect) {
+  ParsedQuery q = MustParse("SELECT {Time.[Q1]} ON COLUMNS FROM Warehouse");
+  EXPECT_FALSE(!q.perspectives.empty());
+  ASSERT_EQ(q.axes.size(), 1u);
+  EXPECT_EQ(q.axes[0].ordinal, 0);
+  EXPECT_EQ(q.cube_name, std::vector<std::string>{"Warehouse"});
+  EXPECT_EQ(q.where_tuple, nullptr);
+}
+
+// The Sec. 3.2 example query.
+TEST(ParserTest, Section32Query) {
+  ParsedQuery q = MustParse(
+      "SELECT {Time.[Q1], Time.[Q2]} ON COLUMNS, "
+      "Location.Region.State.MEMBERS ON ROWS "
+      "FROM Warehouse "
+      "WHERE (Organization.[FTE].[Joe], Measures.[Compensation].[Salary])");
+  ASSERT_EQ(q.axes.size(), 2u);
+  EXPECT_EQ(q.axes[0].set->kind, SetExpr::Kind::kBraces);
+  EXPECT_EQ(q.axes[0].set->args.size(), 2u);
+  EXPECT_EQ(q.axes[0].set->args[0]->path,
+            (std::vector<std::string>{"Time", "Q1"}));
+  EXPECT_EQ(q.axes[1].set->kind, SetExpr::Kind::kMembers);
+  EXPECT_EQ(q.axes[1].set->path,
+            (std::vector<std::string>{"Location", "Region", "State"}));
+  ASSERT_NE(q.where_tuple, nullptr);
+  EXPECT_EQ(q.where_tuple->kind, SetExpr::Kind::kTuple);
+  ASSERT_EQ(q.where_tuple->args.size(), 2u);
+  EXPECT_EQ(q.where_tuple->args[0]->path,
+            (std::vector<std::string>{"Organization", "FTE", "Joe"}));
+}
+
+// Fig. 10(a): static multi-perspective query with named sets and
+// DIMENSION PROPERTIES.
+TEST(ParserTest, Fig10aQuery) {
+  ParsedQuery q = MustParse(R"(
+    WITH perspective {(Jan), (Jul)} for Department STATIC
+    select {CrossJoin(
+              {[Account].Levels(0).Members},
+              {([Current], [Local], [BU Version_1], [HSP_InputValue])}
+           )} on columns,
+           {CrossJoin(
+              { Union(
+                  {Union({[EmployeesWithAtleastOneMove-Set1].Children},
+                         {[EmployeesWithAtleastOneMove-Set2].Children})},
+                  {[EmployeesWithAtleastOneMove-Set3].Children})},
+              {Descendants([Period], 1, self_and_after)}
+           )} DIMENSION PROPERTIES [Department] on rows
+    from [App].[Db])");
+  EXPECT_TRUE(!q.perspectives.empty());
+  EXPECT_EQ(q.perspectives[0].moments, (std::vector<std::string>{"Jan", "Jul"}));
+  EXPECT_EQ(q.perspectives[0].varying_dim, "Department");
+  EXPECT_EQ(q.perspectives[0].semantics, "STATIC");
+  EXPECT_EQ(q.perspectives[0].mode, "");  // Defaults to non-visual.
+  ASSERT_EQ(q.axes.size(), 2u);
+  EXPECT_EQ(q.axes[1].properties, std::vector<std::string>{"Department"});
+  EXPECT_EQ(q.cube_name, (std::vector<std::string>{"App", "Db"}));
+
+  // Columns: braces > CrossJoin(braces(LevelsMembers), braces(tuple)).
+  const SetExpr& cols = *q.axes[0].set;
+  ASSERT_EQ(cols.kind, SetExpr::Kind::kBraces);
+  const SetExpr& cj = *cols.args[0];
+  ASSERT_EQ(cj.kind, SetExpr::Kind::kCrossJoin);
+  const SetExpr& levels = *cj.args[0]->args[0];
+  EXPECT_EQ(levels.kind, SetExpr::Kind::kLevelsMembers);
+  EXPECT_EQ(levels.path, std::vector<std::string>{"Account"});
+  EXPECT_EQ(levels.number, 0);
+  const SetExpr& tuple = *cj.args[1]->args[0];
+  EXPECT_EQ(tuple.kind, SetExpr::Kind::kTuple);
+  EXPECT_EQ(tuple.args.size(), 4u);
+
+  // Rows: nested unions of named-set children + Descendants.
+  const SetExpr& rows_cj = *q.axes[1].set->args[0];
+  ASSERT_EQ(rows_cj.kind, SetExpr::Kind::kCrossJoin);
+  const SetExpr& desc = *rows_cj.args[1]->args[0];
+  EXPECT_EQ(desc.kind, SetExpr::Kind::kDescendants);
+  EXPECT_EQ(desc.path, std::vector<std::string>{"Period"});
+  EXPECT_EQ(desc.number, 1);
+  EXPECT_EQ(desc.flag, "self_and_after");
+}
+
+// Fig. 10(b): dynamic forward.
+TEST(ParserTest, Fig10bQuery) {
+  ParsedQuery q = MustParse(R"(
+    WITH perspective {(Jan), (Apr), (Jul), (Oct)} for Department DYNAMIC FORWARD
+    select {CrossJoin({[Account].Levels(0).Members},
+                      {([Current], [Local], [BU Version_1], [HSP_InputValue])})}
+           on columns,
+           {CrossJoin({EmployeeS3}, {Descendants([Period],1,self_and_after)})}
+           DIMENSION PROPERTIES [Department] on rows
+    from [App].[Db])");
+  EXPECT_EQ(q.perspectives[0].semantics, "FORWARD");
+  EXPECT_EQ(q.perspectives[0].moments.size(), 4u);
+}
+
+// Fig. 10(c): Head(...) over a named set.
+TEST(ParserTest, Fig10cQuery) {
+  ParsedQuery q = MustParse(R"(
+    WITH perspective {(Jan), (Apr), (Jul), (Oct)} for Department DYNAMIC FORWARD
+    select {CrossJoin({[Account].Levels(0).Members},
+                      {([Current], [Local], [BU Version_1], [HSP_InputValue])})}
+           on columns,
+           {CrossJoin({Head({[EmployeesWithAtleastOneMove-Set1].Children}, 50)},
+                      {Descendants([Period],1,self_and_after)})}
+           DIMENSION PROPERTIES [Department] on rows
+    from [App].[Db])");
+  const SetExpr& rows_cj = *q.axes[1].set->args[0];
+  const SetExpr& head = *rows_cj.args[0]->args[0];
+  ASSERT_EQ(head.kind, SetExpr::Kind::kHead);
+  EXPECT_EQ(head.number, 50);
+  EXPECT_EQ(head.args[0]->args[0]->kind, SetExpr::Kind::kChildren);
+}
+
+TEST(ParserTest, SemanticsVariants) {
+  EXPECT_EQ(MustParse("WITH PERSPECTIVE {(Jan)} FOR D EXTENDED FORWARD "
+                      "SELECT {x} ON COLUMNS FROM c")
+                .perspectives[0].semantics,
+            "EXTENDED FORWARD");
+  EXPECT_EQ(MustParse("WITH PERSPECTIVE {(Jan)} FOR D DYNAMIC BACKWARD "
+                      "SELECT {x} ON COLUMNS FROM c")
+                .perspectives[0].semantics,
+            "BACKWARD");
+  EXPECT_EQ(MustParse("WITH PERSPECTIVE {(Jan)} FOR D "
+                      "SELECT {x} ON COLUMNS FROM c")
+                .perspectives[0].semantics,
+            "");
+}
+
+TEST(ParserTest, ModeVariants) {
+  EXPECT_EQ(MustParse("WITH PERSPECTIVE {(Jan)} FOR D STATIC VISUAL "
+                      "SELECT {x} ON COLUMNS FROM c")
+                .perspectives[0].mode,
+            "VISUAL");
+  EXPECT_EQ(MustParse("WITH PERSPECTIVE {(Jan)} FOR D STATIC NONVISUAL "
+                      "SELECT {x} ON COLUMNS FROM c")
+                .perspectives[0].mode,
+            "NONVISUAL");
+  EXPECT_EQ(MustParse("WITH PERSPECTIVE {(Jan)} FOR D STATIC NON-VISUAL "
+                      "SELECT {x} ON COLUMNS FROM c")
+                .perspectives[0].mode,
+            "NONVISUAL");
+}
+
+TEST(ParserTest, ChangesClause) {
+  ParsedQuery q = MustParse(
+      "WITH CHANGES {([FTE].[Lisa], [FTE], [PTE], [Apr]), "
+      "([FTE].Children, FTE, Contractor, May)} FOR Organization VISUAL "
+      "SELECT {x} ON COLUMNS FROM c");
+  ASSERT_FALSE(q.changes.empty());
+  ASSERT_EQ(q.changes[0].changes.size(), 2u);
+  EXPECT_EQ(q.changes[0].changes[0].member->path,
+            (std::vector<std::string>{"FTE", "Lisa"}));
+  EXPECT_EQ(q.changes[0].changes[0].old_parent, "FTE");
+  EXPECT_EQ(q.changes[0].changes[0].new_parent, "PTE");
+  EXPECT_EQ(q.changes[0].changes[0].moment, "Apr");
+  EXPECT_EQ(q.changes[0].changes[1].member->kind, SetExpr::Kind::kChildren);
+  EXPECT_EQ(q.changes[0].varying_dim, "Organization");
+  EXPECT_EQ(q.changes[0].mode, "VISUAL");
+}
+
+TEST(ParserTest, AxisVariants) {
+  ParsedQuery q = MustParse(
+      "SELECT {a} ON COLUMNS, {b} ON ROWS, {c} ON PAGES, {d} ON AXIS(3) "
+      "FROM cube");
+  ASSERT_EQ(q.axes.size(), 4u);
+  EXPECT_EQ(q.axes[2].ordinal, 2);
+  EXPECT_EQ(q.axes[3].ordinal, 3);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("FOO BAR").ok());
+  EXPECT_FALSE(Parse("SELECT {a} ON COLUMNS").ok());           // No FROM.
+  EXPECT_FALSE(Parse("SELECT {a} ON SIDEWAYS FROM c").ok());   // Bad axis.
+  EXPECT_FALSE(Parse("SELECT {a ON COLUMNS FROM c").ok());     // Unbalanced.
+  EXPECT_FALSE(Parse("SELECT {Bogus(a)} ON COLUMNS FROM c").ok());
+  EXPECT_FALSE(Parse("WITH PERSPECTIVE {(Jan)} SELECT {a} ON COLUMNS FROM c")
+                   .ok());  // Missing FOR.
+  EXPECT_FALSE(Parse("SELECT {a} ON COLUMNS FROM c WHERE (x) trailing").ok());
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  ParsedQuery q = MustParse(
+      "with perspective {(jan)} for dept static select {x} on columns from c");
+  EXPECT_TRUE(!q.perspectives.empty());
+  EXPECT_EQ(q.perspectives[0].semantics, "STATIC");
+}
+
+}  // namespace
+}  // namespace olap::mdx

@@ -1,0 +1,131 @@
+#include "whatif/merge_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/product.h"
+
+namespace olap {
+namespace {
+
+TEST(MergeGraphTest, AddNodeDedupsByChunk) {
+  MergeGraph g;
+  int a = g.AddNode(100);
+  int b = g.AddNode(200);
+  EXPECT_EQ(g.AddNode(100), a);
+  EXPECT_EQ(g.num_nodes(), 2);
+  EXPECT_EQ(g.chunk(a), 100);
+  EXPECT_EQ(g.chunk(b), 200);
+}
+
+TEST(MergeGraphTest, EdgesAreSimpleAndUndirected) {
+  MergeGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 1);  // Duplicate (reversed) ignored.
+  g.AddEdge(1, 1);  // Self loop ignored.
+  EXPECT_EQ(g.num_edges(), 1);
+  int n1 = g.AddNode(1), n2 = g.AddNode(2);
+  EXPECT_TRUE(g.HasEdge(n1, n2));
+  EXPECT_TRUE(g.HasEdge(n2, n1));
+  EXPECT_EQ(g.degree(n1), 1);
+}
+
+// The paper's Fig. 9 merge dependency graph:
+// edges 1-5, 1-9, 1-10, 3-5, 7-10, 6-9.
+MergeGraph Fig9() {
+  MergeGraph g;
+  // Insert nodes in chunk order 1,3,5,6,7,9,10 for stable indices.
+  for (ChunkId c : {1, 3, 5, 6, 7, 9, 10}) g.AddNode(c);
+  g.AddEdge(1, 5);
+  g.AddEdge(1, 9);
+  g.AddEdge(1, 10);
+  g.AddEdge(3, 5);
+  g.AddEdge(7, 10);
+  g.AddEdge(6, 9);
+  return g;
+}
+
+TEST(MergeGraphTest, Fig9Shape) {
+  MergeGraph g = Fig9();
+  EXPECT_EQ(g.num_nodes(), 7);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.max_degree(), 3);  // Node for chunk 1.
+  EXPECT_EQ(g.ConnectedComponents().size(), 1u);
+}
+
+TEST(MergeGraphTest, ConnectedComponents) {
+  MergeGraph g;
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.AddNode(5);
+  std::vector<std::vector<int>> comps = g.ConnectedComponents();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0].size(), 2u);
+  EXPECT_EQ(comps[1].size(), 2u);
+  EXPECT_EQ(comps[2].size(), 1u);
+}
+
+TEST(BuildMergeGraphTest, TwoInstanceMemberConnectsPerParameterColumn) {
+  ProductCubeConfig config;
+  config.separation_chunks = 10;
+  config.chunk_products = 1;
+  config.move_moment = 6;  // Second instance valid Jul–Dec.
+  ProductCube pc = BuildProductCube(config);
+  MergeGraph g = BuildMergeGraph(pc.cube, pc.product_dim, {pc.probe});
+  // Time chunks are 3 months wide: Jul–Dec spans columns {2, 3} — one edge
+  // per column, between the target's and the source's chunk in that column.
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.ConnectedComponents().size(), 2u);
+}
+
+TEST(BuildMergeGraphTest, SingleInstanceMembersContributeNothing) {
+  ProductCubeConfig config;
+  config.separation_chunks = 4;
+  ProductCube pc = BuildProductCube(config);
+  // Filler products have one instance each: no nodes, no edges.
+  const Dimension& d = pc.cube.schema().dimension(pc.product_dim);
+  std::vector<MemberId> singles;
+  for (MemberId m : d.Leaves()) {
+    if (m != pc.probe && d.InstancesOf(m).size() == 1) singles.push_back(m);
+  }
+  ASSERT_FALSE(singles.empty());
+  MergeGraph g = BuildMergeGraph(pc.cube, pc.product_dim, singles);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(BuildMergeGraphTest, SharedChunksCreateSharedNodes) {
+  // Two changing members whose instances land in overlapping chunks: the
+  // graph connects through the shared chunk (the Fig. 8 situation).
+  Schema schema;
+  Dimension product("Product");
+  MemberId g1 = *product.AddChildOfRoot("G1");
+  MemberId g2 = *product.AddChildOfRoot("G2");
+  MemberId p = *product.AddMember("p", g1);
+  MemberId q = *product.AddMember("q", g1);
+  ASSERT_TRUE(product.AddMember("r", g2).ok());  // G2 must be non-leaf.
+  Dimension time("Time", DimensionKind::kParameter);
+  for (const char* m : {"Jan", "Feb", "Mar", "Apr"}) {
+    ASSERT_TRUE(time.AddChildOfRoot(m).ok());
+  }
+  int pdim = schema.AddDimension(std::move(product));
+  int tdim = schema.AddDimension(std::move(time));
+  ASSERT_TRUE(schema.BindVarying(pdim, tdim, true).ok());
+  Dimension* mut = schema.mutable_dimension(pdim);
+  ASSERT_TRUE(mut->ApplyChange(p, g2, 2).ok());
+  ASSERT_TRUE(mut->ApplyChange(q, g2, 2).ok());
+  CubeOptions options;
+  options.chunk_sizes = {2, 4};
+  Cube cube(std::move(schema), options);
+  // Positions: p=0, q=1, r=2, G2/p=3, G2/q=4. With product chunks of width
+  // 2, p and q share their first chunk; their second instances land in two
+  // different chunks — a connected 3-node merge graph through the shared
+  // chunk.
+  MergeGraph graph = BuildMergeGraph(cube, pdim, {p, q});
+  EXPECT_EQ(graph.num_nodes(), 3);
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_EQ(graph.ConnectedComponents().size(), 1u);
+}
+
+}  // namespace
+}  // namespace olap

@@ -1,0 +1,156 @@
+// The four motivating scenarios of the paper's Sec. 2, end to end:
+//   S1  "What if Tom became a contractor from March onward and became an
+//        FTE July onward?"                           (positive changes)
+//   S2  "What if FTE Lisa performed some work in MA where she is
+//        classified as PTE?"                (location-driven classification
+//                                            — see multi_whatif_test too)
+//   S3  "What if whatever structure existed in January continued until
+//        April and then the structure in April continued through rest of
+//        the year?"                                  (forward {Jan, Apr})
+//   S4  "What if whatever structure existed in Feb continued through
+//        April, April's structure continued till July, and then July's
+//        structure persisted through the rest of the year?"
+//                                                    (forward {Feb, Apr, Jul})
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "workload/paper_example.h"
+
+namespace olap {
+namespace {
+
+class PaperScenariosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The full-year variant of the running example (Qtr1..Qtr4).
+    ex_ = BuildPaperExample(/*months=*/12);
+    // Extend the data: Lisa, Tom and Jane work the whole year.
+    Cube* cube = &ex_.cube;
+    static const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr",
+                                      "May", "Jun", "Jul", "Aug",
+                                      "Sep", "Oct", "Nov", "Dec"};
+    for (int m = 6; m < 12; ++m) {
+      for (const char* who : {"Lisa", "Tom", "Jane"}) {
+        ASSERT_TRUE(
+            cube->SetByName({who, "NY", kMonths[m], "Salary"}, CellValue(10))
+                .ok());
+      }
+      ASSERT_TRUE(cube->SetByName({"Contractor/Joe", "NY", kMonths[m], "Salary"},
+                                  CellValue(10))
+                      .ok());
+    }
+    ASSERT_TRUE(db_.AddCube("Warehouse", ex_.cube).ok());
+    exec_ = std::make_unique<Executor>(&db_);
+  }
+
+  QueryResult MustExecute(const std::string& mdx) {
+    Result<QueryResult> r = exec_->Execute(mdx);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *std::move(r) : QueryResult{};
+  }
+
+  PaperExample ex_;
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(PaperScenariosTest, TwelveMonthExampleBuilds) {
+  const Dimension& time = ex_.cube.schema().dimension(ex_.time_dim);
+  EXPECT_EQ(time.num_leaves(), 12);
+  EXPECT_TRUE(time.FindMember("Qtr4").ok());
+  const Dimension& org = ex_.cube.schema().dimension(ex_.org_dim);
+  // Contractor/Joe's validity now runs Mar..Dec minus May.
+  EXPECT_EQ(org.instance(ex_.contractor_joe).validity.Count(), 9);
+}
+
+// S1: Tom -> Contractor in Mar, -> FTE in Jul (two positive changes).
+TEST_F(PaperScenariosTest, S1TomReclassifiedTwice) {
+  QueryResult r = MustExecute(
+      "WITH CHANGES {([PTE].[Tom], [PTE], [Contractor], [Mar]), "
+      "([Tom], [Contractor], [FTE], [Jul])} VISUAL "
+      "SELECT {Time.[Feb], Time.[Mar], Time.[Jun], Time.[Jul], Time.[Dec]} "
+      "ON COLUMNS, {[Organization].[Tom]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_EQ(r.grid.num_rows(), 3);  // PTE/Tom, Contractor/Tom, FTE/Tom.
+  EXPECT_EQ(r.grid.row_labels()[0], "PTE/Tom");
+  EXPECT_EQ(r.grid.row_labels()[1], "Contractor/Tom");
+  EXPECT_EQ(r.grid.row_labels()[2], "FTE/Tom");
+  // PTE/Tom: Jan..Feb only.
+  EXPECT_EQ(r.grid.at(0, 0), CellValue(10.0));  // Feb.
+  EXPECT_TRUE(r.grid.at(0, 1).is_null());       // Mar moved away.
+  // Contractor/Tom: Mar..Jun.
+  EXPECT_EQ(r.grid.at(1, 1), CellValue(10.0));  // Mar.
+  EXPECT_EQ(r.grid.at(1, 2), CellValue(10.0));  // Jun.
+  EXPECT_TRUE(r.grid.at(1, 3).is_null());       // Jul moved on.
+  // FTE/Tom: Jul..Dec.
+  EXPECT_EQ(r.grid.at(2, 3), CellValue(10.0));  // Jul.
+  EXPECT_EQ(r.grid.at(2, 4), CellValue(10.0));  // Dec.
+  // "The analyst's goal may be to compute the impact ... on salary
+  // allocation": visual FTE totals now include Tom's H2.
+  QueryResult fte = MustExecute(
+      "WITH CHANGES {([PTE].[Tom], [PTE], [Contractor], [Mar]), "
+      "([Tom], [Contractor], [FTE], [Jul])} VISUAL "
+      "SELECT {Time.[Qtr3]} ON COLUMNS, {[FTE]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  // Q3 under FTE: Lisa 30 + Tom 30 = 60.
+  EXPECT_EQ(fte.grid.at(0, 0), CellValue(60.0));
+}
+
+// S3: January's structure until April, April's structure afterwards.
+TEST_F(PaperScenariosTest, S3JanuaryThenAprilStructure) {
+  QueryResult r = MustExecute(
+      "WITH PERSPECTIVE {(Jan), (Apr)} FOR Organization DYNAMIC FORWARD "
+      "SELECT {Time.[Jan], Time.[Mar], Time.[Apr], Time.[Dec]} ON COLUMNS, "
+      "{[Organization].[Joe]} ON ROWS FROM Warehouse WHERE ([NY], [Salary])");
+  // Joe: FTE at Jan (owns [Jan, Apr)), Contractor at Apr (owns [Apr, ..)).
+  ASSERT_EQ(r.grid.num_rows(), 2);
+  EXPECT_EQ(r.grid.row_labels()[0], "FTE/Joe");
+  EXPECT_EQ(r.grid.row_labels()[1], "Contractor/Joe");
+  EXPECT_EQ(r.grid.at(0, 0), CellValue(10.0));   // Jan own.
+  EXPECT_EQ(r.grid.at(0, 1), CellValue(30.0));   // Mar inherited.
+  EXPECT_TRUE(r.grid.at(0, 2).is_null());        // Apr not his.
+  EXPECT_EQ(r.grid.at(1, 2), CellValue(10.0));   // Apr own.
+  EXPECT_EQ(r.grid.at(1, 3), CellValue(10.0));   // Dec own.
+}
+
+// S4: Feb's structure through April, April's till July, July's onwards.
+TEST_F(PaperScenariosTest, S4ThreePerspectiveRanges) {
+  QueryResult r = MustExecute(
+      "WITH PERSPECTIVE {(Feb), (Apr), (Jul)} FOR Organization DYNAMIC FORWARD "
+      "SELECT {Time.[Feb], Time.[Mar], Time.[Apr], Time.[Jul], Time.[Nov]} "
+      "ON COLUMNS, {[Organization].[Joe]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  // Feb: Joe was PTE -> PTE/Joe owns [Feb, Apr); Apr & Jul: Contractor.
+  ASSERT_EQ(r.grid.num_rows(), 2);
+  EXPECT_EQ(r.grid.row_labels()[0], "PTE/Joe");
+  EXPECT_EQ(r.grid.row_labels()[1], "Contractor/Joe");
+  EXPECT_EQ(r.grid.at(0, 0), CellValue(10.0));  // Feb own.
+  EXPECT_EQ(r.grid.at(0, 1), CellValue(30.0));  // Mar inherited.
+  EXPECT_TRUE(r.grid.at(0, 2).is_null());
+  EXPECT_EQ(r.grid.at(1, 2), CellValue(10.0));  // Apr.
+  EXPECT_EQ(r.grid.at(1, 3), CellValue(10.0));  // Jul.
+  EXPECT_EQ(r.grid.at(1, 4), CellValue(10.0));  // Nov.
+}
+
+// The intro's negative scenario: "a what-if query that assumes employee
+// types staying constant over the year ... super-imposing employee type
+// distribution as it existed in the first month over subsequent 11 months
+// but using actual employee salaries from each month".
+TEST_F(PaperScenariosTest, IntroTypeMixFrozenAtJanuary) {
+  QueryResult r = MustExecute(
+      "WITH PERSPECTIVE {(Jan)} FOR Organization EXTENDED FORWARD VISUAL "
+      "SELECT {Time.[Qtr1], Time.[Qtr2], Time.[Qtr3], Time.[Qtr4]} "
+      "ON COLUMNS, {[FTE], [PTE], [Contractor]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_EQ(r.grid.num_rows(), 3);
+  // All of Joe's salaries land under FTE (his January type), with actual
+  // amounts from each month: FTE Q1 = Lisa 30 + Joe (10+10+30) = 80.
+  EXPECT_EQ(r.grid.at(0, 0), CellValue(80.0));
+  // Contractor rows hold only Jane now.
+  EXPECT_EQ(r.grid.at(2, 0), CellValue(30.0));
+  EXPECT_EQ(r.grid.at(2, 3), CellValue(30.0));
+}
+
+}  // namespace
+}  // namespace olap

@@ -1,0 +1,85 @@
+// Multi-threaded grid evaluation must produce exactly the serial results.
+
+#include <gtest/gtest.h>
+
+#include "engine/executor.h"
+#include "workload/workforce.h"
+
+namespace olap {
+namespace {
+
+class ParallelEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkforceConfig config;
+    config.num_departments = 10;
+    config.num_employees = 100;
+    config.num_changing = 15;
+    config.num_measures = 4;
+    config.num_scenarios = 2;
+    config.seed = 99;
+    ASSERT_TRUE(
+        RegisterWorkforce(&db_, "App.Db", BuildWorkforceCube(config)).ok());
+    exec_ = std::make_unique<Executor>(&db_);
+  }
+
+  void ExpectSameGrid(const std::string& query) {
+    QueryOptions serial;
+    QueryOptions parallel;
+    parallel.eval_threads = 4;
+    Result<QueryResult> a = exec_->Execute(query, serial);
+    Result<QueryResult> b = exec_->Execute(query, parallel);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    ASSERT_EQ(a->grid.num_rows(), b->grid.num_rows());
+    ASSERT_EQ(a->grid.num_columns(), b->grid.num_columns());
+    EXPECT_EQ(a->grid.row_labels(), b->grid.row_labels());
+    for (int r = 0; r < a->grid.num_rows(); ++r) {
+      for (int c = 0; c < a->grid.num_columns(); ++c) {
+        ASSERT_EQ(a->grid.at(r, c), b->grid.at(r, c)) << r << "," << c;
+      }
+    }
+    EXPECT_EQ(a->cells_evaluated, b->cells_evaluated);
+  }
+
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(ParallelEvalTest, PlainAggregationQuery) {
+  ExpectSameGrid(
+      "SELECT {[Account].Levels(0).Members} ON COLUMNS, "
+      "{CrossJoin({[Department].Children}, {Descendants([Period],1)})} "
+      "ON ROWS FROM App.Db WHERE ([Current], [Local])");
+}
+
+TEST_F(ParallelEvalTest, WhatIfQuery) {
+  ExpectSameGrid(
+      "WITH PERSPECTIVE {(Jan), (Jul)} FOR Department DYNAMIC FORWARD "
+      "SELECT {[Account].Levels(0).Members} ON COLUMNS, "
+      "{CrossJoin({[EmployeesWithAtleastOneMove-Set1].Children}, "
+      "{Descendants([Period],1,self_and_after)})} ON ROWS FROM App.Db "
+      "WHERE ([Current])");
+}
+
+TEST_F(ParallelEvalTest, WithAggregateCache) {
+  ASSERT_TRUE(db_.BuildAggregates("App.Db", 8).ok());
+  ExpectSameGrid(
+      "SELECT {([Current], [Local])} ON COLUMNS, "
+      "{CrossJoin({[Department].Children}, {Descendants([Period],1)})} "
+      "ON ROWS FROM App.Db");
+}
+
+TEST_F(ParallelEvalTest, MoreThreadsThanRows) {
+  QueryOptions many;
+  many.eval_threads = 64;
+  Result<QueryResult> r = exec_->Execute(
+      "SELECT {([Current])} ON COLUMNS, {Descendants([Period],1)} ON ROWS "
+      "FROM App.Db",
+      many);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->grid.num_rows(), 4);
+}
+
+}  // namespace
+}  // namespace olap

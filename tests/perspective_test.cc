@@ -1,0 +1,169 @@
+#include "whatif/perspective.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_example.h"
+
+namespace olap {
+namespace {
+
+DynamicBitset Bits(std::vector<int> v, int size = 6) {
+  return DynamicBitset::FromVector(size, std::move(v));
+}
+
+TEST(PerspectivesTest, SortsAndDedups) {
+  Perspectives p({3, 1, 3, 0});
+  EXPECT_EQ(p.moments(), (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(p.min(), 0);
+  EXPECT_EQ(p.size(), 3);
+  EXPECT_EQ(p.ToString(), "{0, 1, 3}");
+}
+
+TEST(PerspectivesTest, GoverningPerspective) {
+  Perspectives p({1, 3});
+  EXPECT_EQ(p.GoverningPerspective(0), -1);
+  EXPECT_EQ(p.GoverningPerspective(1), 1);
+  EXPECT_EQ(p.GoverningPerspective(2), 1);
+  EXPECT_EQ(p.GoverningPerspective(3), 3);
+  EXPECT_EQ(p.GoverningPerspective(5), 3);
+}
+
+TEST(PerspectivesTest, RangeEnd) {
+  Perspectives p({1, 3});
+  EXPECT_EQ(p.RangeEnd(0, 6), 3);
+  EXPECT_EQ(p.RangeEnd(1, 6), 6);
+}
+
+// Stretch(d) = union of [p_i, p_{i+1}) over perspectives where d is valid.
+TEST(StretchTest, UnionOfGovernedIntervals) {
+  // d valid at {1, 4}; P = {1, 3, 4}: governed intervals [1,3) and [4,∞).
+  EXPECT_EQ(Stretch(Bits({1, 4}), Perspectives({1, 3, 4})),
+            Bits({1, 2, 4, 5}));
+  // d invalid at every perspective: empty.
+  EXPECT_EQ(Stretch(Bits({2}), Perspectives({1, 3})), Bits({}));
+  // Valid at the last perspective only: suffix.
+  EXPECT_EQ(Stretch(Bits({3}), Perspectives({1, 3})), Bits({3, 4, 5}));
+}
+
+// Φ_static is the identity on surviving instances, ∅ otherwise (Def. 4.2 +
+// the activity filter of Def. 3.4).
+TEST(PhiTest, Static) {
+  Perspectives p({1, 3});
+  EXPECT_EQ(Phi(Bits({1, 2}), p, Semantics::kStatic), Bits({1, 2}));
+  EXPECT_EQ(Phi(Bits({0, 2}), p, Semantics::kStatic), Bits({}));
+  EXPECT_EQ(Phi(Bits({3}), p, Semantics::kStatic), Bits({3}));
+}
+
+TEST(PhiTest, ForwardKeepsPrePminOriginalMoments) {
+  Perspectives p({2, 4});
+  // d valid at {0, 2}: stretch = [2,4); plus original pre-Pmin moment 0.
+  EXPECT_EQ(Phi(Bits({0, 2}), p, Semantics::kForward), Bits({0, 2, 3}));
+  // d valid at {1} only: no perspective hit, Stretch empty => gone,
+  // including its pre-Pmin moment (Definition 4.3).
+  EXPECT_EQ(Phi(Bits({1}), p, Semantics::kForward), Bits({}));
+}
+
+TEST(PhiTest, ExtendedForwardAssignsPastToPminInstance) {
+  Perspectives p({2, 4});
+  // Valid at Pmin => owns the whole past.
+  EXPECT_EQ(Phi(Bits({2}), p, Semantics::kExtendedForward),
+            Bits({0, 1, 2, 3}));
+  // Valid at the later perspective only => no past, just its interval.
+  EXPECT_EQ(Phi(Bits({4}), p, Semantics::kExtendedForward), Bits({4, 5}));
+}
+
+TEST(PhiTest, BackwardMirrorsForward) {
+  // Backward with P={1,3}: intervals (in descending time) are [3, ...back
+  // to 2] and [1, back to 0]; moments after the max perspective keep their
+  // original assignment.
+  // d valid at {3, 5}: governed by perspective 3 over (1,3]; keeps 5.
+  EXPECT_EQ(Phi(Bits({3, 5}), Perspectives({1, 3}), Semantics::kBackward),
+            Bits({2, 3, 5}));
+  // d valid at {1}: owns [0,1].
+  EXPECT_EQ(Phi(Bits({1}), Perspectives({1, 3}), Semantics::kBackward),
+            Bits({0, 1}));
+}
+
+TEST(PhiTest, ExtendedBackwardAssignsFutureToPmaxInstance) {
+  // d valid at {3} with P={1,3}: extended backward gives it (1,3] plus the
+  // entire future beyond Pmax.
+  EXPECT_EQ(Phi(Bits({3}), Perspectives({1, 3}), Semantics::kExtendedBackward),
+            Bits({2, 3, 4, 5}));
+}
+
+// Disjointness is preserved: for any member, at most one instance owns each
+// moment after Φ.
+TEST(PhiTest, OutputsOfDisjointInputsStayDisjoint) {
+  // Joe-like member: three instances partitioning {0},{1},{2,3,5}.
+  std::vector<DynamicBitset> vs = {Bits({0}), Bits({1}), Bits({2, 3, 5})};
+  for (Semantics sem :
+       {Semantics::kStatic, Semantics::kForward, Semantics::kExtendedForward,
+        Semantics::kBackward, Semantics::kExtendedBackward}) {
+    for (const Perspectives& p :
+         {Perspectives({0}), Perspectives({1, 3}), Perspectives({0, 2, 4}),
+          Perspectives({5})}) {
+      std::vector<DynamicBitset> out;
+      for (const DynamicBitset& in : vs) out.push_back(Phi(in, p, sem));
+      for (size_t i = 0; i < out.size(); ++i) {
+        for (size_t j = i + 1; j < out.size(); ++j) {
+          EXPECT_TRUE(out[i].DisjointWith(out[j]))
+              << SemanticsName(sem) << " P=" << p.ToString() << " instances "
+              << i << "," << j << ": " << out[i].ToString() << " vs "
+              << out[j].ToString();
+        }
+      }
+    }
+  }
+}
+
+// Sec. 3.3 walk-through: perspective {Jan} on the running example.
+TEST(TransformValiditySetsTest, PaperSingleJanPerspective) {
+  PaperExample ex = BuildPaperExample();
+  const Dimension& org = ex.cube.schema().dimension(ex.org_dim);
+  Perspectives jan({0});
+
+  // Static: "instance FTE/Joe will have VSout = {Jan} ... Rows for PTE/Joe
+  // and Contractor/Joe are removed."
+  std::vector<DynamicBitset> st =
+      TransformValiditySets(org, jan, Semantics::kStatic);
+  EXPECT_EQ(st[ex.fte_joe], Bits({0}));
+  EXPECT_TRUE(st[ex.pte_joe].None());
+  EXPECT_TRUE(st[ex.contractor_joe].None());
+
+  // Forward: "FTE/Joe will have VSout = {Jan, ..., Apr, Jun, ...}" — May is
+  // excluded because Joe has no instance there.
+  std::vector<DynamicBitset> fw =
+      TransformValiditySets(org, jan, Semantics::kForward);
+  EXPECT_EQ(fw[ex.fte_joe], Bits({0, 1, 2, 3, 5}));
+  EXPECT_TRUE(fw[ex.pte_joe].None());
+  EXPECT_TRUE(fw[ex.contractor_joe].None());
+
+  // Lisa is valid everywhere and stays so.
+  InstanceId lisa = org.InstancesOf(ex.lisa)[0];
+  EXPECT_EQ(fw[lisa].Count(), 6);
+}
+
+// Definition 3.4's worked setting: P = {Feb, Apr} with forward semantics on
+// the running example (the Fig. 4 metadata).
+TEST(TransformValiditySetsTest, PaperFebAprForward) {
+  PaperExample ex = BuildPaperExample();
+  const Dimension& org = ex.cube.schema().dimension(ex.org_dim);
+  std::vector<DynamicBitset> fw =
+      TransformValiditySets(org, Perspectives({1, 3}), Semantics::kForward);
+  // FTE/Joe valid only in Jan: not active at Feb or Apr => dropped.
+  EXPECT_TRUE(fw[ex.fte_joe].None());
+  // PTE/Joe owns [Feb, Apr) = {Feb, Mar}; its pre-Pmin Jan was not in VSin.
+  EXPECT_EQ(fw[ex.pte_joe], Bits({1, 2}));
+  // Contractor/Joe owns [Apr, ∞) minus May (no instance) = {Apr, Jun}.
+  EXPECT_EQ(fw[ex.contractor_joe], Bits({3, 5}));
+}
+
+TEST(SemanticsNamesTest, Names) {
+  EXPECT_STREQ(SemanticsName(Semantics::kStatic), "STATIC");
+  EXPECT_STREQ(SemanticsName(Semantics::kForward), "DYNAMIC FORWARD");
+  EXPECT_STREQ(EvalModeName(EvalMode::kVisual), "VISUAL");
+  EXPECT_STREQ(EvalModeName(EvalMode::kNonVisual), "NON-VISUAL");
+}
+
+}  // namespace
+}  // namespace olap

@@ -1,0 +1,61 @@
+#include "workload/product.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+TEST(ProductCubeTest, ProbeHasTwoInstancesWithConfiguredSeparation) {
+  ProductCubeConfig config;
+  config.separation_chunks = 20;
+  config.chunk_products = 2;
+  ProductCube pc = BuildProductCube(config);
+  const Dimension& d = pc.cube.schema().dimension(pc.product_dim);
+  ASSERT_NE(pc.probe_first, kInvalidInstance);
+  ASSERT_NE(pc.probe_second, kInvalidInstance);
+  // Positions: first instance at 0, second after every filler instance.
+  EXPECT_EQ(pc.probe_first, 0);
+  EXPECT_EQ(pc.probe_second, d.num_instances() - 1);
+  int position_gap = pc.probe_second - pc.probe_first;
+  EXPECT_EQ(position_gap, 20 * 2 + 1);
+  // Which is the configured number of chunks along the product axis.
+  int chunk_gap = position_gap / config.chunk_products;
+  EXPECT_GE(chunk_gap, config.separation_chunks);
+}
+
+TEST(ProductCubeTest, ProbeMovesAtConfiguredMoment) {
+  ProductCubeConfig config;
+  config.separation_chunks = 3;
+  config.move_moment = 7;
+  ProductCube pc = BuildProductCube(config);
+  const Dimension& d = pc.cube.schema().dimension(pc.product_dim);
+  const MemberInstance& first = d.instance(pc.probe_first);
+  const MemberInstance& second = d.instance(pc.probe_second);
+  EXPECT_EQ(first.validity.ToVector(),
+            (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(second.validity.ToVector(), (std::vector<int>{7, 8, 9, 10, 11}));
+  EXPECT_EQ(first.parent, pc.groups[0]);
+  EXPECT_EQ(second.parent, pc.groups[1]);
+}
+
+TEST(ProductCubeTest, DataCoversAllValidMoments) {
+  ProductCubeConfig config;
+  config.separation_chunks = 4;
+  ProductCube pc = BuildProductCube(config);
+  // Every product has 12 cells (one per month, across its instances);
+  // probe included.
+  int64_t products =
+      pc.cube.schema().dimension(pc.product_dim).num_leaves();
+  EXPECT_EQ(pc.cube.CountNonNullCells(), products * 12);
+}
+
+TEST(ProductCubeTest, NoFillerDataOption) {
+  ProductCubeConfig config;
+  config.separation_chunks = 4;
+  config.fill_data = false;
+  ProductCube pc = BuildProductCube(config);
+  EXPECT_EQ(pc.cube.CountNonNullCells(), 12);  // Probe only.
+}
+
+}  // namespace
+}  // namespace olap

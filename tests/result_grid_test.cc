@@ -1,0 +1,89 @@
+#include "engine/result_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+TEST(ResultGridTest, EmptyGrid) {
+  ResultGrid grid;
+  EXPECT_EQ(grid.num_rows(), 0);
+  EXPECT_EQ(grid.num_columns(), 0);
+  EXPECT_EQ(grid.CountNonNull(), 0);
+  EXPECT_EQ(grid.ToString(), "\n");  // Header line only.
+}
+
+TEST(ResultGridTest, CellsStartNullAndSetGetRoundTrips) {
+  ResultGrid grid({"c0", "c1"}, {"r0", "r1", "r2"});
+  EXPECT_EQ(grid.num_rows(), 3);
+  EXPECT_EQ(grid.num_columns(), 2);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_TRUE(grid.at(r, c).is_null());
+    }
+  }
+  grid.set(1, 1, CellValue(42));
+  grid.set(2, 0, CellValue(-1));
+  EXPECT_EQ(grid.at(1, 1), CellValue(42));
+  EXPECT_EQ(grid.at(2, 0), CellValue(-1));
+  EXPECT_EQ(grid.CountNonNull(), 2);
+}
+
+TEST(ResultGridTest, PropertyColumns) {
+  ResultGrid grid({"Jan"}, {"Joe", "Lisa"});
+  grid.AddPropertyColumn("Department", {"FTE", "PTE"});
+  ASSERT_EQ(grid.num_property_columns(), 1);
+  EXPECT_EQ(grid.property_name(0), "Department");
+  EXPECT_EQ(grid.property_values(0)[1], "PTE");
+}
+
+TEST(ResultGridTest, ToStringAlignsColumns) {
+  ResultGrid grid({"Jan", "February"}, {"Joe", "Wilhelmina"});
+  grid.set(0, 0, CellValue(10));
+  grid.set(1, 1, CellValue(123456));
+  grid.AddPropertyColumn("Dept", {"A", "LongDept"});
+  std::string table = grid.ToString();
+  // Every line has the same display width structure: the header names and
+  // all values appear.
+  EXPECT_NE(table.find("February"), std::string::npos);
+  EXPECT_NE(table.find("Wilhelmina"), std::string::npos);
+  EXPECT_NE(table.find("123456"), std::string::npos);
+  EXPECT_NE(table.find("LongDept"), std::string::npos);
+  EXPECT_NE(table.find("⊥"), std::string::npos);
+  // Three lines: header + two rows.
+  int newlines = 0;
+  for (char c : table) newlines += c == '\n';
+  EXPECT_EQ(newlines, 3);
+}
+
+TEST(ResultGridTest, ToCsvBasic) {
+  ResultGrid grid({"Jan", "Feb"}, {"Joe", "Lisa"});
+  grid.set(0, 0, CellValue(10));
+  grid.set(1, 1, CellValue(2.5));
+  EXPECT_EQ(grid.ToCsv(), ",Jan,Feb\nJoe,10,\nLisa,,2.500000\n");
+}
+
+TEST(ResultGridTest, ToCsvQuotesSpecialCharacters) {
+  ResultGrid grid({"a,b", "say \"hi\""}, {"line\nbreak"});
+  grid.set(0, 0, CellValue(1));
+  std::string csv = grid.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(csv.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(ResultGridTest, ToCsvIncludesProperties) {
+  ResultGrid grid({"Jan"}, {"Joe"});
+  grid.AddPropertyColumn("Dept", {"FTE"});
+  grid.set(0, 0, CellValue(7));
+  EXPECT_EQ(grid.ToCsv(), ",Dept,Jan\nJoe,FTE,7\n");
+}
+
+TEST(ResultGridTest, NullRendersAsBottomGlyph) {
+  ResultGrid grid({"c"}, {"r"});
+  std::string table = grid.ToString();
+  EXPECT_NE(table.find("⊥"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olap

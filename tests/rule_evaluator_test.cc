@@ -1,0 +1,133 @@
+#include "rules/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "rules/rule_parser.h"
+
+namespace olap {
+namespace {
+
+// Market {East{NY,MA}, West{CA}}, Time {Jan,Feb}, Measures {Sales, COGS,
+// Margin, Margin%} — the paper's Sec. 2 rule examples.
+class RuleEvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema;
+    Dimension market("Market");
+    MemberId east = *market.AddChildOfRoot("East");
+    MemberId west = *market.AddChildOfRoot("West");
+    ASSERT_TRUE(market.AddMember("NY", east).ok());
+    ASSERT_TRUE(market.AddMember("MA", east).ok());
+    ASSERT_TRUE(market.AddMember("CA", west).ok());
+    Dimension time("Time", DimensionKind::kParameter);
+    ASSERT_TRUE(time.AddChildOfRoot("Jan").ok());
+    ASSERT_TRUE(time.AddChildOfRoot("Feb").ok());
+    Dimension measures("Measures", DimensionKind::kMeasure);
+    ASSERT_TRUE(measures.AddChildOfRoot("Sales").ok());
+    ASSERT_TRUE(measures.AddChildOfRoot("COGS").ok());
+    ASSERT_TRUE(measures.AddChildOfRoot("Margin").ok());
+    ASSERT_TRUE(measures.AddChildOfRoot("Margin%").ok());
+    schema.AddDimension(std::move(market));
+    schema.AddDimension(std::move(time));
+    schema.AddDimension(std::move(measures));
+    cube_ = Cube(std::move(schema));
+
+    // Sales/COGS data: NY Jan (100, 60), NY Feb (200, 150), CA Jan (50, 10).
+    ASSERT_TRUE(cube_.SetByName({"NY", "Jan", "Sales"}, CellValue(100)).ok());
+    ASSERT_TRUE(cube_.SetByName({"NY", "Jan", "COGS"}, CellValue(60)).ok());
+    ASSERT_TRUE(cube_.SetByName({"NY", "Feb", "Sales"}, CellValue(200)).ok());
+    ASSERT_TRUE(cube_.SetByName({"NY", "Feb", "COGS"}, CellValue(150)).ok());
+    ASSERT_TRUE(cube_.SetByName({"CA", "Jan", "Sales"}, CellValue(50)).ok());
+    ASSERT_TRUE(cube_.SetByName({"CA", "Jan", "COGS"}, CellValue(10)).ok());
+  }
+
+  void AddRule(const std::string& text) {
+    Result<Rule> rule = ParseRule(cube_.schema(), text);
+    ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+    rules_.Add(*std::move(rule));
+  }
+
+  CellRef Ref(const std::string& market, const std::string& time,
+              const std::string& measure) {
+    const Schema& s = cube_.schema();
+    return CellRef{AxisRef::OfMember(*s.dimension(0).FindMember(market)),
+                   AxisRef::OfMember(*s.dimension(1).FindMember(time)),
+                   AxisRef::OfMember(*s.dimension(2).FindMember(measure))};
+  }
+
+  Cube cube_;
+  RuleSet rules_;
+};
+
+TEST_F(RuleEvaluatorTest, GlobalFormulaRule) {
+  AddRule("Margin = Sales - COGS");
+  CellEvaluator eval(cube_, &rules_);
+  EXPECT_EQ(eval.Evaluate(Ref("NY", "Jan", "Margin")), CellValue(40.0));
+  EXPECT_EQ(eval.Evaluate(Ref("CA", "Jan", "Margin")), CellValue(40.0));
+  // At aggregate market level: Sales(East,Jan)=100, COGS=60.
+  EXPECT_EQ(eval.Evaluate(Ref("East", "Jan", "Margin")), CellValue(40.0));
+  // Whole cube Jan: Sales 150, COGS 70.
+  EXPECT_EQ(eval.Evaluate(Ref("Market", "Jan", "Margin")), CellValue(80.0));
+}
+
+TEST_F(RuleEvaluatorTest, RegionalOverride) {
+  // Paper rules (2) and (3): West uses the plain margin, East a discounted
+  // one. The scoped rules beat an unscoped fallback.
+  AddRule("Margin = Sales - COGS");
+  AddRule("FOR Market = West, Margin = Sales - COGS");
+  AddRule("FOR Market = East, Margin = 0.93 * Sales - COGS");
+  CellEvaluator eval(cube_, &rules_);
+  EXPECT_EQ(eval.Evaluate(Ref("CA", "Jan", "Margin")), CellValue(40.0));
+  EXPECT_EQ(eval.Evaluate(Ref("NY", "Jan", "Margin")), CellValue(0.93 * 100 - 60));
+  EXPECT_EQ(eval.Evaluate(Ref("East", "Jan", "Margin")), CellValue(0.93 * 100 - 60));
+}
+
+TEST_F(RuleEvaluatorTest, RuleOnRule) {
+  // Paper rule (4): Margin% = Margin / COGS * 100.
+  AddRule("Margin = Sales - COGS");
+  AddRule("[Margin%] = Margin / COGS * 100");
+  CellEvaluator eval(cube_, &rules_);
+  CellValue v = eval.Evaluate(Ref("NY", "Jan", "Margin%"));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v.value(), 40.0 / 60.0 * 100.0);
+}
+
+TEST_F(RuleEvaluatorTest, MissingInputYieldsNull) {
+  AddRule("Margin = Sales - COGS");
+  CellEvaluator eval(cube_, &rules_);
+  // CA Feb has no data at all.
+  EXPECT_TRUE(eval.Evaluate(Ref("CA", "Feb", "Margin")).is_null());
+  // MA never has data either.
+  EXPECT_TRUE(eval.Evaluate(Ref("MA", "Jan", "Margin")).is_null());
+}
+
+TEST_F(RuleEvaluatorTest, CyclicRulesYieldNullNotInfiniteRecursion) {
+  AddRule("Margin = [Margin%] + 1");
+  AddRule("[Margin%] = Margin + 1");
+  CellEvaluator eval(cube_, &rules_);
+  EXPECT_TRUE(eval.Evaluate(Ref("NY", "Jan", "Margin")).is_null());
+}
+
+TEST_F(RuleEvaluatorTest, NoRulesFallsBackToRollup) {
+  CellEvaluator eval(cube_, nullptr);
+  EXPECT_EQ(eval.Evaluate(Ref("East", "Jan", "Sales")), CellValue(100.0));
+  EXPECT_EQ(eval.Evaluate(Ref("Market", "Jan", "Sales")), CellValue(150.0));
+  EXPECT_TRUE(eval.Evaluate(Ref("NY", "Jan", "Margin")).is_null());
+}
+
+TEST_F(RuleEvaluatorTest, RollupOfTimeThroughRule) {
+  AddRule("Margin = Sales - COGS");
+  CellEvaluator eval(cube_, &rules_);
+  // Margin over all Time in NY: Sales 300 - COGS 210 = 90 (rule applied at
+  // the aggregate level — the "visual" evaluation style).
+  EXPECT_EQ(eval.Evaluate(Ref("NY", "Time", "Margin")), CellValue(90.0));
+}
+
+TEST_F(RuleEvaluatorTest, MeasureRollupWithoutRule) {
+  CellEvaluator eval(cube_, &rules_);
+  // Measures root rolls up stored measures only (Sales + COGS).
+  EXPECT_EQ(eval.Evaluate(Ref("NY", "Jan", "Measures")), CellValue(160.0));
+}
+
+}  // namespace
+}  // namespace olap

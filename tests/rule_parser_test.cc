@@ -1,0 +1,107 @@
+#include "rules/rule_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+// Market {East{NY,MA}, West{CA}}, Time {Jan,Feb}, Measures {Sales, COGS,
+// Margin, Margin%}.
+Schema SalesSchema() {
+  Schema schema;
+  Dimension market("Market");
+  MemberId east = *market.AddChildOfRoot("East");
+  MemberId west = *market.AddChildOfRoot("West");
+  EXPECT_TRUE(market.AddMember("NY", east).ok());
+  EXPECT_TRUE(market.AddMember("MA", east).ok());
+  EXPECT_TRUE(market.AddMember("CA", west).ok());
+  Dimension time("Time", DimensionKind::kParameter);
+  EXPECT_TRUE(time.AddChildOfRoot("Jan").ok());
+  EXPECT_TRUE(time.AddChildOfRoot("Feb").ok());
+  Dimension measures("Measures", DimensionKind::kMeasure);
+  EXPECT_TRUE(measures.AddChildOfRoot("Sales").ok());
+  EXPECT_TRUE(measures.AddChildOfRoot("COGS").ok());
+  EXPECT_TRUE(measures.AddChildOfRoot("Margin").ok());
+  EXPECT_TRUE(measures.AddChildOfRoot("Margin%").ok());
+  schema.AddDimension(std::move(market));
+  schema.AddDimension(std::move(time));
+  schema.AddDimension(std::move(measures));
+  return schema;
+}
+
+TEST(RuleParserTest, SimpleFormula) {
+  Schema schema = SalesSchema();
+  Result<Rule> rule = ParseRule(schema, "Margin = Sales - COGS");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  const Dimension& m = schema.dimension(2);
+  EXPECT_EQ(rule->target, *m.FindMember("Margin"));
+  EXPECT_TRUE(rule->scope.empty());
+  EXPECT_EQ(rule->formula->ToString(), "(Sales - COGS)");
+}
+
+TEST(RuleParserTest, ScopedFormula) {
+  // Paper rule (3): "For Market = East, Margin = 0.93 * Sales - COGS".
+  Schema schema = SalesSchema();
+  Result<Rule> rule =
+      ParseRule(schema, "FOR Market = East, Margin = 0.93 * Sales - COGS");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->scope.size(), 1u);
+  EXPECT_EQ(rule->scope[0].dim, 0);
+  EXPECT_EQ(rule->scope[0].member, *schema.dimension(0).FindMember("East"));
+  EXPECT_EQ(rule->formula->ToString(), "((0.930000 * Sales) - COGS)");
+}
+
+TEST(RuleParserTest, MultiRestrictionScope) {
+  Schema schema = SalesSchema();
+  Result<Rule> rule = ParseRule(
+      schema, "FOR Market = East AND Time = Jan, Margin = Sales - COGS");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->scope.size(), 2u);
+  EXPECT_EQ(rule->scope[1].dim, 1);
+}
+
+TEST(RuleParserTest, PercentRuleWithPrecedence) {
+  // Paper rule (4): "Margin% = Margin / COGS * 100".
+  Schema schema = SalesSchema();
+  Result<Rule> rule = ParseRule(schema, "Margin% = Margin / COGS * 100");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->formula->ToString(), "((Margin / COGS) * 100)");
+}
+
+TEST(RuleParserTest, BracketsParenthesesAndUnaryMinus) {
+  Schema schema = SalesSchema();
+  Result<Rule> rule =
+      ParseRule(schema, "[Margin] = ([Sales] + -[COGS]) * 1.0");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->formula->ToString(), "((Sales + (0 - COGS)) * 1)");
+}
+
+TEST(RuleParserTest, Errors) {
+  Schema schema = SalesSchema();
+  EXPECT_EQ(ParseRule(schema, "Bogus = Sales").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseRule(schema, "Margin = Bogus").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseRule(schema, "Margin Sales").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRule(schema, "Margin = Sales - ").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRule(schema, "Margin = (Sales").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRule(schema, "FOR Nowhere = East, Margin = Sales")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseRule(schema, "Margin = Sales extra").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RuleParserTest, SourceTextPreserved) {
+  Schema schema = SalesSchema();
+  Result<Rule> rule = ParseRule(schema, "  Margin = Sales - COGS  ");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->source_text, "Margin = Sales - COGS");
+}
+
+}  // namespace
+}  // namespace olap

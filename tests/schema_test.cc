@@ -1,0 +1,69 @@
+#include "dimension/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+Schema MakeSchema() {
+  Schema schema;
+  Dimension org("Organization");
+  MemberId fte = *org.AddChildOfRoot("FTE");
+  EXPECT_TRUE(org.AddMember("Joe", fte).ok());
+  Dimension time("Time", DimensionKind::kParameter);
+  MemberId q1 = *time.AddChildOfRoot("Qtr1");
+  EXPECT_TRUE(time.AddMember("Jan", q1).ok());
+  EXPECT_TRUE(time.AddMember("Feb", q1).ok());
+  EXPECT_TRUE(time.AddMember("Mar", q1).ok());
+  Dimension measures("Measures", DimensionKind::kMeasure);
+  EXPECT_TRUE(measures.AddChildOfRoot("Salary").ok());
+  schema.AddDimension(std::move(org));
+  schema.AddDimension(std::move(time));
+  schema.AddDimension(std::move(measures));
+  return schema;
+}
+
+TEST(SchemaTest, FindDimensionCaseInsensitive) {
+  Schema schema = MakeSchema();
+  EXPECT_EQ(*schema.FindDimension("organization"), 0);
+  EXPECT_EQ(*schema.FindDimension("TIME"), 1);
+  EXPECT_EQ(schema.FindDimension("Nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, BindVaryingWiresParameter) {
+  Schema schema = MakeSchema();
+  ASSERT_TRUE(schema.BindVarying(0, 1, /*ordered=*/true).ok());
+  EXPECT_TRUE(schema.is_varying(0));
+  EXPECT_EQ(schema.parameter_of(0), 1);
+  EXPECT_EQ(schema.parameter_of(1), -1);
+  EXPECT_EQ(schema.VaryingDimensions(), std::vector<int>{0});
+  // Universe = parameter leaf count (3 months).
+  EXPECT_EQ(schema.dimension(0).parameter_leaf_count(), 3);
+}
+
+TEST(SchemaTest, BindVaryingValidation) {
+  Schema schema = MakeSchema();
+  EXPECT_EQ(schema.BindVarying(0, 0, true).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.BindVarying(5, 1, true).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(schema.BindVarying(0, 1, true).ok());
+  // Double bind rejected.
+  EXPECT_EQ(schema.BindVarying(0, 1, true).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaTest, MeasureDimension) {
+  Schema schema = MakeSchema();
+  EXPECT_EQ(schema.MeasureDimension(), 2);
+  Schema empty;
+  EXPECT_EQ(empty.MeasureDimension(), -1);
+}
+
+TEST(SchemaTest, PositionExtents) {
+  Schema schema = MakeSchema();
+  ASSERT_TRUE(schema.BindVarying(0, 1, true).ok());
+  // Org: 1 leaf => 1 instance; Time: 3 leaves; Measures: 1 leaf.
+  EXPECT_EQ(schema.PositionExtents(), (std::vector<int>{1, 3, 1}));
+}
+
+}  // namespace
+}  // namespace olap

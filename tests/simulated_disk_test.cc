@@ -1,0 +1,77 @@
+#include "storage/simulated_disk.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+DiskModel TestModel() {
+  DiskModel m;
+  m.seek_seconds_per_chunk = 1e-6;
+  m.max_seek_seconds = 1e-3;  // Saturates at 1000 chunks of travel.
+  m.transfer_seconds = 1e-4;
+  return m;
+}
+
+TEST(SimulatedDiskTest, FirstReadChargesTransferOnly) {
+  SimulatedDisk disk(TestModel(), /*cache=*/0);
+  double cost = disk.ReadChunk(0);  // Head starts at 0: no travel.
+  EXPECT_DOUBLE_EQ(cost, 1e-4);
+  EXPECT_EQ(disk.stats().physical_reads, 1);
+  EXPECT_EQ(disk.stats().total_seek_chunks, 0);
+}
+
+TEST(SimulatedDiskTest, SeekCostGrowsWithDistance) {
+  SimulatedDisk disk(TestModel(), 0);
+  disk.ReadChunk(0);
+  double near = disk.ReadChunk(10);    // 10 chunks of travel.
+  double far = disk.ReadChunk(510);    // 500 chunks of travel.
+  EXPECT_DOUBLE_EQ(near, 1e-4 + 10e-6);
+  EXPECT_DOUBLE_EQ(far, 1e-4 + 500e-6);
+  EXPECT_LT(near, far);
+}
+
+// The Fig. 12 mechanism: beyond the full-stroke distance, seek cost is a
+// constant overhead.
+TEST(SimulatedDiskTest, SeekCostSaturates) {
+  SimulatedDisk disk(TestModel(), 0);
+  disk.ReadChunk(0);
+  double at_saturation = disk.ReadChunk(1000);
+  disk.Reset();
+  disk.ReadChunk(0);
+  double beyond = disk.ReadChunk(1'000'000);
+  EXPECT_DOUBLE_EQ(at_saturation, beyond);
+  EXPECT_DOUBLE_EQ(beyond, 1e-4 + 1e-3);
+}
+
+TEST(SimulatedDiskTest, CacheHitsAreFree) {
+  SimulatedDisk disk(TestModel(), /*cache=*/8);
+  disk.ReadChunk(5);
+  double hit = disk.ReadChunk(5);
+  EXPECT_DOUBLE_EQ(hit, 0.0);
+  EXPECT_EQ(disk.stats().cache_hits, 1);
+  EXPECT_EQ(disk.stats().physical_reads, 1);
+}
+
+TEST(SimulatedDiskTest, StatsAccumulateAndReset) {
+  SimulatedDisk disk(TestModel(), 0);
+  disk.ReadChunk(0);
+  disk.ReadChunk(100);
+  EXPECT_EQ(disk.stats().physical_reads, 2);
+  EXPECT_EQ(disk.stats().total_seek_chunks, 100);
+  EXPECT_GT(disk.stats().virtual_seconds, 0.0);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().physical_reads, 0);
+  EXPECT_DOUBLE_EQ(disk.stats().virtual_seconds, 0.0);
+}
+
+TEST(SimulatedDiskTest, ResetMovesHeadHome) {
+  SimulatedDisk disk(TestModel(), 0);
+  disk.ReadChunk(500);
+  disk.Reset();
+  double cost = disk.ReadChunk(0);
+  EXPECT_DOUBLE_EQ(cost, 1e-4);  // No travel from home position.
+}
+
+}  // namespace
+}  // namespace olap

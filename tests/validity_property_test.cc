@@ -1,0 +1,99 @@
+// Property tests over random legal-change sequences (Definition 3.1):
+// whatever sequence of reclassifications is applied,
+//   (1) validity sets of one member's instances stay pairwise disjoint;
+//   (2) together they partition exactly the member's active moments;
+//   (3) every instance's path parent is a real non-leaf member;
+//   (4) InstanceValidAt agrees with the validity sets.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dimension/dimension.h"
+
+namespace olap {
+namespace {
+
+struct Params {
+  uint64_t seed;
+  int months;
+  int num_changes;
+};
+
+class ValidityPropertyTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(ValidityPropertyTest, LegalChangesPreserveInvariants) {
+  const Params p = GetParam();
+  Rng rng(p.seed);
+
+  Dimension org("Organization");
+  std::vector<MemberId> parents;
+  for (int i = 0; i < 5; ++i) {
+    parents.push_back(*org.AddChildOfRoot("Group" + std::to_string(i)));
+  }
+  std::vector<MemberId> leaves;
+  for (int i = 0; i < 8; ++i) {
+    leaves.push_back(
+        *org.AddMember("Emp" + std::to_string(i), parents[i % parents.size()]));
+  }
+  ASSERT_TRUE(org.MakeVarying(p.months, /*ordered=*/true).ok());
+
+  for (int c = 0; c < p.num_changes; ++c) {
+    MemberId leaf = leaves[rng.NextBelow(leaves.size())];
+    MemberId target = parents[rng.NextBelow(parents.size())];
+    int moment = static_cast<int>(rng.NextBelow(p.months));
+    ASSERT_TRUE(org.ApplyChange(leaf, target, moment).ok());
+  }
+  // Occasionally deactivate a random moment for a random member.
+  DynamicBitset deactivated(p.months);
+  MemberId deactivated_member = leaves[0];
+  if (p.num_changes % 2 == 0) {
+    deactivated.Set(static_cast<int>(rng.NextBelow(p.months)));
+    ASSERT_TRUE(org.Deactivate(deactivated_member, deactivated).ok());
+  }
+
+  for (MemberId leaf : leaves) {
+    std::vector<InstanceId> insts = org.InstancesOf(leaf);
+    ASSERT_FALSE(insts.empty());
+    // (1) Pairwise disjoint.
+    for (size_t i = 0; i < insts.size(); ++i) {
+      for (size_t j = i + 1; j < insts.size(); ++j) {
+        EXPECT_TRUE(org.instance(insts[i])
+                        .validity.DisjointWith(org.instance(insts[j]).validity))
+            << "instances " << insts[i] << " and " << insts[j]
+            << " of member " << leaf << " overlap";
+      }
+    }
+    // (2) Union covers active moments exactly.
+    DynamicBitset all(p.months);
+    for (InstanceId i : insts) all |= org.instance(i).validity;
+    DynamicBitset expected(p.months);
+    expected.SetAll();
+    if (leaf == deactivated_member) expected.Subtract(deactivated);
+    EXPECT_EQ(all, expected) << "member " << leaf;
+    // (3) Paths are real non-leaf members.
+    for (InstanceId i : insts) {
+      const MemberInstance& inst = org.instance(i);
+      EXPECT_EQ(inst.member, leaf);
+      EXPECT_FALSE(org.member(inst.parent).is_leaf());
+    }
+    // (4) InstanceValidAt agrees with the sets.
+    for (int t = 0; t < p.months; ++t) {
+      InstanceId owner = org.InstanceValidAt(leaf, t);
+      if (owner == kInvalidInstance) {
+        EXPECT_FALSE(all.Test(t));
+      } else {
+        EXPECT_TRUE(org.instance(owner).validity.Test(t));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomChangeSequences, ValidityPropertyTest,
+    ::testing::Values(Params{1, 12, 0}, Params{2, 12, 1}, Params{3, 12, 5},
+                      Params{4, 12, 25}, Params{5, 12, 100}, Params{6, 6, 10},
+                      Params{7, 24, 40}, Params{8, 12, 11}, Params{9, 3, 7},
+                      Params{10, 60, 200}));
+
+}  // namespace
+}  // namespace olap

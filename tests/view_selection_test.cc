@@ -1,0 +1,89 @@
+#include "agg/view_selection.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+// A lattice with extents 100 x 50 x 10 — view sizes:
+//   {} = 1, {A}=100, {B}=50, {C}=10, {A,B}=5000, {A,C}=1000, {B,C}=500,
+//   {A,B,C}=50000 (the raw cube).
+Lattice MakeLattice() {
+  return Lattice(ChunkLayout::Uniform({100, 50, 10}, 4));
+}
+
+constexpr GroupByMask kA = 1, kB = 2, kC = 4;
+
+TEST(ViewSelectionTest, AnswerCostFallsBackToRawCube) {
+  Lattice lattice = MakeLattice();
+  EXPECT_EQ(AnswerCost(lattice, kA, {}), 50000);
+  EXPECT_EQ(AnswerCost(lattice, kA | kB | kC, {}), 50000);
+}
+
+TEST(ViewSelectionTest, AnswerCostUsesSmallestCoveringView) {
+  Lattice lattice = MakeLattice();
+  std::vector<GroupByMask> views = {kA | kB, kA | kC};
+  EXPECT_EQ(AnswerCost(lattice, kA, views), 1000);        // From {A,C}.
+  EXPECT_EQ(AnswerCost(lattice, kA | kB, views), 5000);   // Itself.
+  EXPECT_EQ(AnswerCost(lattice, kB | kC, views), 50000); // Not covered.
+  EXPECT_EQ(AnswerCost(lattice, 0, views), 1000);
+}
+
+TEST(ViewSelectionTest, TotalCostSumsOverLattice) {
+  Lattice lattice = MakeLattice();
+  // With nothing materialized every one of the 8 group-bys costs 50000.
+  EXPECT_EQ(TotalAnswerCost(lattice, {}), 8 * 50000);
+}
+
+TEST(ViewSelectionTest, FirstGreedyPickMaximisesBenefit) {
+  Lattice lattice = MakeLattice();
+  SelectedViews selected = SelectViewsGreedy(lattice, 1);
+  ASSERT_EQ(selected.views.size(), 1u);
+  // {A,B} (5000 cells) covers {},A,B,AB: benefit 4*(50000-5000) = 1980000.
+  // {A,C} (1000) covers 4 views: 4*(50000-1000) = 1996000.  <-- best
+  // {B,C} (500) covers 4 views: 4*(50000-500) = 1998000.    <-- better!
+  EXPECT_EQ(selected.views[0], kB | kC);
+  EXPECT_EQ(selected.benefits[0], 4 * (50000 - 500));
+}
+
+TEST(ViewSelectionTest, GreedyCostsMatchTotalAnswerCost) {
+  Lattice lattice = MakeLattice();
+  SelectedViews selected = SelectViewsGreedy(lattice, 3);
+  EXPECT_EQ(selected.initial_cost, TotalAnswerCost(lattice, {}));
+  EXPECT_EQ(selected.final_cost, TotalAnswerCost(lattice, selected.views));
+}
+
+TEST(ViewSelectionTest, BenefitsAreNonIncreasingAndPositive) {
+  Lattice lattice = MakeLattice();
+  SelectedViews selected = SelectViewsGreedy(lattice, 6);
+  for (size_t i = 0; i < selected.benefits.size(); ++i) {
+    EXPECT_GT(selected.benefits[i], 0);
+    if (i > 0) {
+      EXPECT_LE(selected.benefits[i], selected.benefits[i - 1]);
+    }
+  }
+}
+
+TEST(ViewSelectionTest, StopsWhenNothingHelps) {
+  // Tiny lattice: 2 x 2 — only 4 group-bys; greedy must stop early when
+  // every remaining view has zero benefit.
+  Lattice lattice(ChunkLayout::Uniform({2, 2}, 1));
+  SelectedViews selected = SelectViewsGreedy(lattice, 100);
+  EXPECT_LE(selected.views.size(), 3u);
+  EXPECT_EQ(selected.final_cost, TotalAnswerCost(lattice, selected.views));
+  // Picking more can never make things worse.
+  EXPECT_LE(selected.final_cost, selected.initial_cost);
+}
+
+TEST(ViewSelectionTest, MoreViewsNeverIncreaseCost) {
+  Lattice lattice = MakeLattice();
+  int64_t prev = SelectViewsGreedy(lattice, 0).final_cost;
+  for (int k = 1; k <= 6; ++k) {
+    int64_t cost = SelectViewsGreedy(lattice, k).final_cost;
+    EXPECT_LE(cost, prev) << "k=" << k;
+    prev = cost;
+  }
+}
+
+}  // namespace
+}  // namespace olap

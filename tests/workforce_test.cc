@@ -1,0 +1,114 @@
+#include "workload/workforce.h"
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+WorkforceConfig SmallConfig() {
+  WorkforceConfig config;
+  config.num_departments = 5;
+  config.num_employees = 40;
+  config.num_changing = 8;
+  config.num_measures = 3;
+  config.num_scenarios = 2;
+  config.seed = 99;
+  return config;
+}
+
+TEST(WorkforceTest, ShapeMatchesConfig) {
+  WorkforceConfig config = SmallConfig();
+  WorkforceCube wf = BuildWorkforceCube(config);
+  const Schema& schema = wf.cube.schema();
+  EXPECT_EQ(schema.num_dimensions(), 7);  // The paper's 7 dimensions.
+  const Dimension& dept = schema.dimension(wf.dept_dim);
+  // 5 departments + 40 employees + root.
+  EXPECT_EQ(dept.num_members(), 1 + 5 + 40);
+  EXPECT_EQ(dept.num_leaves(), 40);
+  EXPECT_TRUE(dept.is_varying());
+  EXPECT_EQ(schema.parameter_of(wf.dept_dim), wf.period_dim);
+  EXPECT_EQ(schema.dimension(wf.period_dim).num_leaves(), 12);
+  EXPECT_EQ(schema.dimension(wf.account_dim).num_leaves(), 3);
+  EXPECT_EQ(wf.changing_employees.size(), 8u);
+  EXPECT_EQ(wf.stable_employees.size(), 32u);
+}
+
+TEST(WorkforceTest, ChangingEmployeesHaveMultipleInstances) {
+  WorkforceCube wf = BuildWorkforceCube(SmallConfig());
+  const Dimension& dept = wf.cube.schema().dimension(wf.dept_dim);
+  for (MemberId emp : wf.changing_employees) {
+    EXPECT_GE(dept.InstancesOf(emp).size(), 2u) << emp;
+  }
+  for (MemberId emp : wf.stable_employees) {
+    EXPECT_EQ(dept.InstancesOf(emp).size(), 1u) << emp;
+  }
+  // ChangingMembers agrees.
+  EXPECT_EQ(dept.ChangingMembers().size(), wf.changing_employees.size());
+}
+
+TEST(WorkforceTest, MoveCountWithinConfiguredRange) {
+  WorkforceConfig config = SmallConfig();
+  config.min_moves = 2;
+  config.max_moves = 4;
+  WorkforceCube wf = BuildWorkforceCube(config);
+  const Dimension& dept = wf.cube.schema().dimension(wf.dept_dim);
+  for (MemberId emp : wf.changing_employees) {
+    // k moves create between 2 and k+1 instances.
+    size_t instances = dept.InstancesOf(emp).size();
+    EXPECT_GE(instances, 2u);
+    EXPECT_LE(instances, 5u);
+  }
+}
+
+TEST(WorkforceTest, DataOnlyAtValidInstances) {
+  WorkforceCube wf = BuildWorkforceCube(SmallConfig());
+  const Dimension& dept = wf.cube.schema().dimension(wf.dept_dim);
+  wf.cube.ForEachCell([&](const std::vector<int>& coords, CellValue v) {
+    const MemberInstance& inst = dept.instance(coords[wf.dept_dim]);
+    EXPECT_TRUE(inst.validity.Test(coords[wf.period_dim]))
+        << "cell at invalid instance " << inst.qualified_name;
+    EXPECT_TRUE(v.has_value());
+  });
+}
+
+TEST(WorkforceTest, EveryEmployeeMonthMeasureScenarioHasOneCell) {
+  WorkforceConfig config = SmallConfig();
+  WorkforceCube wf = BuildWorkforceCube(config);
+  int64_t expected = static_cast<int64_t>(config.num_employees) * 12 *
+                     config.num_measures * config.num_scenarios;
+  EXPECT_EQ(wf.cube.CountNonNullCells(), expected);
+}
+
+TEST(WorkforceTest, DeterministicForSeed) {
+  WorkforceCube a = BuildWorkforceCube(SmallConfig());
+  WorkforceCube b = BuildWorkforceCube(SmallConfig());
+  EXPECT_EQ(a.cube.CountNonNullCells(), b.cube.CountNonNullCells());
+  const Dimension& da = a.cube.schema().dimension(a.dept_dim);
+  const Dimension& db = b.cube.schema().dimension(b.dept_dim);
+  ASSERT_EQ(da.num_instances(), db.num_instances());
+  for (InstanceId i = 0; i < da.num_instances(); ++i) {
+    EXPECT_EQ(da.instance(i).validity, db.instance(i).validity);
+  }
+}
+
+TEST(WorkforceTest, RegisterDefinesNamedSets) {
+  Database db;
+  WorkforceCube wf = BuildWorkforceCube(SmallConfig());
+  size_t changing = wf.changing_employees.size();
+  ASSERT_TRUE(RegisterWorkforce(&db, "App.Db", std::move(wf)).ok());
+  EXPECT_TRUE(db.FindCube("App.Db").ok());
+  size_t total = 0;
+  for (int i = 1; i <= 3; ++i) {
+    auto set =
+        db.FindNamedSet("EmployeesWithAtleastOneMove-Set" + std::to_string(i));
+    ASSERT_TRUE(set.has_value()) << i;
+    total += set->size();
+  }
+  EXPECT_EQ(total, changing);
+  auto s3 = db.FindNamedSet("EmployeeS3");
+  ASSERT_TRUE(s3.has_value());
+  EXPECT_EQ(s3->size(), 1u);
+}
+
+}  // namespace
+}  // namespace olap
