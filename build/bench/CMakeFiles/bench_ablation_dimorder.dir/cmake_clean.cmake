@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dimorder.dir/bench_ablation_dimorder.cc.o"
+  "CMakeFiles/bench_ablation_dimorder.dir/bench_ablation_dimorder.cc.o.d"
+  "bench_ablation_dimorder"
+  "bench_ablation_dimorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dimorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

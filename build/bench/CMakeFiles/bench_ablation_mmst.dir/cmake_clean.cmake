@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mmst.dir/bench_ablation_mmst.cc.o"
+  "CMakeFiles/bench_ablation_mmst.dir/bench_ablation_mmst.cc.o.d"
+  "bench_ablation_mmst"
+  "bench_ablation_mmst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mmst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mode.dir/bench_ablation_mode.cc.o"
+  "CMakeFiles/bench_ablation_mode.dir/bench_ablation_mode.cc.o.d"
+  "bench_ablation_mode"
+  "bench_ablation_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pebbling.dir/bench_ablation_pebbling.cc.o"
+  "CMakeFiles/bench_ablation_pebbling.dir/bench_ablation_pebbling.cc.o.d"
+  "bench_ablation_pebbling"
+  "bench_ablation_pebbling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pebbling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

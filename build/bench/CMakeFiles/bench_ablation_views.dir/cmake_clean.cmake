@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_views.dir/bench_ablation_views.cc.o"
+  "CMakeFiles/bench_ablation_views.dir/bench_ablation_views.cc.o.d"
+  "bench_ablation_views"
+  "bench_ablation_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

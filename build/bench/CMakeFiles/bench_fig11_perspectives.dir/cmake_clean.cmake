@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_perspectives.dir/bench_fig11_perspectives.cc.o"
+  "CMakeFiles/bench_fig11_perspectives.dir/bench_fig11_perspectives.cc.o.d"
+  "bench_fig11_perspectives"
+  "bench_fig11_perspectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_perspectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

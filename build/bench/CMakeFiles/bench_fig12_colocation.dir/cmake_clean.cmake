@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_colocation.dir/bench_fig12_colocation.cc.o"
+  "CMakeFiles/bench_fig12_colocation.dir/bench_fig12_colocation.cc.o.d"
+  "bench_fig12_colocation"
+  "bench_fig12_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

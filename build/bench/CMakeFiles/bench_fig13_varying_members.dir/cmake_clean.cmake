@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_varying_members.dir/bench_fig13_varying_members.cc.o"
+  "CMakeFiles/bench_fig13_varying_members.dir/bench_fig13_varying_members.cc.o.d"
+  "bench_fig13_varying_members"
+  "bench_fig13_varying_members.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_varying_members.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_varying_members.
+# This may be replaced when dependencies are built.

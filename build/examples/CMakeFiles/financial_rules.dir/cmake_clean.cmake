@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_rules.dir/financial_rules.cpp.o"
+  "CMakeFiles/financial_rules.dir/financial_rules.cpp.o.d"
+  "financial_rules"
+  "financial_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

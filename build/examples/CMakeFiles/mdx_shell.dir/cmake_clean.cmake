@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdx_shell.dir/mdx_shell.cpp.o"
+  "CMakeFiles/mdx_shell.dir/mdx_shell.cpp.o.d"
+  "mdx_shell"
+  "mdx_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdx_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

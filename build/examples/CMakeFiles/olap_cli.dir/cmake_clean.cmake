@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_cli.dir/olap_cli.cpp.o"
+  "CMakeFiles/olap_cli.dir/olap_cli.cpp.o.d"
+  "olap_cli"
+  "olap_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_split.dir/product_split.cpp.o"
+  "CMakeFiles/product_split.dir/product_split.cpp.o.d"
+  "product_split"
+  "product_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

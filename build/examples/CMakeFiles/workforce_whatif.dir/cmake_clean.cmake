@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workforce_whatif.dir/workforce_whatif.cpp.o"
+  "CMakeFiles/workforce_whatif.dir/workforce_whatif.cpp.o.d"
+  "workforce_whatif"
+  "workforce_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workforce_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/aggregate_cache.cc" "src/agg/CMakeFiles/olap_agg.dir/aggregate_cache.cc.o" "gcc" "src/agg/CMakeFiles/olap_agg.dir/aggregate_cache.cc.o.d"
+  "/root/repo/src/agg/chunk_aggregator.cc" "src/agg/CMakeFiles/olap_agg.dir/chunk_aggregator.cc.o" "gcc" "src/agg/CMakeFiles/olap_agg.dir/chunk_aggregator.cc.o.d"
+  "/root/repo/src/agg/group_by.cc" "src/agg/CMakeFiles/olap_agg.dir/group_by.cc.o" "gcc" "src/agg/CMakeFiles/olap_agg.dir/group_by.cc.o.d"
+  "/root/repo/src/agg/lattice.cc" "src/agg/CMakeFiles/olap_agg.dir/lattice.cc.o" "gcc" "src/agg/CMakeFiles/olap_agg.dir/lattice.cc.o.d"
+  "/root/repo/src/agg/rollup.cc" "src/agg/CMakeFiles/olap_agg.dir/rollup.cc.o" "gcc" "src/agg/CMakeFiles/olap_agg.dir/rollup.cc.o.d"
+  "/root/repo/src/agg/view_selection.cc" "src/agg/CMakeFiles/olap_agg.dir/view_selection.cc.o" "gcc" "src/agg/CMakeFiles/olap_agg.dir/view_selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/olap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/olap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimension/CMakeFiles/olap_dimension.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_agg.dir/aggregate_cache.cc.o"
+  "CMakeFiles/olap_agg.dir/aggregate_cache.cc.o.d"
+  "CMakeFiles/olap_agg.dir/chunk_aggregator.cc.o"
+  "CMakeFiles/olap_agg.dir/chunk_aggregator.cc.o.d"
+  "CMakeFiles/olap_agg.dir/group_by.cc.o"
+  "CMakeFiles/olap_agg.dir/group_by.cc.o.d"
+  "CMakeFiles/olap_agg.dir/lattice.cc.o"
+  "CMakeFiles/olap_agg.dir/lattice.cc.o.d"
+  "CMakeFiles/olap_agg.dir/rollup.cc.o"
+  "CMakeFiles/olap_agg.dir/rollup.cc.o.d"
+  "CMakeFiles/olap_agg.dir/view_selection.cc.o"
+  "CMakeFiles/olap_agg.dir/view_selection.cc.o.d"
+  "libolap_agg.a"
+  "libolap_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

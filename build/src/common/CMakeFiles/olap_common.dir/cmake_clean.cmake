@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_common.dir/bitset.cc.o"
+  "CMakeFiles/olap_common.dir/bitset.cc.o.d"
+  "CMakeFiles/olap_common.dir/status.cc.o"
+  "CMakeFiles/olap_common.dir/status.cc.o.d"
+  "CMakeFiles/olap_common.dir/strings.cc.o"
+  "CMakeFiles/olap_common.dir/strings.cc.o.d"
+  "libolap_common.a"
+  "libolap_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

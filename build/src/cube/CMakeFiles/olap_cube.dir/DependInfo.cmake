@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cube/chunk.cc" "src/cube/CMakeFiles/olap_cube.dir/chunk.cc.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/chunk.cc.o.d"
+  "/root/repo/src/cube/chunk_layout.cc" "src/cube/CMakeFiles/olap_cube.dir/chunk_layout.cc.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/chunk_layout.cc.o.d"
+  "/root/repo/src/cube/cube.cc" "src/cube/CMakeFiles/olap_cube.dir/cube.cc.o" "gcc" "src/cube/CMakeFiles/olap_cube.dir/cube.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimension/CMakeFiles/olap_dimension.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_cube.dir/chunk.cc.o"
+  "CMakeFiles/olap_cube.dir/chunk.cc.o.d"
+  "CMakeFiles/olap_cube.dir/chunk_layout.cc.o"
+  "CMakeFiles/olap_cube.dir/chunk_layout.cc.o.d"
+  "CMakeFiles/olap_cube.dir/cube.cc.o"
+  "CMakeFiles/olap_cube.dir/cube.cc.o.d"
+  "libolap_cube.a"
+  "libolap_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

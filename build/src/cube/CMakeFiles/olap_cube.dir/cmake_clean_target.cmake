@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libolap_cube.a"
+)

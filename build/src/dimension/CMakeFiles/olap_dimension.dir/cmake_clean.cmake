@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_dimension.dir/dimension.cc.o"
+  "CMakeFiles/olap_dimension.dir/dimension.cc.o.d"
+  "CMakeFiles/olap_dimension.dir/schema.cc.o"
+  "CMakeFiles/olap_dimension.dir/schema.cc.o.d"
+  "libolap_dimension.a"
+  "libolap_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_engine.dir/database.cc.o"
+  "CMakeFiles/olap_engine.dir/database.cc.o.d"
+  "CMakeFiles/olap_engine.dir/executor.cc.o"
+  "CMakeFiles/olap_engine.dir/executor.cc.o.d"
+  "CMakeFiles/olap_engine.dir/result_grid.cc.o"
+  "CMakeFiles/olap_engine.dir/result_grid.cc.o.d"
+  "libolap_engine.a"
+  "libolap_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

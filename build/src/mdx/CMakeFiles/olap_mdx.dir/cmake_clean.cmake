@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_mdx.dir/binder.cc.o"
+  "CMakeFiles/olap_mdx.dir/binder.cc.o.d"
+  "CMakeFiles/olap_mdx.dir/lexer.cc.o"
+  "CMakeFiles/olap_mdx.dir/lexer.cc.o.d"
+  "CMakeFiles/olap_mdx.dir/parser.cc.o"
+  "CMakeFiles/olap_mdx.dir/parser.cc.o.d"
+  "libolap_mdx.a"
+  "libolap_mdx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_mdx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/evaluator.cc" "src/rules/CMakeFiles/olap_rules.dir/evaluator.cc.o" "gcc" "src/rules/CMakeFiles/olap_rules.dir/evaluator.cc.o.d"
+  "/root/repo/src/rules/expr.cc" "src/rules/CMakeFiles/olap_rules.dir/expr.cc.o" "gcc" "src/rules/CMakeFiles/olap_rules.dir/expr.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/rules/CMakeFiles/olap_rules.dir/rule.cc.o" "gcc" "src/rules/CMakeFiles/olap_rules.dir/rule.cc.o.d"
+  "/root/repo/src/rules/rule_parser.cc" "src/rules/CMakeFiles/olap_rules.dir/rule_parser.cc.o" "gcc" "src/rules/CMakeFiles/olap_rules.dir/rule_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/olap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/olap_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/olap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimension/CMakeFiles/olap_dimension.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

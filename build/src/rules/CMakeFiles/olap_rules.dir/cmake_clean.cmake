@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_rules.dir/evaluator.cc.o"
+  "CMakeFiles/olap_rules.dir/evaluator.cc.o.d"
+  "CMakeFiles/olap_rules.dir/expr.cc.o"
+  "CMakeFiles/olap_rules.dir/expr.cc.o.d"
+  "CMakeFiles/olap_rules.dir/rule.cc.o"
+  "CMakeFiles/olap_rules.dir/rule.cc.o.d"
+  "CMakeFiles/olap_rules.dir/rule_parser.cc.o"
+  "CMakeFiles/olap_rules.dir/rule_parser.cc.o.d"
+  "libolap_rules.a"
+  "libolap_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/compression.cc" "src/storage/CMakeFiles/olap_storage.dir/compression.cc.o" "gcc" "src/storage/CMakeFiles/olap_storage.dir/compression.cc.o.d"
+  "/root/repo/src/storage/cube_io.cc" "src/storage/CMakeFiles/olap_storage.dir/cube_io.cc.o" "gcc" "src/storage/CMakeFiles/olap_storage.dir/cube_io.cc.o.d"
+  "/root/repo/src/storage/lru_cache.cc" "src/storage/CMakeFiles/olap_storage.dir/lru_cache.cc.o" "gcc" "src/storage/CMakeFiles/olap_storage.dir/lru_cache.cc.o.d"
+  "/root/repo/src/storage/simulated_disk.cc" "src/storage/CMakeFiles/olap_storage.dir/simulated_disk.cc.o" "gcc" "src/storage/CMakeFiles/olap_storage.dir/simulated_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/olap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimension/CMakeFiles/olap_dimension.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_storage.dir/compression.cc.o"
+  "CMakeFiles/olap_storage.dir/compression.cc.o.d"
+  "CMakeFiles/olap_storage.dir/cube_io.cc.o"
+  "CMakeFiles/olap_storage.dir/cube_io.cc.o.d"
+  "CMakeFiles/olap_storage.dir/lru_cache.cc.o"
+  "CMakeFiles/olap_storage.dir/lru_cache.cc.o.d"
+  "CMakeFiles/olap_storage.dir/simulated_disk.cc.o"
+  "CMakeFiles/olap_storage.dir/simulated_disk.cc.o.d"
+  "libolap_storage.a"
+  "libolap_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

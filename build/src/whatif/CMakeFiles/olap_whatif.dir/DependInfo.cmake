@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/whatif/merge_graph.cc" "src/whatif/CMakeFiles/olap_whatif.dir/merge_graph.cc.o" "gcc" "src/whatif/CMakeFiles/olap_whatif.dir/merge_graph.cc.o.d"
+  "/root/repo/src/whatif/operators.cc" "src/whatif/CMakeFiles/olap_whatif.dir/operators.cc.o" "gcc" "src/whatif/CMakeFiles/olap_whatif.dir/operators.cc.o.d"
+  "/root/repo/src/whatif/pebbling.cc" "src/whatif/CMakeFiles/olap_whatif.dir/pebbling.cc.o" "gcc" "src/whatif/CMakeFiles/olap_whatif.dir/pebbling.cc.o.d"
+  "/root/repo/src/whatif/perspective.cc" "src/whatif/CMakeFiles/olap_whatif.dir/perspective.cc.o" "gcc" "src/whatif/CMakeFiles/olap_whatif.dir/perspective.cc.o.d"
+  "/root/repo/src/whatif/perspective_cube.cc" "src/whatif/CMakeFiles/olap_whatif.dir/perspective_cube.cc.o" "gcc" "src/whatif/CMakeFiles/olap_whatif.dir/perspective_cube.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/olap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/olap_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/olap_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/olap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimension/CMakeFiles/olap_dimension.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_whatif.dir/merge_graph.cc.o"
+  "CMakeFiles/olap_whatif.dir/merge_graph.cc.o.d"
+  "CMakeFiles/olap_whatif.dir/operators.cc.o"
+  "CMakeFiles/olap_whatif.dir/operators.cc.o.d"
+  "CMakeFiles/olap_whatif.dir/pebbling.cc.o"
+  "CMakeFiles/olap_whatif.dir/pebbling.cc.o.d"
+  "CMakeFiles/olap_whatif.dir/perspective.cc.o"
+  "CMakeFiles/olap_whatif.dir/perspective.cc.o.d"
+  "CMakeFiles/olap_whatif.dir/perspective_cube.cc.o"
+  "CMakeFiles/olap_whatif.dir/perspective_cube.cc.o.d"
+  "libolap_whatif.a"
+  "libolap_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

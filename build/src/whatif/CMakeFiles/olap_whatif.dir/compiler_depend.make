@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for olap_whatif.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_workload.dir/extended_examples.cc.o"
+  "CMakeFiles/olap_workload.dir/extended_examples.cc.o.d"
+  "CMakeFiles/olap_workload.dir/paper_example.cc.o"
+  "CMakeFiles/olap_workload.dir/paper_example.cc.o.d"
+  "CMakeFiles/olap_workload.dir/product.cc.o"
+  "CMakeFiles/olap_workload.dir/product.cc.o.d"
+  "CMakeFiles/olap_workload.dir/workforce.cc.o"
+  "CMakeFiles/olap_workload.dir/workforce.cc.o.d"
+  "libolap_workload.a"
+  "libolap_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_cache_test.dir/aggregate_cache_test.cc.o"
+  "CMakeFiles/aggregate_cache_test.dir/aggregate_cache_test.cc.o.d"
+  "aggregate_cache_test"
+  "aggregate_cache_test.pdb"
+  "aggregate_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocation_test.dir/allocation_test.cc.o"
+  "CMakeFiles/allocation_test.dir/allocation_test.cc.o.d"
+  "allocation_test"
+  "allocation_test.pdb"
+  "allocation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

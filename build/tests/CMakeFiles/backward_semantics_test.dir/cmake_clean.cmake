@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backward_semantics_test.dir/backward_semantics_test.cc.o"
+  "CMakeFiles/backward_semantics_test.dir/backward_semantics_test.cc.o.d"
+  "backward_semantics_test"
+  "backward_semantics_test.pdb"
+  "backward_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backward_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

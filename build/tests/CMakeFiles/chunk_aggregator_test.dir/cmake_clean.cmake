@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_aggregator_test.dir/chunk_aggregator_test.cc.o"
+  "CMakeFiles/chunk_aggregator_test.dir/chunk_aggregator_test.cc.o.d"
+  "chunk_aggregator_test"
+  "chunk_aggregator_test.pdb"
+  "chunk_aggregator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_aggregator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

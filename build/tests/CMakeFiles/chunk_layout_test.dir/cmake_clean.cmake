@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_layout_test.dir/chunk_layout_test.cc.o"
+  "CMakeFiles/chunk_layout_test.dir/chunk_layout_test.cc.o.d"
+  "chunk_layout_test"
+  "chunk_layout_test.pdb"
+  "chunk_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

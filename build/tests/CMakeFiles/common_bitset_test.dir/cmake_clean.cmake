@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_bitset_test.dir/common_bitset_test.cc.o"
+  "CMakeFiles/common_bitset_test.dir/common_bitset_test.cc.o.d"
+  "common_bitset_test"
+  "common_bitset_test.pdb"
+  "common_bitset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_bitset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

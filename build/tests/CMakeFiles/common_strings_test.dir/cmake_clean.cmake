@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_strings_test.dir/common_strings_test.cc.o"
+  "CMakeFiles/common_strings_test.dir/common_strings_test.cc.o.d"
+  "common_strings_test"
+  "common_strings_test.pdb"
+  "common_strings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_strings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

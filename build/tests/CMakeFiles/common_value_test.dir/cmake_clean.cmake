@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_value_test.dir/common_value_test.cc.o"
+  "CMakeFiles/common_value_test.dir/common_value_test.cc.o.d"
+  "common_value_test"
+  "common_value_test.pdb"
+  "common_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_test.dir/compression_test.cc.o"
+  "CMakeFiles/compression_test.dir/compression_test.cc.o.d"
+  "compression_test"
+  "compression_test.pdb"
+  "compression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidation_test.dir/consolidation_test.cc.o"
+  "CMakeFiles/consolidation_test.dir/consolidation_test.cc.o.d"
+  "consolidation_test"
+  "consolidation_test.pdb"
+  "consolidation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

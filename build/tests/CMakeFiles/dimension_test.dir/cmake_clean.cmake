@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimension_test.dir/dimension_test.cc.o"
+  "CMakeFiles/dimension_test.dir/dimension_test.cc.o.d"
+  "dimension_test"
+  "dimension_test.pdb"
+  "dimension_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimension_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

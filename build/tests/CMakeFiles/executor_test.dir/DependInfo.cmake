@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/executor_test.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/executor_test.dir/executor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/olap_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/olap_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mdx/CMakeFiles/olap_mdx.dir/DependInfo.cmake"
+  "/root/repo/build/src/whatif/CMakeFiles/olap_whatif.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/olap_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/olap_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/olap_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/olap_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/dimension/CMakeFiles/olap_dimension.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/olap_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

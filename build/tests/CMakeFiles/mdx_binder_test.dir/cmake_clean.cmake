@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdx_binder_test.dir/mdx_binder_test.cc.o"
+  "CMakeFiles/mdx_binder_test.dir/mdx_binder_test.cc.o.d"
+  "mdx_binder_test"
+  "mdx_binder_test.pdb"
+  "mdx_binder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdx_binder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdx_extensions_test.dir/mdx_extensions_test.cc.o"
+  "CMakeFiles/mdx_extensions_test.dir/mdx_extensions_test.cc.o.d"
+  "mdx_extensions_test"
+  "mdx_extensions_test.pdb"
+  "mdx_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdx_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdx_fuzz_test.dir/mdx_fuzz_test.cc.o"
+  "CMakeFiles/mdx_fuzz_test.dir/mdx_fuzz_test.cc.o.d"
+  "mdx_fuzz_test"
+  "mdx_fuzz_test.pdb"
+  "mdx_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdx_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

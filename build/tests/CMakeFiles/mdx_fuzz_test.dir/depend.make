@@ -1,0 +1,2 @@
+# Empty dependencies file for mdx_fuzz_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdx_lexer_test.dir/mdx_lexer_test.cc.o"
+  "CMakeFiles/mdx_lexer_test.dir/mdx_lexer_test.cc.o.d"
+  "mdx_lexer_test"
+  "mdx_lexer_test.pdb"
+  "mdx_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdx_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdx_parser_test.dir/mdx_parser_test.cc.o"
+  "CMakeFiles/mdx_parser_test.dir/mdx_parser_test.cc.o.d"
+  "mdx_parser_test"
+  "mdx_parser_test.pdb"
+  "mdx_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdx_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

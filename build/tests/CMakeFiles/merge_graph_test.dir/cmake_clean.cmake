@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_graph_test.dir/merge_graph_test.cc.o"
+  "CMakeFiles/merge_graph_test.dir/merge_graph_test.cc.o.d"
+  "merge_graph_test"
+  "merge_graph_test.pdb"
+  "merge_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

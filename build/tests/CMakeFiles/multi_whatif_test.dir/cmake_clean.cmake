@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_whatif_test.dir/multi_whatif_test.cc.o"
+  "CMakeFiles/multi_whatif_test.dir/multi_whatif_test.cc.o.d"
+  "multi_whatif_test"
+  "multi_whatif_test.pdb"
+  "multi_whatif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_whatif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_eval_test.dir/parallel_eval_test.cc.o"
+  "CMakeFiles/parallel_eval_test.dir/parallel_eval_test.cc.o.d"
+  "parallel_eval_test"
+  "parallel_eval_test.pdb"
+  "parallel_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

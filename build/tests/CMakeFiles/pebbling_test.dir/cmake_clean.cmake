@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebbling_test.dir/pebbling_test.cc.o"
+  "CMakeFiles/pebbling_test.dir/pebbling_test.cc.o.d"
+  "pebbling_test"
+  "pebbling_test.pdb"
+  "pebbling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebbling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

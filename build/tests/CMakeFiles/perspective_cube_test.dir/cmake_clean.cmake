@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perspective_cube_test.dir/perspective_cube_test.cc.o"
+  "CMakeFiles/perspective_cube_test.dir/perspective_cube_test.cc.o.d"
+  "perspective_cube_test"
+  "perspective_cube_test.pdb"
+  "perspective_cube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perspective_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perspective_test.dir/perspective_test.cc.o"
+  "CMakeFiles/perspective_test.dir/perspective_test.cc.o.d"
+  "perspective_test"
+  "perspective_test.pdb"
+  "perspective_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perspective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_test.dir/product_test.cc.o"
+  "CMakeFiles/product_test.dir/product_test.cc.o.d"
+  "product_test"
+  "product_test.pdb"
+  "product_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_grid_test.dir/result_grid_test.cc.o"
+  "CMakeFiles/result_grid_test.dir/result_grid_test.cc.o.d"
+  "result_grid_test"
+  "result_grid_test.pdb"
+  "result_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

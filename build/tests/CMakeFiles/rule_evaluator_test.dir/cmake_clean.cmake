@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_evaluator_test.dir/rule_evaluator_test.cc.o"
+  "CMakeFiles/rule_evaluator_test.dir/rule_evaluator_test.cc.o.d"
+  "rule_evaluator_test"
+  "rule_evaluator_test.pdb"
+  "rule_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_parser_test.dir/rule_parser_test.cc.o"
+  "CMakeFiles/rule_parser_test.dir/rule_parser_test.cc.o.d"
+  "rule_parser_test"
+  "rule_parser_test.pdb"
+  "rule_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_paper_examples_test.dir/semantics_paper_examples_test.cc.o"
+  "CMakeFiles/semantics_paper_examples_test.dir/semantics_paper_examples_test.cc.o.d"
+  "semantics_paper_examples_test"
+  "semantics_paper_examples_test.pdb"
+  "semantics_paper_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

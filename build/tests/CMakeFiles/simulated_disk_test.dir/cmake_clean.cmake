@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulated_disk_test.dir/simulated_disk_test.cc.o"
+  "CMakeFiles/simulated_disk_test.dir/simulated_disk_test.cc.o.d"
+  "simulated_disk_test"
+  "simulated_disk_test.pdb"
+  "simulated_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulated_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validity_property_test.dir/validity_property_test.cc.o"
+  "CMakeFiles/validity_property_test.dir/validity_property_test.cc.o.d"
+  "validity_property_test"
+  "validity_property_test.pdb"
+  "validity_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validity_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_selection_test.dir/view_selection_test.cc.o"
+  "CMakeFiles/view_selection_test.dir/view_selection_test.cc.o.d"
+  "view_selection_test"
+  "view_selection_test.pdb"
+  "view_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_property_test.dir/whatif_property_test.cc.o"
+  "CMakeFiles/whatif_property_test.dir/whatif_property_test.cc.o.d"
+  "whatif_property_test"
+  "whatif_property_test.pdb"
+  "whatif_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

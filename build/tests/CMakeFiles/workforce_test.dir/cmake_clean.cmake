@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workforce_test.dir/workforce_test.cc.o"
+  "CMakeFiles/workforce_test.dir/workforce_test.cc.o.d"
+  "workforce_test"
+  "workforce_test.pdb"
+  "workforce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workforce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
