@@ -102,16 +102,40 @@ int main() {
         Result<const Cube*> cube = db.FindCube(arg1);
         Status s = cube.ok() ? SaveCube(**cube, arg2, /*compress=*/true)
                              : cube.status();
-        printf("%s\n", s.ok() ? ("saved to " + arg2).c_str()
-                              : s.ToString().c_str());
+        if (s.ok()) {
+          printf("saved to %s\n", arg2.c_str());
+        } else {
+          printf("save failed (%s): %s\n", StatusCodeName(s.code()),
+                 s.message().c_str());
+        }
         continue;
       }
       if (command == "\\load" && !arg1.empty() && !arg2.empty()) {
-        Result<Cube> cube = LoadCube(arg2);
+        // Transient faults are retried; corruption falls back to salvaging
+        // the chunks whose checksums still verify.
+        Result<Cube> cube = LoadCubeWithRetry(arg2, LoadOptions{}, RetryPolicy{});
+        if (!cube.ok() && cube.status().code() == StatusCode::kDataLoss) {
+          printf("load failed (DATA_LOSS): %s — attempting recovery\n",
+                 cube.status().message().c_str());
+          LoadOptions recovery;
+          recovery.recover = true;
+          RecoveryReport report;
+          recovery.report = &report;
+          cube = LoadCube(arg2, recovery);
+          if (cube.ok()) {
+            printf("recovery: salvaged %lld of %lld chunks\n",
+                   static_cast<long long>(report.chunks_salvaged),
+                   static_cast<long long>(report.chunks_total));
+          }
+        }
         Status s = cube.ok() ? db.AddCube(arg1, *std::move(cube))
                              : cube.status();
-        printf("%s\n", s.ok() ? ("loaded as " + arg1).c_str()
-                              : s.ToString().c_str());
+        if (s.ok()) {
+          printf("loaded as %s\n", arg1.c_str());
+        } else {
+          printf("load failed (%s): %s\n", StatusCodeName(s.code()),
+                 s.message().c_str());
+        }
         continue;
       }
       if (command == "\\agg" && !arg1.empty() && !arg2.empty()) {

@@ -24,6 +24,28 @@ int Fail(const olap::Status& status) {
   return 1;
 }
 
+// Loads a cube with retry on transient faults; on detected corruption,
+// falls back to recovery mode and reports what was salvaged.
+olap::Result<olap::Cube> LoadCubeOrRecover(const std::string& path) {
+  using namespace olap;
+  Result<Cube> cube = LoadCubeWithRetry(path, LoadOptions{}, RetryPolicy{});
+  if (cube.ok() || cube.status().code() != StatusCode::kDataLoss) return cube;
+  fprintf(stderr, "warning: %s is corrupt (%s); attempting recovery\n",
+          path.c_str(), cube.status().ToString().c_str());
+  LoadOptions recovery;
+  recovery.recover = true;
+  RecoveryReport report;
+  recovery.report = &report;
+  Result<Cube> recovered = LoadCube(path, recovery);
+  if (recovered.ok()) {
+    fprintf(stderr, "recovery: salvaged %lld of %lld chunks (%lld dropped)\n",
+            static_cast<long long>(report.chunks_salvaged),
+            static_cast<long long>(report.chunks_total),
+            static_cast<long long>(report.chunks_dropped));
+  }
+  return recovered;
+}
+
 int Usage() {
   fprintf(stderr,
           "usage:\n"
@@ -53,14 +75,16 @@ int main(int argc, char** argv) {
     WorkforceCube wf = BuildWorkforceCube(config);
     Status s = SaveCube(wf.cube, path, /*compress=*/true);
     if (!s.ok()) return Fail(s);
+    Result<int64_t> size = FileSize(path);
+    if (!size.ok()) return Fail(size.status());
     printf("wrote %s: %lld cells, %lld chunks, %lld bytes\n", path.c_str(),
            static_cast<long long>(wf.cube.CountNonNullCells()),
            static_cast<long long>(wf.cube.NumStoredChunks()),
-           static_cast<long long>(*FileSize(path)));
+           static_cast<long long>(*size));
     return 0;
   }
 
-  Result<Cube> cube = LoadCube(path);
+  Result<Cube> cube = LoadCubeOrRecover(path);
   if (!cube.ok()) return Fail(cube.status());
 
   if (command == "info") {

@@ -19,6 +19,13 @@ enum class StatusCode {
   kFailedPrecondition,// Object state does not permit the operation.
   kUnimplemented,     // Declared but intentionally unsupported path.
   kInternal,          // Invariant violation inside the library.
+  kDataLoss,          // Unrecoverable corruption (bad CRC, torn write).
+  kUnavailable,       // Transient fault; safe to retry with backoff.
+  kResourceExhausted, // Out of quota/space; may clear up, retryable.
+
+  // Not a real code — one past the last. Keep it last so tests can
+  // enumerate every code and assert each has a StatusCodeName entry.
+  kStatusCodeCount,
 };
 
 // Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
@@ -57,6 +64,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -16,6 +16,18 @@ Status Database::AddCube(std::string name, Cube cube) {
   return Status::Ok();
 }
 
+Status Database::Open(std::string name, const std::string& path,
+                      const OpenOptions& options) {
+  Result<Cube> cube = LoadCubeWithRetry(path, options.load, options.retry,
+                                        options.clock);
+  if (!cube.ok()) return cube.status();
+  return AddCube(std::move(name), *std::move(cube));
+}
+
+Status Database::Open(std::string name, const std::string& path) {
+  return Open(std::move(name), path, OpenOptions{});
+}
+
 const Database::Entry* Database::FindEntry(std::string_view dotted_name) const {
   std::string key = ToLower(dotted_name);
   auto it = cubes_.find(key);

@@ -12,6 +12,8 @@
 #include "cube/cube.h"
 #include "mdx/binder.h"
 #include "rules/rule.h"
+#include "storage/cube_io.h"
+#include "storage/retry.h"
 
 namespace olap {
 
@@ -26,6 +28,20 @@ class Database : public mdx::NameResolver {
   // clauses match the full dotted name or its last component,
   // case-insensitively.
   Status AddCube(std::string name, Cube cube);
+
+  // How Open loads a cube file. Transient storage faults (kUnavailable,
+  // kResourceExhausted) are absorbed by the bounded-backoff retry policy;
+  // permanent ones (kDataLoss, kNotFound, ...) surface immediately.
+  struct OpenOptions {
+    LoadOptions load;    // Env, recovery mode, recovery report.
+    RetryPolicy retry;   // Backoff schedule for transient faults.
+    Clock* clock = nullptr;  // nullptr -> Clock::Real().
+  };
+
+  // Loads the cube file at `path` (with retry) and registers it as `name`.
+  Status Open(std::string name, const std::string& path,
+              const OpenOptions& options);
+  Status Open(std::string name, const std::string& path);
 
   Result<const Cube*> FindCube(std::string_view dotted_name) const;
   Result<Cube*> FindMutableCube(std::string_view dotted_name);

@@ -1,0 +1,40 @@
+#include "storage/crc32c.h"
+
+#include <array>
+
+namespace olap {
+
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial, built once
+// at static-init time (256 entries; generation is trivial next to I/O cost).
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto& table = Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t l = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    l = table[(l ^ p[i]) & 0xFF] ^ (l >> 8);
+  }
+  return l ^ 0xFFFFFFFFu;
+}
+
+}  // namespace olap

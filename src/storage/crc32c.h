@@ -1,0 +1,25 @@
+#ifndef OLAP_STORAGE_CRC32C_H_
+#define OLAP_STORAGE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace olap {
+
+// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum guarding every section and chunk record of the OLAPCUB2 cube
+// file format (see storage/cube_io.h). Software table implementation; no
+// hardware dependency.
+
+// Extends `crc` (the running checksum of bytes seen so far, 0 to start)
+// with `n` more bytes.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+// Checksum of one contiguous buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace olap
+
+#endif  // OLAP_STORAGE_CRC32C_H_

@@ -1,0 +1,173 @@
+#include "storage/env.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace olap {
+
+namespace {
+
+Status ErrnoStatus(const std::string& context, int err) {
+  std::string msg = context + ": " + std::strerror(err);
+  switch (err) {
+    case ENOENT:
+      return Status::NotFound(std::move(msg));
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return Status::ResourceExhausted(std::move(msg));
+    case EAGAIN:
+    case EBUSY:
+      return Status::Unavailable(std::move(msg));
+    case EIO:
+      return Status::DataLoss(std::move(msg));
+    default:
+      return Status::InvalidArgument(std::move(msg));
+  }
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    if (fd_ < 0) return Status::FailedPrecondition("append to closed file");
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      ssize_t written = ::write(fd_, p, n);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write '" + path_ + "'", errno);
+      }
+      p += written;
+      n -= static_cast<size_t>(written);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::FailedPrecondition("sync of closed file");
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync '" + path_ + "'", errno);
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close '" + path_ + "'", errno);
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixRandomAccessFile() override { ::close(fd_); }
+
+  Status Read(int64_t offset, size_t n, std::string* out) const override {
+    out->resize(n);
+    char* p = out->data();
+    size_t remaining = n;
+    int64_t at = offset;
+    while (remaining > 0) {
+      ssize_t got = ::pread(fd_, p, remaining, static_cast<off_t>(at));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("read '" + path_ + "'", errno);
+      }
+      if (got == 0) {
+        return Status::DataLoss("short read of '" + path_ + "': wanted " +
+                                std::to_string(n) + " bytes at offset " +
+                                std::to_string(offset));
+      }
+      p += got;
+      remaining -= static_cast<size_t>(got);
+      at += got;
+    }
+    return Status::Ok();
+  }
+
+  Result<int64_t> Size() const override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return ErrnoStatus("stat '" + path_ + "'", errno);
+    return static_cast<int64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return ErrnoStatus("open '" + path + "' for writing", errno);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open '" + path + "'", errno);
+    return std::unique_ptr<RandomAccessFile>(new PosixRandomAccessFile(fd, path));
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename '" + from + "' -> '" + to + "'", errno);
+    }
+    return Status::Ok();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("remove '" + path + "'", errno);
+    }
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<int64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("stat '" + path + "'", errno);
+    }
+    return static_cast<int64_t>(st.st_size);
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv;
+  return env;
+}
+
+Status Env::ReadFileToString(const std::string& path, std::string* out) {
+  Result<std::unique_ptr<RandomAccessFile>> file = NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  Result<int64_t> size = (*file)->Size();
+  if (!size.ok()) return size.status();
+  return (*file)->Read(0, static_cast<size_t>(*size), out);
+}
+
+}  // namespace olap

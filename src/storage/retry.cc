@@ -1,0 +1,25 @@
+#include "storage/retry.h"
+
+#include <chrono>
+#include <thread>
+
+namespace olap {
+
+namespace {
+
+class RealClock : public Clock {
+ public:
+  void SleepFor(double seconds) override {
+    if (seconds <= 0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+};
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock* clock = new RealClock;
+  return clock;
+}
+
+}  // namespace olap

@@ -1,0 +1,84 @@
+#ifndef OLAP_STORAGE_RETRY_H_
+#define OLAP_STORAGE_RETRY_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/status.h"
+
+namespace olap {
+
+// Bounded retry with exponential backoff for transient storage faults.
+// Only kUnavailable and kResourceExhausted are retried — a kDataLoss or
+// kInvalidArgument will return the same answer however often it is asked.
+//
+// The clock is injected so tests assert the exact backoff schedule without
+// sleeping: CallWithRetry(policy, &fake_clock, op).
+
+struct RetryPolicy {
+  int max_attempts = 3;                   // Total attempts, including the first.
+  double initial_backoff_seconds = 0.01;  // Sleep before the second attempt.
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 1.0;
+};
+
+inline bool IsRetriable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual void SleepFor(double seconds) = 0;
+  // The process-wide wall clock (never null, never deleted).
+  static Clock* Real();
+};
+
+// Records requested sleeps instead of performing them.
+class FakeClock : public Clock {
+ public:
+  void SleepFor(double seconds) override { sleeps_.push_back(seconds); }
+  const std::vector<double>& sleeps() const { return sleeps_; }
+  double total_slept() const {
+    double total = 0;
+    for (double s : sleeps_) total += s;
+    return total;
+  }
+
+ private:
+  std::vector<double> sleeps_;
+};
+
+namespace retry_internal {
+inline StatusCode CodeOf(const Status& s) { return s.code(); }
+template <typename T>
+StatusCode CodeOf(const Result<T>& r) {
+  return r.ok() ? StatusCode::kOk : r.status().code();
+}
+}  // namespace retry_internal
+
+// Invokes `op` (returning Status or Result<T>) up to policy.max_attempts
+// times, sleeping between attempts while the outcome is retriable. Returns
+// the first success or the last failure.
+template <typename F>
+auto CallWithRetry(const RetryPolicy& policy, Clock* clock, F&& op)
+    -> decltype(op()) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  double backoff = policy.initial_backoff_seconds;
+  for (int attempt = 1;; ++attempt) {
+    auto outcome = op();
+    if (retry_internal::CodeOf(outcome) == StatusCode::kOk ||
+        attempt >= max_attempts ||
+        !IsRetriable(retry_internal::CodeOf(outcome))) {
+      return outcome;
+    }
+    clock->SleepFor(backoff);
+    backoff = std::min(backoff * policy.backoff_multiplier,
+                       policy.max_backoff_seconds);
+  }
+}
+
+}  // namespace olap
+
+#endif  // OLAP_STORAGE_RETRY_H_

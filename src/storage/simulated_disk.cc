@@ -28,4 +28,23 @@ void SimulatedDisk::Reset() {
   stats_ = IoStats{};
 }
 
+Status SimulatedDisk::AttachBackingFile(Env* env, const std::string& path) {
+  if (env == nullptr) env = Env::Default();
+  Result<CubeChunkIndex> index = IndexCubeChunks(env, path);
+  if (!index.ok()) return index.status();
+  Result<std::unique_ptr<RandomAccessFile>> file = env->NewRandomAccessFile(path);
+  if (!file.ok()) return file.status();
+  backing_index_ = *std::move(index);
+  backing_file_ = *std::move(file);
+  return Status::Ok();
+}
+
+Result<Chunk> SimulatedDisk::FetchChunk(ChunkId id) {
+  if (backing_file_ == nullptr) {
+    return Status::FailedPrecondition("no backing file attached");
+  }
+  ReadChunk(id);  // Charge the cost model (cache hit => no physical read).
+  return ReadIndexedChunk(backing_file_.get(), backing_index_, id);
+}
+
 }  // namespace olap

@@ -2,8 +2,13 @@
 #define OLAP_STORAGE_SIMULATED_DISK_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
+#include "common/status.h"
+#include "cube/chunk.h"
 #include "cube/chunk_layout.h"
+#include "storage/cube_io.h"
 #include "storage/lru_cache.h"
 
 namespace olap {
@@ -38,6 +43,11 @@ struct IoStats {
 // Charges virtual I/O time for chunk accesses, with an LRU cache in front.
 // The engine's evaluation strategies call ReadChunk for every chunk they
 // visit; benchmarks add stats().virtual_seconds to measured CPU time.
+//
+// Optionally backed by a real OLAPCUB2 cube file via AttachBackingFile:
+// FetchChunk then routes cache misses through the Env as ranged,
+// CRC-verified reads of the file's chunk records (storage/cube_io.h) while
+// charging the same cost model — the out-of-core read path of the engine.
 class SimulatedDisk {
  public:
   SimulatedDisk(const DiskModel& model, int64_t cache_capacity_chunks)
@@ -46,6 +56,17 @@ class SimulatedDisk {
   // Accounts for accessing chunk `id`; returns the virtual seconds charged
   // (0 on a cache hit).
   double ReadChunk(ChunkId id);
+
+  // Indexes the OLAPCUB2 file at `path` and keeps it open for FetchChunk.
+  // `env` nullptr -> Env::Default(); must outlive this disk.
+  Status AttachBackingFile(Env* env, const std::string& path);
+  bool has_backing() const { return backing_file_ != nullptr; }
+
+  // Reads chunk `id` from the backing file (CRC-verified), charging the
+  // cost model exactly as ReadChunk does. kFailedPrecondition without a
+  // backing file; kNotFound if the file stores no such chunk; kDataLoss on
+  // checksum mismatch.
+  Result<Chunk> FetchChunk(ChunkId id);
 
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats{}; }
@@ -59,6 +80,8 @@ class SimulatedDisk {
   LruChunkCache cache_;
   ChunkId head_ = 0;
   IoStats stats_;
+  std::unique_ptr<RandomAccessFile> backing_file_;
+  CubeChunkIndex backing_index_;
 };
 
 }  // namespace olap

@@ -1,5 +1,8 @@
 #include "common/status.h"
 
+#include <set>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace olap {
@@ -21,7 +24,33 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, StorageCodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+// Every real code (everything before the kStatusCodeCount sentinel) must
+// have a distinct, non-"UNKNOWN" name. A newly added StatusCode that is
+// missing from StatusCodeName's switch falls through to "UNKNOWN" and
+// fails here, so a future code can't ship nameless.
+TEST(StatusTest, EveryCodeHasAUniqueName) {
+  std::set<std::string> names;
+  for (int c = 0; c < static_cast<int>(StatusCode::kStatusCodeCount); ++c) {
+    const char* name = StatusCodeName(static_cast<StatusCode>(c));
+    EXPECT_STRNE(name, "UNKNOWN") << "StatusCode " << c << " has no name";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate StatusCodeName '" << name << "' for code " << c;
+  }
+  EXPECT_STREQ(StatusCodeName(StatusCode::kStatusCodeCount), "UNKNOWN");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {

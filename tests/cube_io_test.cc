@@ -166,6 +166,112 @@ TEST_P(CubeIoPropertyTest, RandomCubeRoundTrips) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CubeIoPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
 
+// Read-compatibility: files written in the legacy OLAPCUB1 format (no
+// checksums, unframed chunks) still load bit-exactly.
+TEST(CubeIoTest, LegacyV1FilesStillLoad) {
+  PaperExample ex = BuildPaperExample();
+  for (bool compress : {false, true}) {
+    std::string path = TempPath(compress ? "v1_c.olap" : "v1.olap");
+    SaveOptions options;
+    options.compress = compress;
+    options.format_version = 1;
+    ASSERT_TRUE(SaveCube(ex.cube, path, options).ok());
+    // The file really is v1.
+    std::string head;
+    {
+      std::ifstream in(path, std::ios::binary);
+      head.resize(8);
+      in.read(head.data(), 8);
+    }
+    EXPECT_EQ(head, "OLAPCUB1");
+    Result<Cube> loaded = LoadCube(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectCubesEqual(ex.cube, *loaded);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CubeIoTest, SaveWritesV2AndLeavesNoTempFile) {
+  PaperExample ex = BuildPaperExample();
+  std::string path = TempPath("v2_clean.olap");
+  ASSERT_TRUE(SaveCube(ex.cube, path).ok());
+  std::string head;
+  {
+    std::ifstream in(path, std::ios::binary);
+    head.resize(8);
+    in.read(head.data(), 8);
+  }
+  EXPECT_EQ(head, "OLAPCUB2");
+  EXPECT_FALSE(Env::Default()->FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(CubeIoTest, SaveAtomicallyReplacesExistingFile) {
+  PaperExample ex = BuildPaperExample();
+  std::string path = TempPath("replace.olap");
+  ASSERT_TRUE(SaveCube(ex.cube, path).ok());
+
+  WorkforceConfig config;
+  config.num_departments = 3;
+  config.num_employees = 12;
+  config.num_changing = 3;
+  config.num_measures = 2;
+  config.num_scenarios = 1;
+  WorkforceCube wf = BuildWorkforceCube(config);
+  ASSERT_TRUE(SaveCube(wf.cube, path).ok());
+
+  Result<Cube> loaded = LoadCube(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectCubesEqual(wf.cube, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(CubeIoTest, CleanLoadReportsAllChunksSalvaged) {
+  PaperExample ex = BuildPaperExample();
+  std::string path = TempPath("report.olap");
+  ASSERT_TRUE(SaveCube(ex.cube, path).ok());
+  LoadOptions options;
+  RecoveryReport report;
+  options.report = &report;
+  Result<Cube> loaded = LoadCube(path, options);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(report.chunks_total, ex.cube.NumStoredChunks());
+  EXPECT_EQ(report.chunks_salvaged, ex.cube.NumStoredChunks());
+  EXPECT_EQ(report.chunks_dropped, 0);
+  std::remove(path.c_str());
+}
+
+// The chunk index locates every stored chunk, and ReadIndexedChunk returns
+// payloads identical to the in-memory cube — for raw and compressed files.
+TEST(CubeIoTest, ChunkIndexRoundTripsEveryChunk) {
+  PaperExample ex = BuildPaperExample();
+  for (bool compress : {false, true}) {
+    std::string path = TempPath(compress ? "index_c.olap" : "index.olap");
+    ASSERT_TRUE(SaveCube(ex.cube, path, compress).ok());
+    Result<CubeChunkIndex> index = IndexCubeChunks(Env::Default(), path);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    EXPECT_EQ(index->compressed, compress);
+    EXPECT_EQ(index->cells_per_chunk, ex.cube.layout().cells_per_chunk());
+    EXPECT_EQ(static_cast<int64_t>(index->entries.size()),
+              ex.cube.NumStoredChunks());
+
+    Result<std::unique_ptr<RandomAccessFile>> file =
+        Env::Default()->NewRandomAccessFile(path);
+    ASSERT_TRUE(file.ok());
+    ex.cube.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+      Result<Chunk> read = ReadIndexedChunk(file->get(), *index, id);
+      ASSERT_TRUE(read.ok()) << read.status().ToString();
+      ASSERT_EQ(read->size(), chunk.size());
+      for (int64_t i = 0; i < chunk.size(); ++i) {
+        EXPECT_EQ(read->Get(i), chunk.Get(i));
+      }
+    });
+    EXPECT_FALSE(
+        ReadIndexedChunk(file->get(), *index, ChunkId{999999}).ok());
+    std::remove(path.c_str());
+  }
+}
+
 TEST(CubeIoTest, MissingFileIsNotFound) {
   EXPECT_EQ(LoadCube(TempPath("nope.olap")).status().code(),
             StatusCode::kNotFound);

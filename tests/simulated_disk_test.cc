@@ -1,6 +1,13 @@
 #include "storage/simulated_disk.h"
 
+#include <cstdio>
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "storage/cube_io.h"
+#include "storage/env.h"
+#include "workload/paper_example.h"
 
 namespace olap {
 namespace {
@@ -71,6 +78,35 @@ TEST(SimulatedDiskTest, ResetMovesHeadHome) {
   disk.Reset();
   double cost = disk.ReadChunk(0);
   EXPECT_DOUBLE_EQ(cost, 1e-4);  // No travel from home position.
+}
+
+// With a backing OLAPCUB2 file attached, FetchChunk serves real chunk data
+// through the same cost model.
+TEST(SimulatedDiskTest, FetchChunkReadsFromBackingFile) {
+  PaperExample ex = BuildPaperExample();
+  std::string path =
+      std::string(::testing::TempDir()) + "/sim_disk_backing.olap";
+  ASSERT_TRUE(SaveCube(ex.cube, path).ok());
+
+  SimulatedDisk disk(TestModel(), /*cache=*/8);
+  EXPECT_FALSE(disk.has_backing());
+  EXPECT_EQ(disk.FetchChunk(0).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(disk.AttachBackingFile(Env::Default(), path).ok());
+  ASSERT_TRUE(disk.has_backing());
+  ex.cube.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    Result<Chunk> fetched = disk.FetchChunk(id);
+    ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+    ASSERT_EQ(fetched->size(), chunk.size());
+    for (int64_t i = 0; i < chunk.size(); ++i) {
+      EXPECT_EQ(fetched->Get(i), chunk.Get(i));
+    }
+  });
+  EXPECT_GT(disk.stats().physical_reads, 0);
+  EXPECT_GT(disk.stats().virtual_seconds, 0.0);
+  EXPECT_FALSE(disk.FetchChunk(ChunkId{999999}).ok());
+  std::remove(path.c_str());
 }
 
 }  // namespace
