@@ -1,0 +1,359 @@
+// Kernel micro-benchmarks: chunk-native Relocate/Split + parallel rollup
+// against the cell-at-a-time reference path, over the Fig. 11–13 workload
+// shapes. Emits machine-readable JSON (BENCH_kernels.json) consumed by
+// EXPERIMENTS.md and the CI bench smoke job.
+//
+// Unlike the figure benchmarks this is a plain main() binary (no Google
+// Benchmark): the JSON schema, the smoke mode and the --check gate are the
+// interface.
+//
+//   bench_kernels [--smoke] [--out <path>] [--check]
+//
+//   --smoke   scaled-down workloads + fewer repetitions (CI-sized)
+//   --out     write the JSON report to <path> (default: stdout only)
+//   --check   exit non-zero if the 1-thread kernel path is more than 1.5x
+//             slower than the per-cell reference on any workload, or if any
+//             result mismatches the reference (the CI regression gate)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agg/chunk_aggregator.h"
+#include "whatif/operators.h"
+#include "whatif/perspective.h"
+#include "workload/product.h"
+#include "workload/workforce.h"
+
+namespace olap::bench {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+constexpr double kCheckSlowdownLimit = 1.5;
+
+struct Timing {
+  double percell_ms = 0.0;
+  std::map<int, double> kernel_ms;  // thread count -> best-of-reps ms.
+  bool identical = true;            // Kernel outputs matched the reference.
+};
+
+struct WorkloadReport {
+  std::string name;
+  int64_t cells = 0;
+  int64_t chunks = 0;
+  Timing timing;
+};
+
+double BestOfMs(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    best = std::min(best,
+                    std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  return best;
+}
+
+bool CubesBitIdentical(const Cube& a, const Cube& b) {
+  if (a.NumStoredChunks() != b.NumStoredChunks()) return false;
+  bool same = true;
+  a.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    if (!same) return;
+    const Chunk* other = b.FindChunk(id);
+    if (other == nullptr || other->size() != chunk.size()) {
+      same = false;
+      return;
+    }
+    for (int64_t off = 0; off < chunk.size(); ++off) {
+      double x = CellValue::ToStorage(chunk.Get(off));
+      double y = CellValue::ToStorage(other->Get(off));
+      if (std::memcmp(&x, &y, sizeof(x)) != 0) {
+        same = false;
+        return;
+      }
+    }
+  });
+  return same;
+}
+
+// Times RelocateReference vs the chunk-native Relocate at each thread count
+// and verifies bit-identity of every kernel output against the reference.
+Timing TimeRelocate(const Cube& cube, int vd,
+                    const std::vector<DynamicBitset>& vs_out, int reps) {
+  Timing t;
+  Cube ref = RelocateReference(cube, vd, vs_out);
+  t.percell_ms = BestOfMs(reps, [&] {
+    Cube out = RelocateReference(cube, vd, vs_out);
+    if (out.NumStoredChunks() == 0 && cube.NumStoredChunks() > 0) abort();
+  });
+  for (int threads : kThreadCounts) {
+    Cube out = Relocate(cube, vd, vs_out, {}, true, nullptr, threads);
+    t.identical = t.identical && CubesBitIdentical(ref, out);
+    t.kernel_ms[threads] = BestOfMs(reps, [&] {
+      Cube timed = Relocate(cube, vd, vs_out, {}, true, nullptr, threads);
+      if (timed.NumStoredChunks() != ref.NumStoredChunks()) abort();
+    });
+  }
+  return t;
+}
+
+// Fig. 11 shape: the workforce cube, one forward query whose perspective
+// set spans the year (every instance of the 250 changing employees is
+// retrieved and merged).
+WorkloadReport RunFig11(bool smoke) {
+  WorkforceConfig config;
+  config.num_departments = smoke ? 10 : 51;
+  config.num_employees = smoke ? 200 : 2025;
+  config.num_changing = smoke ? 30 : 250;
+  config.num_measures = smoke ? 4 : 10;
+  config.num_scenarios = smoke ? 2 : 5;
+  config.seed = 20080407;
+  WorkforceCube wf = BuildWorkforceCube(config);
+
+  const Dimension& dim = wf.cube.schema().dimension(wf.dept_dim);
+  std::vector<DynamicBitset> vs_out = TransformValiditySets(
+      dim, Perspectives({0, 3, 6, 9}), Semantics::kForward);
+
+  WorkloadReport report;
+  report.name = "fig11_perspectives";
+  report.cells = wf.cube.CountNonNullCells();
+  report.chunks = wf.cube.NumStoredChunks();
+  report.timing = TimeRelocate(wf.cube, wf.dept_dim, vs_out, smoke ? 3 : 5);
+  return report;
+}
+
+// Fig. 12 shape: the controlled-placement product cube; the probe product's
+// two instances sit thousands of chunks apart, everything between them is
+// identity traffic — the workload the whole-chunk fast path and the
+// chunk-range parallel partitioning are built for. This is the acceptance
+// workload: the 4-thread kernel path must beat the per-cell reference >= 3x.
+WorkloadReport RunFig12(bool smoke) {
+  ProductCubeConfig config;
+  config.separation_chunks = smoke ? 400 : 2000;
+  config.chunk_products = 4;  // Denser chunks than Fig. 12's query bench.
+  config.move_moment = 6;
+  ProductCube pc = BuildProductCube(config);
+
+  const Dimension& dim = pc.cube.schema().dimension(pc.product_dim);
+  std::vector<DynamicBitset> vs_out = TransformValiditySets(
+      dim, Perspectives({0, 6}), Semantics::kForward);
+
+  WorkloadReport report;
+  report.name = "fig12_colocation";
+  report.cells = pc.cube.CountNonNullCells();
+  report.chunks = pc.cube.NumStoredChunks();
+  report.timing = TimeRelocate(pc.cube, pc.product_dim, vs_out, smoke ? 3 : 5);
+  return report;
+}
+
+// Fig. 13 shape: the workforce cube with the changing-employee count scaled
+// up (the paper varies the number of varying members 250 -> 2,000).
+WorkloadReport RunFig13(bool smoke) {
+  WorkforceConfig config;
+  config.num_departments = smoke ? 10 : 51;
+  config.num_employees = smoke ? 200 : 2025;
+  config.num_changing = smoke ? 80 : 800;
+  config.num_measures = smoke ? 4 : 10;
+  config.num_scenarios = smoke ? 2 : 5;
+  config.seed = 20080613;
+  WorkforceCube wf = BuildWorkforceCube(config);
+
+  const Dimension& dim = wf.cube.schema().dimension(wf.dept_dim);
+  std::vector<DynamicBitset> vs_out = TransformValiditySets(
+      dim, Perspectives({2, 5, 8, 11}), Semantics::kBackward);
+
+  WorkloadReport report;
+  report.name = "fig13_varying_members";
+  report.cells = wf.cube.CountNonNullCells();
+  report.chunks = wf.cube.NumStoredChunks();
+  report.timing = TimeRelocate(wf.cube, wf.dept_dim, vs_out, smoke ? 3 : 5);
+  return report;
+}
+
+// Split kernel on the product cube: the probe moves a second time, so the
+// change relation adds one instance and grows the varying extent (the
+// geometry-changing path of ApplyDestTable).
+WorkloadReport RunSplit(bool smoke) {
+  ProductCubeConfig config;
+  config.separation_chunks = smoke ? 400 : 2000;
+  config.chunk_products = 1;
+  config.move_moment = 6;
+  ProductCube pc = BuildProductCube(config);
+  const Dimension& dim = pc.cube.schema().dimension(pc.product_dim);
+
+  ChangeRelation r;
+  r.push_back(ChangeTuple{pc.probe, dim.instance(pc.probe_second).parent,
+                          pc.groups[2 % pc.groups.size()], 9});
+
+  WorkloadReport report;
+  report.name = "split_product";
+  report.cells = pc.cube.CountNonNullCells();
+  report.chunks = pc.cube.NumStoredChunks();
+
+  const int reps = smoke ? 3 : 5;
+  Result<Cube> ref = SplitReference(pc.cube, pc.product_dim, r);
+  if (!ref.ok()) {
+    fprintf(stderr, "split setup failed: %s\n", ref.status().ToString().c_str());
+    abort();
+  }
+  report.timing.percell_ms = BestOfMs(reps, [&] {
+    Result<Cube> out = SplitReference(pc.cube, pc.product_dim, r);
+    if (!out.ok()) abort();
+  });
+  for (int threads : kThreadCounts) {
+    Result<Cube> out = Split(pc.cube, pc.product_dim, r, threads);
+    report.timing.identical = report.timing.identical && out.ok() &&
+                              CubesBitIdentical(*ref, *out);
+    report.timing.kernel_ms[threads] = BestOfMs(reps, [&] {
+      Result<Cube> timed = Split(pc.cube, pc.product_dim, r, threads);
+      if (!timed.ok()) abort();
+    });
+  }
+  return report;
+}
+
+// Parallel rollup: ChunkAggregator over the workforce cube, every 2-dim
+// group-by of (Department, Period, Account), serial visit order per mask.
+WorkloadReport RunRollup(bool smoke) {
+  WorkforceConfig config;
+  config.num_departments = smoke ? 10 : 51;
+  config.num_employees = smoke ? 200 : 2025;
+  config.num_changing = smoke ? 30 : 250;
+  config.num_measures = smoke ? 4 : 10;
+  config.num_scenarios = smoke ? 2 : 5;
+  config.seed = 20080407;
+  WorkforceCube wf = BuildWorkforceCube(config);
+
+  std::vector<GroupByMask> masks;
+  for (GroupByMask m = 1; m < (GroupByMask{1} << 3); ++m) masks.push_back(m);
+  std::vector<int> order(wf.cube.num_dims());
+  for (int d = 0; d < wf.cube.num_dims(); ++d) {
+    order[d] = wf.cube.num_dims() - 1 - d;
+  }
+
+  WorkloadReport report;
+  report.name = "rollup_workforce";
+  report.cells = wf.cube.CountNonNullCells();
+  report.chunks = wf.cube.NumStoredChunks();
+
+  const int reps = smoke ? 3 : 5;
+  ChunkAggregator serial(wf.cube);
+  std::vector<GroupByResult> ref = serial.Compute(masks, order, nullptr, 1);
+  report.timing.percell_ms = BestOfMs(reps, [&] {
+    ChunkAggregator agg(wf.cube);
+    std::vector<GroupByResult> out = agg.Compute(masks, order, nullptr, 1);
+    if (out.size() != masks.size()) abort();
+  });
+  for (int threads : kThreadCounts) {
+    ChunkAggregator check(wf.cube);
+    std::vector<GroupByResult> got = check.Compute(masks, order, nullptr, threads);
+    for (size_t i = 0; i < masks.size(); ++i) {
+      report.timing.identical = report.timing.identical && ref[i] == got[i];
+    }
+    report.timing.kernel_ms[threads] = BestOfMs(reps, [&] {
+      ChunkAggregator agg(wf.cube);
+      std::vector<GroupByResult> out = agg.Compute(masks, order, nullptr, threads);
+      if (out.size() != masks.size()) abort();
+    });
+  }
+  return report;
+}
+
+void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports, bool smoke) {
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"bench_kernels\",\n");
+  fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  fprintf(f, "  \"thread_counts\": [1, 2, 4, 8],\n");
+  fprintf(f, "  \"workloads\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const WorkloadReport& r = reports[i];
+    fprintf(f, "    {\n");
+    fprintf(f, "      \"name\": \"%s\",\n", r.name.c_str());
+    fprintf(f, "      \"cells\": %lld,\n", static_cast<long long>(r.cells));
+    fprintf(f, "      \"chunks\": %lld,\n", static_cast<long long>(r.chunks));
+    fprintf(f, "      \"bit_identical\": %s,\n",
+            r.timing.identical ? "true" : "false");
+    fprintf(f, "      \"percell_ms\": %.4f,\n", r.timing.percell_ms);
+    fprintf(f, "      \"kernel_ms\": {");
+    bool first = true;
+    for (const auto& [threads, ms] : r.timing.kernel_ms) {
+      fprintf(f, "%s\"%d\": %.4f", first ? "" : ", ", threads, ms);
+      first = false;
+    }
+    fprintf(f, "},\n");
+    const double k1 = r.timing.kernel_ms.at(1);
+    const double k4 = r.timing.kernel_ms.at(4);
+    fprintf(f, "      \"speedup_kernel_serial\": %.2f,\n",
+            k1 > 0 ? r.timing.percell_ms / k1 : 0.0);
+    fprintf(f, "      \"speedup_kernel_4t\": %.2f\n",
+            k4 > 0 ? r.timing.percell_ms / k4 : 0.0);
+    fprintf(f, "    }%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n");
+  fprintf(f, "}\n");
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false, check = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      fprintf(stderr, "usage: %s [--smoke] [--out <path>] [--check]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<WorkloadReport> reports;
+  reports.push_back(RunFig11(smoke));
+  reports.push_back(RunFig12(smoke));
+  reports.push_back(RunFig13(smoke));
+  reports.push_back(RunSplit(smoke));
+  reports.push_back(RunRollup(smoke));
+
+  WriteJson(stdout, reports, smoke);
+  if (!out_path.empty()) {
+    FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 2;
+    }
+    WriteJson(f, reports, smoke);
+    std::fclose(f);
+  }
+
+  int failures = 0;
+  for (const WorkloadReport& r : reports) {
+    if (!r.timing.identical) {
+      fprintf(stderr, "FAIL %s: kernel output differs from reference\n",
+              r.name.c_str());
+      ++failures;
+    }
+    if (check &&
+        r.timing.kernel_ms.at(1) > kCheckSlowdownLimit * r.timing.percell_ms) {
+      fprintf(stderr,
+              "FAIL %s: kernel serial %.3f ms vs per-cell %.3f ms "
+              "(limit %.1fx)\n",
+              r.name.c_str(), r.timing.kernel_ms.at(1), r.timing.percell_ms,
+              kCheckSlowdownLimit);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace olap::bench
+
+int main(int argc, char** argv) { return olap::bench::Main(argc, argv); }

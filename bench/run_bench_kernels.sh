@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Builds (Release) and runs the kernel benchmark, writing BENCH_kernels.json
+# to the repository root. Extra arguments are forwarded to the binary, e.g.
+#
+#   bench/run_bench_kernels.sh            # full run
+#   bench/run_bench_kernels.sh --smoke    # CI-sized run
+set -eu
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j --target bench_kernels
+"$build_dir/bench/bench_kernels" --out "$repo_root/BENCH_kernels.json" "$@"

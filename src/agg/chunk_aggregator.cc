@@ -1,5 +1,7 @@
 #include "agg/chunk_aggregator.h"
 
+#include "common/thread_pool.h"
+
 namespace olap {
 
 GroupByResult MakeGroupByShell(const Cube& cube, GroupByMask mask) {
@@ -18,7 +20,7 @@ std::vector<GroupByResult> NaiveAggregator::Compute(
   std::vector<GroupByResult> out;
   out.reserve(masks.size());
   for (GroupByMask mask : masks) out.push_back(MakeGroupByShell(cube, mask));
-  cube.ForEachCell([&](const std::vector<int>& coords, CellValue v) {
+  cube.ForEachChunkCell([&](const std::vector<int>& coords, CellValue v) {
     for (GroupByResult& g : out) g.AccumulateFull(coords, v);
   });
   return out;
@@ -26,7 +28,7 @@ std::vector<GroupByResult> NaiveAggregator::Compute(
 
 std::vector<GroupByResult> ChunkAggregator::Compute(
     const std::vector<GroupByMask>& masks, const std::vector<int>& order,
-    SimulatedDisk* disk) {
+    SimulatedDisk* disk, int threads) {
   stats_ = AggStats{};
   std::vector<GroupByResult> out;
   out.reserve(masks.size());
@@ -38,10 +40,14 @@ std::vector<GroupByResult> ChunkAggregator::Compute(
     stats_.mmst_memory_cells += lattice.MemoryRequirementCells(mask, order);
   }
 
-  // Walk the chunk grid with an odometer where order[0] increments fastest.
+  // Serial traversal pre-pass: walk the chunk grid with an odometer where
+  // order[0] increments fastest, recording the stored chunks in visit
+  // order. Stats and disk charging happen here, in traversal order, so
+  // they do not depend on `threads`.
   const int n = layout.num_dims();
   std::vector<int> chunk_coords(n, 0);
   const std::vector<int>& grid = layout.chunks_per_dim();
+  std::vector<std::pair<ChunkId, const Chunk*>> visit;
   while (true) {
     ++stats_.chunks_visited;
     ChunkId id = layout.ChunkIdAt(chunk_coords);
@@ -49,12 +55,8 @@ std::vector<GroupByResult> ChunkAggregator::Compute(
     if (chunk != nullptr) {
       ++stats_.chunks_read;
       if (disk != nullptr) disk->ReadChunk(id);
-      layout.ForEachCellInChunk(id, [&](const std::vector<int>& coords, int64_t off) {
-        CellValue v = chunk->Get(off);
-        if (v.is_null()) return;
-        ++stats_.cells_scanned;
-        for (GroupByResult& g : out) g.AccumulateFull(coords, v);
-      });
+      stats_.cells_scanned += chunk->CountNonNull();
+      visit.emplace_back(id, chunk);
     }
     // Odometer over chunk coords in the requested dimension order.
     int pos = 0;
@@ -65,6 +67,27 @@ std::vector<GroupByResult> ChunkAggregator::Compute(
       ++pos;
     }
     if (pos == n) break;
+  }
+
+  // Accumulation: one task per group-by mask. Every mask consumes the cells
+  // in the identical (serial) visit order, so each GroupByResult is
+  // bit-identical regardless of thread count — floating-point accumulation
+  // order never changes, only which mask runs on which worker.
+  auto accumulate_mask = [&](int64_t m) {
+    GroupByResult& g = out[m];
+    for (const auto& [id, chunk] : visit) {
+      layout.ForEachCellInChunk(id, [&](const std::vector<int>& coords,
+                                        int64_t off) {
+        CellValue v = chunk->Get(off);
+        if (!v.is_null()) g.AccumulateFull(coords, v);
+      });
+    }
+  };
+  const int64_t num_masks = static_cast<int64_t>(masks.size());
+  if (threads <= 1 || num_masks <= 1) {
+    for (int64_t m = 0; m < num_masks; ++m) accumulate_mask(m);
+  } else {
+    ThreadPool::Shared().ParallelFor(num_masks, threads, accumulate_mask);
   }
   return out;
 }

@@ -43,9 +43,16 @@ class ChunkAggregator {
 
   // `order`: permutation of dimensions; order[0] is read fastest.
   // `disk` may be null.
+  //
+  // `threads` > 1 computes the group-bys in parallel on the shared pool,
+  // one task per mask. Each mask still accumulates its cells in the exact
+  // serial visit order (the chunk traversal order), so the results are
+  // bit-identical to the serial pass; stats and disk charging come from a
+  // serial traversal pre-pass and are likewise unchanged.
   std::vector<GroupByResult> Compute(const std::vector<GroupByMask>& masks,
                                      const std::vector<int>& order,
-                                     SimulatedDisk* disk = nullptr);
+                                     SimulatedDisk* disk = nullptr,
+                                     int threads = 1);
 
   const AggStats& stats() const { return stats_; }
 

@@ -1,6 +1,8 @@
 #ifndef OLAP_COMMON_BITSET_H_
 #define OLAP_COMMON_BITSET_H_
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -39,6 +41,22 @@ class DynamicBitset {
   // Index of the first set bit at position >= from, or -1 if none.
   int FindNext(int from) const;
   int FindFirst() const { return FindNext(0); }
+
+  // Calls fn(pos) for every set bit, ascending. Inline and word-at-a-time:
+  // on hot paths (destination-table construction) this beats a
+  // FindFirst/FindNext loop, which pays an out-of-line call and a fresh
+  // word/mask computation per bit.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t m = words_[w];
+      while (m != 0) {
+        const int pos = static_cast<int>(w) * 64 + std::countr_zero(m);
+        fn(pos);
+        m &= m - 1;
+      }
+    }
+  }
 
   // Positions of all set bits, ascending.
   std::vector<int> ToVector() const;

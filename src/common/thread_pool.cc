@@ -1,0 +1,106 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace olap {
+
+namespace {
+
+// Shared state of one ParallelFor call. Heap-allocated and shared with the
+// helper tasks so a helper that wakes up after the caller already returned
+// (because the caller drained the range itself) touches valid memory.
+struct LoopState {
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  int64_t n = 0;
+  const std::function<void(int64_t)>* fn = nullptr;
+
+  std::mutex mu;
+  std::condition_variable all_done;
+
+  void Drain() {
+    while (true) {
+      int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      (*fn)(i);
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(mu);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n, int parallelism,
+                             const std::function<void(int64_t)>& fn) {
+  if (n <= 0) return;
+  const int helpers = std::min<int64_t>(
+      {static_cast<int64_t>(std::max(0, parallelism - 1)), n - 1,
+       static_cast<int64_t>(num_threads())});
+  if (helpers <= 0) {
+    for (int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->fn = &fn;
+  for (int h = 0; h < helpers; ++h) {
+    Schedule([state] { state->Drain(); });
+  }
+  state->Drain();  // The caller works too; guarantees forward progress.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(
+      static_cast<int>(std::max(2u, std::thread::hardware_concurrency())));
+  return *pool;
+}
+
+}  // namespace olap

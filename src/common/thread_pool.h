@@ -1,0 +1,68 @@
+#ifndef OLAP_COMMON_THREAD_POOL_H_
+#define OLAP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace olap {
+
+// A fixed-size work-queue thread pool shared by every parallel evaluation
+// path (grid evaluation, relocation, rollup). One process-wide pool is
+// created lazily by Shared(); per-call parallelism is capped by the caller
+// (QueryOptions::eval_threads), so a single reusable pool serves queries
+// with different thread budgets instead of spawning fresh std::threads per
+// query.
+//
+// ParallelFor is the only synchronisation primitive the engine needs: the
+// calling thread *participates* in the loop, which makes nested ParallelFor
+// calls deadlock-free (a saturated pool degrades to the caller draining the
+// whole index range itself).
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues one fire-and-forget task.
+  void Schedule(std::function<void()> fn);
+
+  // Invokes fn(i) exactly once for every i in [0, n), using at most
+  // `parallelism` concurrent executors (the caller plus up to
+  // parallelism - 1 pool workers), and blocks until every call returned.
+  //
+  // Indices are claimed from an atomic counter, so which thread runs which
+  // index is nondeterministic — callers must write to disjoint, index-owned
+  // output slots to keep results deterministic. parallelism <= 1 runs the
+  // whole loop inline on the caller.
+  void ParallelFor(int64_t n, int parallelism,
+                   const std::function<void(int64_t)>& fn);
+
+  // The process-wide pool, sized to the hardware concurrency. Thread-safe;
+  // created on first use and intentionally leaked (workers must outlive
+  // every static destructor that might still evaluate queries).
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_COMMON_THREAD_POOL_H_

@@ -20,4 +20,33 @@ void Chunk::AccumulateFrom(const Chunk& other) {
   }
 }
 
+bool Chunk::RunHasNonNull(int64_t offset, int64_t len) const {
+  assert(offset >= 0 && offset + len <= size());
+  const double* p = cells_.data() + offset;
+  for (int64_t i = 0; i < len; ++i) {
+    if (!CellValue::FromStorage(p[i]).is_null()) return true;
+  }
+  return false;
+}
+
+int64_t Chunk::CopyRunFrom(const Chunk& src, int64_t src_offset,
+                           int64_t dst_offset, int64_t len) {
+  assert(src_offset >= 0 && src_offset + len <= src.size());
+  assert(dst_offset >= 0 && dst_offset + len <= size());
+  const double* from = src.cells_.data() + src_offset;
+  double* to = cells_.data() + dst_offset;
+  int64_t copied = 0;
+  for (int64_t i = 0; i < len; ++i) {
+    if (CellValue::FromStorage(from[i]).is_null()) continue;
+    to[i] = from[i];
+    ++copied;
+  }
+  return copied;
+}
+
+int64_t Chunk::MergeNonNullFrom(const Chunk& other) {
+  assert(size() == other.size());
+  return CopyRunFrom(other, 0, 0, size());
+}
+
 }  // namespace olap

@@ -32,6 +32,30 @@ class Chunk {
   // related member instances (Sec. 5.1).
   void AccumulateFrom(const Chunk& other);
 
+  // --- Run kernels (chunk-native what-if evaluation) ----------------------
+  //
+  // The what-if operators move data between cubes in contiguous cell runs
+  // (all trailing-dimension coordinates of a fixed axis prefix) instead of
+  // cell-at-a-time SetCell calls; these kernels are that data path. All of
+  // them copy raw storage doubles, so values round-trip bit-identically.
+
+  // True when [offset, offset + len) contains at least one non-⊥ cell.
+  // Used to avoid materialising output chunks for all-⊥ runs.
+  bool RunHasNonNull(int64_t offset, int64_t len) const;
+
+  // Copies every non-⊥ cell of src's [src_offset, src_offset + len) into
+  // this chunk at the same relative position from dst_offset; ⊥ source
+  // cells leave the destination untouched. Returns the number of cells
+  // copied. The ranges must be in bounds; they may belong to chunks of
+  // different geometry (offsets are precomputed by the caller).
+  int64_t CopyRunFrom(const Chunk& src, int64_t src_offset, int64_t dst_offset,
+                      int64_t len);
+
+  // Whole-chunk variant of CopyRunFrom: merges every non-⊥ cell of `other`
+  // (same size) into this chunk, returning the number copied. Callers
+  // guarantee disjointness of the non-⊥ sets when determinism matters.
+  int64_t MergeNonNullFrom(const Chunk& other);
+
  private:
   std::vector<double> cells_;
 };

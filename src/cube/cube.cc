@@ -180,6 +180,41 @@ const Chunk* Cube::FindChunk(ChunkId id) const {
   return it == chunks_.end() ? nullptr : &it->second;
 }
 
+void Cube::AdoptChunk(ChunkId id, Chunk&& chunk) {
+  assert(chunk.size() == layout_.cells_per_chunk());
+  auto [it, inserted] = chunks_.emplace(id, std::move(chunk));
+  (void)it;
+  assert(inserted && "AdoptChunk: chunk id already stored");
+  (void)inserted;
+}
+
+void Cube::AdoptChunks(std::map<ChunkId, Chunk>&& m) {
+#ifndef NDEBUG
+  for (const auto& [id, chunk] : m) {
+    (void)id;
+    assert(chunk.size() == layout_.cells_per_chunk());
+  }
+#endif
+  if (chunks_.empty()) {
+    chunks_ = std::move(m);
+    m.clear();  // Moved-from maps are valid but unspecified.
+    return;
+  }
+  // Hinted node splice: incoming ids ascend, so inserting each node just
+  // after the previous one's position is amortized O(1) when the incoming
+  // range lands in a gap; a stale hint only costs the usual O(log n).
+  auto hint = chunks_.end();
+  while (!m.empty()) {
+    auto nh = m.extract(m.begin());
+    auto it = chunks_.insert(hint, std::move(nh));
+    if (!nh.empty()) {
+      // Id already stored: merge the non-⊥ cells instead.
+      it->second.MergeNonNullFrom(nh.mapped());
+    }
+    hint = std::next(it);
+  }
+}
+
 Chunk* Cube::GetOrCreateChunk(ChunkId id) {
   auto it = chunks_.find(id);
   if (it == chunks_.end()) {

@@ -113,13 +113,48 @@ class Cube {
   // Chunk for writing, created empty (all-⊥) on first touch.
   Chunk* GetOrCreateChunk(ChunkId id);
 
+  // Installs a fully built chunk under `id` (moving it). The chunk must
+  // match the layout's cells_per_chunk and `id` must not already be stored.
+  // Used by the parallel what-if kernels to merge per-task partial outputs.
+  void AdoptChunk(ChunkId id, Chunk&& chunk);
+
+  // Bulk AdoptChunk: splices every chunk of `m` into this cube without
+  // reallocating map nodes; ids already stored instead merge their non-⊥
+  // cells into the existing chunk (⊥-skipping overwrite). `m` is left
+  // empty. Every chunk must match the layout's cells_per_chunk.
+  void AdoptChunks(std::map<ChunkId, Chunk>&& m);
+
   // Iterates stored chunks in ascending chunk-id order.
   void ForEachChunk(
       const std::function<void(ChunkId, const Chunk&)>& fn) const;
 
+  // As ForEachChunk, but stops as soon as `fn` returns false. Templated so
+  // hot callers (e.g. early-exiting selection predicates) pay no
+  // std::function dispatch.
+  template <typename Fn>
+  void ForEachChunkWhile(Fn&& fn) const {
+    for (const auto& [id, chunk] : chunks_) {
+      if (!fn(id, chunk)) return;
+    }
+  }
+
   // Iterates every non-⊥ stored cell: fn(coords, value).
   void ForEachCell(
       const std::function<void(const std::vector<int>&, CellValue)>& fn) const;
+
+  // Templated equivalent of ForEachCell for hot paths: identical visit
+  // order (ascending chunk id, row-major within each chunk), but the
+  // callback is inlined instead of dispatched through std::function.
+  template <typename Fn>
+  void ForEachChunkCell(Fn&& fn) const {
+    for (const auto& [id, chunk] : chunks_) {
+      layout_.ForEachCellInChunk(id,
+                                 [&](const std::vector<int>& coords, int64_t off) {
+                                   CellValue v = chunk.Get(off);
+                                   if (!v.is_null()) fn(coords, v);
+                                 });
+    }
+  }
 
   // Removes all cells at position `pos` of dimension `dim` (sets them to ⊥).
   // Used by the Selection operator to drop sub-cubes of non-active members.

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <optional>
 #include <set>
-#include <thread>
 
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "mdx/parser.h"
 #include "rules/evaluator.h"
 
@@ -183,7 +183,8 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
 
     if (specs.size() == 1) {
       Result<PerspectiveCube> computed = ComputePerspectiveCube(
-          *active, specs[0], options.strategy, options.disk, &result.whatif_stats);
+          *active, specs[0], options.strategy, options.disk,
+          &result.whatif_stats, options.eval_threads);
       if (!computed.ok()) return computed.status();
       pc.emplace(*std::move(computed));
     } else {
@@ -198,7 +199,8 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
       for (const WhatIfSpec& spec : specs) {
         EvalStats stage_stats;
         Result<PerspectiveCube> stage = ComputePerspectiveCube(
-            current, spec, options.strategy, options.disk, &stage_stats);
+            current, spec, options.strategy, options.disk, &stage_stats,
+            options.eval_threads);
         if (!stage.ok()) return stage.status();
         result.whatif_stats.passes += stage_stats.passes;
         result.whatif_stats.chunk_reads += stage_stats.chunk_reads;
@@ -312,16 +314,15 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
         schema->dimension(d).Leaves();
       }
     }
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
+    // Same contiguous row blocks as before, but run on the shared pool
+    // instead of spawning one std::thread per query.
     const int per_thread = (num_rows + threads - 1) / threads;
-    for (int t = 0; t < threads; ++t) {
-      int begin = t * per_thread;
-      int end = std::min(num_rows, begin + per_thread);
-      if (begin >= end) break;
-      workers.emplace_back(evaluate_rows, begin, end);
-    }
-    for (std::thread& worker : workers) worker.join();
+    const int num_blocks = (num_rows + per_thread - 1) / per_thread;
+    ThreadPool::Shared().ParallelFor(num_blocks, threads, [&](int64_t block) {
+      const int begin = static_cast<int>(block) * per_thread;
+      const int end = std::min(num_rows, begin + per_thread);
+      evaluate_rows(begin, end);
+    });
   }
   result.cells_evaluated =
       static_cast<int64_t>(num_rows) * static_cast<int64_t>(col_tuples.size());

@@ -21,8 +21,10 @@ struct QueryOptions {
   // touches (the Sec. 6.3 optimisation). Disabled automatically for visual
   // mode and when the query aggregates over the varying dimension.
   bool auto_scope = true;
-  // Number of threads evaluating grid cells (1 = serial). Rows are
-  // partitioned across threads; results are identical to serial.
+  // Number of threads evaluating the query (1 = serial). Governs both the
+  // what-if data movement (Split/Relocate chunk kernels) and grid-cell
+  // evaluation, all on the process-wide shared pool; results are
+  // bit-identical to serial at every setting.
   int eval_threads = 1;
 };
 

@@ -1,9 +1,12 @@
 #include "whatif/operators.h"
 
+#include <algorithm>
 #include <cassert>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "rules/evaluator.h"
 
 namespace olap {
@@ -29,6 +32,384 @@ std::vector<int> OwnerByMoment(const Dimension& dim, MemberId m) {
     }
   }
   return owner;
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-native relocation kernel
+// ---------------------------------------------------------------------------
+//
+// Both Relocate and Split move leaf cells along ONE dimension: a cell at
+// (p, t, rest) goes to (dest(p, t), t, rest) or is dropped. The kernel
+// precomputes dest as a position-indexed table, then copies contiguous cell
+// runs chunk-to-chunk: for a fixed (p, t, leading coords) every trailing
+// coordinate combination is one contiguous run in both the source and the
+// destination chunk, so the inner loop is a ⊥-skipping raw-double copy with
+// no coordinate vectors, no hash lookups and no per-cell chunk resolution.
+
+// dest[p * universe + t] = output position receiving the cell, or -1 (drop).
+// identity[p] / drop_all[p] classify whole rows so the kernel can
+// block-copy or skip whole chunks without consulting the table per cell.
+struct DestTable {
+  int universe = 0;
+  std::vector<int32_t> dest;
+  std::vector<uint8_t> identity;
+  std::vector<uint8_t> drop_all;
+
+  void Init(int num_positions, int param_universe) {
+    universe = param_universe;
+    dest.assign(static_cast<size_t>(num_positions) * universe, -1);
+    identity.assign(num_positions, 0);
+    drop_all.assign(num_positions, 0);
+  }
+
+  // Derives the identity/drop_all row flags from the filled dest rows.
+  void Classify() {
+    const int num_positions = static_cast<int>(identity.size());
+    for (int p = 0; p < num_positions; ++p) {
+      const int32_t* row = dest.data() + static_cast<size_t>(p) * universe;
+      bool ident = true, any = false;
+      for (int t = 0; t < universe; ++t) {
+        if (row[t] >= 0) any = true;
+        if (row[t] != p) ident = false;
+      }
+      identity[p] = ident ? 1 : 0;
+      drop_all[p] = any ? 0 : 1;
+    }
+  }
+
+  int32_t At(int pos, int t) const {
+    return dest[static_cast<size_t>(pos) * universe + t];
+  }
+};
+
+// Applies `table` to every stored cell of `in`, producing a cube with
+// schema `schema_out` and the same chunk sizes. Partitions the stored
+// chunks into contiguous ranges handled by up to `threads` pool workers;
+// each task writes a private chunk map, and the partial maps are merged in
+// task order. Because every destination cell has exactly one source cell
+// (validity sets are disjoint), the merged result is independent of the
+// partitioning — outputs are bit-identical at every thread count.
+Cube ApplyDestTable(const Cube& in, Schema schema_out, int varying_dim,
+                    int param_dim, const DestTable& table, int threads,
+                    int64_t* cells_moved) {
+  Cube out(std::move(schema_out), OptionsOf(in));
+  const ChunkLayout& lin = in.layout();
+  const ChunkLayout& lout = out.layout();
+  const int n = lin.num_dims();
+  const int vd = varying_dim;
+
+  // Row-major in-chunk strides for both layouts. They can differ only when
+  // the varying extent changed (Split adding instances near a clamped
+  // chunk edge); trailing dimensions shared by a run always match, so the
+  // run length below is common to both.
+  std::vector<int64_t> sin(n), sout(n);
+  {
+    int64_t a = 1, b = 1;
+    for (int d = n - 1; d >= 0; --d) {
+      sin[d] = a;
+      a *= lin.chunk_sizes()[d];
+      sout[d] = b;
+      b *= lout.chunk_sizes()[d];
+    }
+  }
+
+  // Runs span the trailing dimensions; coordinates at or before dimension
+  // `j` stay fixed within a run. A run must hold (position, moment) — the
+  // coordinates along (vd, param_dim) — constant, so j starts at the
+  // slowest-varying of the two. But a dimension chunked at size 1 never
+  // varies *within* a chunk at all, so it cannot break a run: shrink j past
+  // any such dimension (vd additionally needs the output chunk size to be 1
+  // so source and destination runs stay element-aligned). Ordinary interior
+  // dimensions keep identical chunk sizes in both layouts and pass through.
+  // j may reach -1, in which case the whole chunk is a single run.
+  int j = std::max(vd, param_dim);
+  while (j >= 0) {
+    bool breaks_run;
+    if (j == vd) {
+      breaks_run = lin.chunk_sizes()[vd] != 1 || lout.chunk_sizes()[vd] != 1;
+    } else if (j == param_dim) {
+      breaks_run = lin.chunk_sizes()[j] != 1;
+    } else {
+      breaks_run = false;
+    }
+    if (breaks_run) break;
+    --j;
+  }
+  const int64_t run_len = j >= 0 ? sin[j] : lin.cells_per_chunk();
+  assert(run_len == (j >= 0 ? sout[j] : lout.cells_per_chunk()));
+
+  // Chunk-grid strides (row-major over chunks_per_dim) of both grids.
+  std::vector<int64_t> gstride(n), gstride_in(n);
+  {
+    int64_t acc = 1, acc_in = 1;
+    for (int d = n - 1; d >= 0; --d) {
+      gstride[d] = acc;
+      acc *= lout.chunks_per_dim()[d];
+      gstride_in[d] = acc_in;
+      acc_in *= lin.chunks_per_dim()[d];
+    }
+  }
+
+  const int csize_in_vd = lin.chunk_sizes()[vd];
+  const int csize_out_vd = lout.chunk_sizes()[vd];
+  const int64_t grid_in_vd = lin.chunks_per_dim()[vd];
+  const int ext_in_vd = lin.extents()[vd];
+  // Whole-chunk identity copies need 1:1 chunk correspondence.
+  const bool same_grid = lin.chunk_sizes() == lout.chunk_sizes() &&
+                         lin.chunks_per_dim() == lout.chunks_per_dim();
+
+  // Snapshot the stored chunks (ascending id — std::map order). The
+  // templated iteration avoids a std::function dispatch per chunk.
+  std::vector<std::pair<ChunkId, const Chunk*>> stored;
+  stored.reserve(in.NumStoredChunks());
+  in.ForEachChunkWhile([&](ChunkId id, const Chunk& chunk) {
+    stored.emplace_back(id, &chunk);
+    return true;
+  });
+  if (stored.empty()) {
+    if (cells_moved != nullptr) *cells_moved += 0;
+    return out;
+  }
+
+  // Per-task scratch buffers, reused across chunks so the hot loop makes no
+  // heap allocations (each task owns one; tasks never share).
+  struct Scratch {
+    std::vector<int> base;          // chunk base coordinate per dim
+    std::vector<int> limit;         // in-extent iteration limit, dims 0..j
+    std::vector<int> local_coords;  // odometer state, dims 0..j
+  };
+
+  // One source chunk: classify its varying-dimension positions, then either
+  // skip it, block-merge it, or walk its (leading coords) runs.
+  auto process_chunk = [&](ChunkId id, const Chunk& chunk,
+                           std::map<ChunkId, Chunk>* local, int64_t* moved,
+                           Scratch& scratch) {
+    // The chunk's base position along vd, without materialising coordinate
+    // vectors — classification runs for every stored chunk.
+    const int vbase =
+        static_cast<int>((id / gstride_in[vd]) % grid_in_vd) * csize_in_vd;
+    const int vlimit = std::min(csize_in_vd, ext_in_vd - vbase);
+
+    bool all_drop = true, all_ident = true;
+    for (int lv = 0; lv < vlimit; ++lv) {
+      const int p = vbase + lv;
+      if (!table.drop_all[p]) all_drop = false;
+      if (!table.identity[p]) all_ident = false;
+    }
+    if (all_drop) return;  // Sec. 6.3 confinement: chunk holds no scoped data.
+
+    auto local_chunk = [&](ChunkId dst_id) -> Chunk* {
+      auto it = local->find(dst_id);
+      if (it == local->end()) {
+        it = local->emplace(dst_id, Chunk(lout.cells_per_chunk())).first;
+      }
+      return &it->second;
+    };
+
+    if (all_ident && same_grid) {
+      // Every position maps to itself at every moment: clone the chunk
+      // wholesale. ⊥ cells are a canonical bit pattern, so a raw chunk copy
+      // equals ⊥-init-then-merge bit for bit — one scan and one memcpy
+      // instead of touching every cell twice. All-⊥ chunks stay unstored
+      // (the per-cell path would never create them).
+      const int64_t nonnull = chunk.CountNonNull();
+      if (nonnull == 0) return;
+      auto [it, inserted] = local->try_emplace(id, chunk);
+      if (!inserted) it->second.MergeNonNullFrom(chunk);
+      *moved += nonnull;
+      return;
+    }
+
+    // Decompose the chunk id into grid coords once: fills the chunk's base
+    // cell coordinate per dim and accumulates the destination chunk-grid id
+    // minus the varying-dimension term (destinations differ only along vd).
+    std::vector<int>& base = scratch.base;
+    int64_t dst_id_base = 0;
+    {
+      int64_t rem = id;
+      for (int d = 0; d < n; ++d) {
+        const int64_t c = rem / gstride_in[d];
+        rem %= gstride_in[d];
+        if (d != vd) dst_id_base += c * gstride[d];
+        base[d] = static_cast<int>(c) * lin.chunk_sizes()[d];
+      }
+    }
+
+    // In-extent iteration limits for the leading dims (trailing padding is
+    // all-⊥ and handled by the ⊥-skipping copy).
+    std::vector<int>& limit = scratch.limit;
+    for (int d = 0; d <= j; ++d) {
+      limit[d] = std::min(lin.chunk_sizes()[d], lin.extents()[d] - base[d]);
+    }
+
+    ChunkId last_dst_id = -1;
+    Chunk* dst_chunk = nullptr;
+    // Dimensions past j are chunked at size 1 (coordinate pinned at the
+    // chunk base), so index local_coords only when the dim is odometer-led.
+    std::vector<int>& local_coords = scratch.local_coords;
+    std::fill(local_coords.begin(), local_coords.end(), 0);
+    while (true) {
+      const int p = vbase + (vd <= j ? local_coords[vd] : 0);
+      const int t =
+          base[param_dim] + (param_dim <= j ? local_coords[param_dim] : 0);
+      const int32_t dstv =
+          table.identity[p] ? static_cast<int32_t>(p) : table.At(p, t);
+      if (dstv >= 0) {
+        int64_t src_off = 0;
+        for (int d = 0; d <= j; ++d) src_off += local_coords[d] * sin[d];
+        if (chunk.RunHasNonNull(src_off, run_len)) {
+          const int dst_cv = dstv / csize_out_vd;
+          const ChunkId dst_id = dst_id_base + dst_cv * gstride[vd];
+          if (dst_id != last_dst_id) {
+            dst_chunk = local_chunk(dst_id);
+            last_dst_id = dst_id;
+          }
+          int64_t dst_off = (dstv - dst_cv * csize_out_vd) * sout[vd];
+          for (int d = 0; d <= j; ++d) {
+            if (d != vd) dst_off += local_coords[d] * sout[d];
+          }
+          *moved += dst_chunk->CopyRunFrom(chunk, src_off, dst_off, run_len);
+        }
+      }
+      // Odometer over the leading dims, innermost fastest, within extents.
+      int d = j;
+      while (d >= 0) {
+        if (++local_coords[d] < limit[d]) break;
+        local_coords[d] = 0;
+        --d;
+      }
+      if (d < 0) break;
+    }
+  };
+
+  // Deterministic partitioning: contiguous ranges of the ascending stored
+  // list. More tasks than threads for load balance; partial outputs are
+  // disjoint in their non-⊥ cells, so the merge below is order-independent.
+  // Serial runs use a single task so the merge degenerates to moving the
+  // one partial map into the (empty) output cube.
+  const int num_tasks =
+      threads <= 1 ? 1
+                   : static_cast<int>(std::min<int64_t>(
+                         stored.size(), static_cast<int64_t>(threads) * 4));
+  std::vector<std::map<ChunkId, Chunk>> partial(num_tasks);
+  std::vector<int64_t> moved_per_task(num_tasks, 0);
+  auto run_task = [&](int64_t task) {
+    Scratch scratch;
+    scratch.base.resize(n);
+    scratch.limit.resize(j + 1);
+    scratch.local_coords.resize(j + 1);
+    const size_t begin = stored.size() * task / num_tasks;
+    const size_t end = stored.size() * (task + 1) / num_tasks;
+    for (size_t i = begin; i < end; ++i) {
+      process_chunk(stored[i].first, *stored[i].second, &partial[task],
+                    &moved_per_task[task], scratch);
+    }
+  };
+  if (threads <= 1 || num_tasks <= 1) {
+    for (int task = 0; task < num_tasks; ++task) run_task(task);
+  } else {
+    ThreadPool::Shared().ParallelFor(num_tasks, threads, run_task);
+  }
+
+  int64_t moved = 0;
+  for (int task = 0; task < num_tasks; ++task) {
+    moved += moved_per_task[task];
+    out.AdoptChunks(std::move(partial[task]));
+  }
+  if (cells_moved != nullptr) *cells_moved += moved;
+  return out;
+}
+
+// The transformed schema shared by Relocate and RelocateReference.
+Schema RelocateSchema(const Cube& in, int varying_dim,
+                      const std::vector<DynamicBitset>& vs_out,
+                      const std::unordered_set<MemberId>& scope,
+                      bool scope_all) {
+  Schema schema_out = in.schema();
+  const Dimension& d_in = in.schema().dimension(varying_dim);
+  Dimension* d_out = schema_out.mutable_dimension(varying_dim);
+  for (const MemberInstance& inst : d_in.instances()) {
+    if (scope_all || scope.count(inst.member) > 0) {
+      d_out->SetInstanceValidity(inst.id, vs_out[inst.id]);
+    }
+  }
+  return schema_out;
+}
+
+// dst_of[member][t]: the output instance owning moment t under vs_out.
+// Phi guarantees the vs_out of one member's instances stay disjoint, so
+// the assignment is unique (asserted).
+std::unordered_map<MemberId, std::vector<int>> RelocateDstOf(
+    const Dimension& d_in, const std::vector<DynamicBitset>& vs_out,
+    const std::unordered_set<MemberId>& scope, bool scope_all) {
+  std::unordered_map<MemberId, std::vector<int>> dst_of;
+  for (const MemberInstance& inst : d_in.instances()) {
+    if (!scope_all && scope.count(inst.member) == 0) continue;
+    auto [it, unused] = dst_of.try_emplace(
+        inst.member, std::vector<int>(d_in.parameter_leaf_count(), -1));
+    (void)unused;
+    const DynamicBitset& vs = vs_out[inst.id];
+    for (int t = vs.FindFirst(); t >= 0; t = vs.FindNext(t + 1)) {
+      assert(it->second[t] == -1 && "output validity sets must be disjoint");
+      it->second[t] = inst.id;
+    }
+  }
+  return dst_of;
+}
+
+// Applies the change tuples of a Split to the metadata sequentially,
+// producing the output schema and the set of touched members. Shared by
+// Split and SplitReference.
+Result<Schema> SplitSchema(const Cube& in, int varying_dim,
+                           const ChangeRelation& r,
+                           std::unordered_set<MemberId>* touched) {
+  const Schema& schema_in = in.schema();
+  const Dimension& d_in = schema_in.dimension(varying_dim);
+  if (!d_in.is_varying()) {
+    return Status::FailedPrecondition("Split requires a varying dimension");
+  }
+  if (!d_in.parameter_is_ordered()) {
+    // Definition 4.5's "before t / from t onward" split needs an order.
+    return Status::FailedPrecondition(
+        "Split requires an ordered parameter dimension");
+  }
+  const int universe = d_in.parameter_leaf_count();
+
+  Schema schema_out = schema_in;
+  Dimension* d_out = schema_out.mutable_dimension(varying_dim);
+  for (const ChangeTuple& tuple : r) {
+    if (tuple.moment < 0 || tuple.moment >= universe) {
+      return Status::OutOfRange("change moment out of range");
+    }
+    InstanceId src = d_out->FindInstance(tuple.member, tuple.old_parent);
+    if (src == kInvalidInstance) {
+      return Status::NotFound("no instance of member under the stated old parent");
+    }
+    DynamicBitset after(universe);
+    for (int t = tuple.moment; t < universe; ++t) after.Set(t);
+    after &= d_out->instance(src).validity;
+    if (after.None()) {
+      return Status::FailedPrecondition(
+          "old parent is not the member's parent at or after the change moment");
+    }
+    DynamicBitset before = d_out->instance(src).validity;
+    before.Subtract(after);
+    d_out->SetInstanceValidity(src, before);
+
+    InstanceId dst = d_out->FindInstance(tuple.member, tuple.new_parent);
+    if (dst == kInvalidInstance) {
+      Result<InstanceId> added =
+          d_out->AddInstance(tuple.member, tuple.new_parent, after);
+      if (!added.ok()) return added.status();
+      dst = *added;
+    } else {
+      DynamicBitset merged = d_out->instance(dst).validity;
+      merged |= after;
+      d_out->SetInstanceValidity(dst, merged);
+    }
+    touched->insert(tuple.member);
+  }
+  return schema_out;
 }
 
 }  // namespace
@@ -74,8 +455,20 @@ std::vector<bool> KeepValidityOverlaps(const Cube& in, int dim,
 std::vector<bool> KeepWhereAnyValue(const Cube& in, int dim,
                                     const std::function<bool(double)>& pred) {
   std::vector<bool> keep(in.schema().dimension(dim).num_positions(), false);
-  in.ForEachCell([&](const std::vector<int>& coords, CellValue v) {
-    if (!keep[coords[dim]] && pred(v.value())) keep[coords[dim]] = true;
+  int unmarked = static_cast<int>(keep.size());
+  const ChunkLayout& layout = in.layout();
+  in.ForEachChunkWhile([&](ChunkId id, const Chunk& chunk) {
+    layout.ForEachCellInChunk(id, [&](const std::vector<int>& coords,
+                                      int64_t off) {
+      if (unmarked == 0) return;  // Everything marked; skim the rest.
+      if (keep[coords[dim]]) return;
+      CellValue v = chunk.Get(off);
+      if (!v.is_null() && pred(v.value())) {
+        keep[coords[dim]] = true;
+        --unmarked;
+      }
+    });
+    return unmarked > 0;  // Early-exit: stop scanning further chunks.
   });
   return keep;
 }
@@ -83,7 +476,67 @@ std::vector<bool> KeepWhereAnyValue(const Cube& in, int dim,
 Cube Relocate(const Cube& in, int varying_dim,
               const std::vector<DynamicBitset>& vs_out,
               const std::vector<MemberId>& scope_members,
-              bool copy_out_of_scope, int64_t* cells_moved) {
+              bool copy_out_of_scope, int64_t* cells_moved, int threads) {
+  const Dimension& d_in = in.schema().dimension(varying_dim);
+  assert(d_in.is_varying());
+  assert(static_cast<int>(vs_out.size()) == d_in.num_instances());
+  const int param_dim = in.schema().parameter_of(varying_dim);
+  assert(param_dim >= 0);
+
+  std::unordered_set<MemberId> scope(scope_members.begin(), scope_members.end());
+  const bool scope_all = scope.empty();
+  Schema schema_out = RelocateSchema(in, varying_dim, vs_out, scope, scope_all);
+  // dst_flat[member * universe + t]: the output instance owning moment t
+  // under vs_out, or -1. Flat arrays keyed by member id replace the
+  // unordered_map<MemberId, vector<int>> of the reference path — building
+  // that map costs thousands of small allocations, which on wide dimensions
+  // dwarfs the kernel's actual data movement.
+  const int universe = d_in.parameter_leaf_count();
+  MemberId max_member = -1;
+  for (const MemberInstance& inst : d_in.instances()) {
+    max_member = std::max(max_member, inst.member);
+  }
+  std::vector<int32_t> dst_flat(static_cast<size_t>(max_member + 1) * universe,
+                                -1);
+  std::vector<uint8_t> in_scope(max_member + 1, 0);
+  for (const MemberInstance& inst : d_in.instances()) {
+    if (!scope_all && scope.count(inst.member) == 0) continue;
+    in_scope[inst.member] = 1;
+    int32_t* row = dst_flat.data() + static_cast<size_t>(inst.member) * universe;
+    vs_out[inst.id].ForEachSetBit([&](int t) {
+      assert(row[t] == -1 && "output validity sets must be disjoint");
+      row[t] = static_cast<int32_t>(inst.id);
+    });
+  }
+
+  // Position-indexed destination table: destinations resolve once per axis
+  // position here, never in the kernel.
+  DestTable table;
+  table.Init(d_in.num_positions(), universe);
+  for (int p = 0; p < d_in.num_positions(); ++p) {
+    const MemberInstance& inst = d_in.instance(p);
+    int32_t* row = table.dest.data() + static_cast<size_t>(p) * universe;
+    if (!in_scope[inst.member]) {  // Out of scope.
+      if (copy_out_of_scope) {
+        for (int t = 0; t < universe; ++t) row[t] = p;
+      }
+      continue;
+    }
+    // Only data at the instance actually valid at t participates: that is
+    // Cin(d_t, t, e) in Definition 4.4.
+    const int32_t* src =
+        dst_flat.data() + static_cast<size_t>(inst.member) * universe;
+    inst.validity.ForEachSetBit([&](int t) { row[t] = src[t]; });
+  }
+  table.Classify();
+  return ApplyDestTable(in, std::move(schema_out), varying_dim, param_dim,
+                        table, threads, cells_moved);
+}
+
+Cube RelocateReference(const Cube& in, int varying_dim,
+                       const std::vector<DynamicBitset>& vs_out,
+                       const std::vector<MemberId>& scope_members,
+                       bool copy_out_of_scope, int64_t* cells_moved) {
   const Schema& schema_in = in.schema();
   const Dimension& d_in = schema_in.dimension(varying_dim);
   assert(d_in.is_varying());
@@ -93,31 +546,9 @@ Cube Relocate(const Cube& in, int varying_dim,
 
   std::unordered_set<MemberId> scope(scope_members.begin(), scope_members.end());
   const bool scope_all = scope.empty();
-
-  // Output metadata: the transformed validity sets.
-  Schema schema_out = schema_in;
-  Dimension* d_out = schema_out.mutable_dimension(varying_dim);
-  for (const MemberInstance& inst : d_in.instances()) {
-    if (scope_all || scope.count(inst.member) > 0) {
-      d_out->SetInstanceValidity(inst.id, vs_out[inst.id]);
-    }
-  }
-
-  // dst_of[member][t]: the output instance owning moment t under vs_out.
-  // Phi guarantees the vs_out of one member's instances stay disjoint, so
-  // the assignment is unique (asserted).
-  std::unordered_map<MemberId, std::vector<int>> dst_of;
-  for (const MemberInstance& inst : d_in.instances()) {
-    if (!scope_all && scope.count(inst.member) == 0) continue;
-    auto [it, unused] = dst_of.try_emplace(
-        inst.member, std::vector<int>(d_in.parameter_leaf_count(), -1));
-    (void)unused;
-    const DynamicBitset& vs = vs_out[inst.id];
-    for (int t = vs.FindFirst(); t >= 0; t = vs.FindNext(t + 1)) {
-      assert(it->second[t] == -1 && "output validity sets must be disjoint");
-      it->second[t] = inst.id;
-    }
-  }
+  Schema schema_out = RelocateSchema(in, varying_dim, vs_out, scope, scope_all);
+  std::unordered_map<MemberId, std::vector<int>> dst_of =
+      RelocateDstOf(d_in, vs_out, scope, scope_all);
 
   Cube out(schema_out, OptionsOf(in));
   int64_t moved = 0;
@@ -133,8 +564,6 @@ Cube Relocate(const Cube& in, int varying_dim,
       return;
     }
     const int t = coords[param_dim];
-    // Only data at the instance actually valid at t participates: that is
-    // Cin(d_t, t, e) in Definition 4.4.
     if (!inst.validity.Test(t)) return;
     const int dst = it->second[t];
     if (dst < 0) return;  // No output instance claims this moment.
@@ -177,64 +606,54 @@ Cube Relocate(const Cube& in, int varying_dim,
   return out;
 }
 
-Result<Cube> Split(const Cube& in, int varying_dim, const ChangeRelation& r) {
-  const Schema& schema_in = in.schema();
-  const Dimension& d_in = schema_in.dimension(varying_dim);
-  if (!d_in.is_varying()) {
-    return Status::FailedPrecondition("Split requires a varying dimension");
-  }
-  if (!d_in.parameter_is_ordered()) {
-    // Definition 4.5's "before t / from t onward" split needs an order.
-    return Status::FailedPrecondition(
-        "Split requires an ordered parameter dimension");
-  }
-  const int param_dim = schema_in.parameter_of(varying_dim);
+Result<Cube> Split(const Cube& in, int varying_dim, const ChangeRelation& r,
+                   int threads) {
+  std::unordered_set<MemberId> touched;
+  Result<Schema> schema_out = SplitSchema(in, varying_dim, r, &touched);
+  if (!schema_out.ok()) return schema_out.status();
+  const Dimension& d_in = in.schema().dimension(varying_dim);
+  const Dimension& d_out = schema_out->dimension(varying_dim);
+  const int param_dim = in.schema().parameter_of(varying_dim);
   const int universe = d_in.parameter_leaf_count();
 
-  Schema schema_out = schema_in;
-  Dimension* d_out = schema_out.mutable_dimension(varying_dim);
-
-  // Apply the change tuples to the metadata sequentially.
-  std::unordered_set<MemberId> touched;
-  for (const ChangeTuple& tuple : r) {
-    if (tuple.moment < 0 || tuple.moment >= universe) {
-      return Status::OutOfRange("change moment out of range");
-    }
-    InstanceId src = d_out->FindInstance(tuple.member, tuple.old_parent);
-    if (src == kInvalidInstance) {
-      return Status::NotFound("no instance of member under the stated old parent");
-    }
-    DynamicBitset after(universe);
-    for (int t = tuple.moment; t < universe; ++t) after.Set(t);
-    after &= d_out->instance(src).validity;
-    if (after.None()) {
-      return Status::FailedPrecondition(
-          "old parent is not the member's parent at or after the change moment");
-    }
-    DynamicBitset before = d_out->instance(src).validity;
-    before.Subtract(after);
-    d_out->SetInstanceValidity(src, before);
-
-    InstanceId dst = d_out->FindInstance(tuple.member, tuple.new_parent);
-    if (dst == kInvalidInstance) {
-      Result<InstanceId> added =
-          d_out->AddInstance(tuple.member, tuple.new_parent, after);
-      if (!added.ok()) return added.status();
-      dst = *added;
-    } else {
-      DynamicBitset merged = d_out->instance(dst).validity;
-      merged |= after;
-      d_out->SetInstanceValidity(dst, merged);
-    }
-    touched.insert(tuple.member);
-  }
-
-  // Move the data: every moment of a touched member goes to the output
-  // instance that owns it after the splits.
+  // Every moment of a touched member goes to the output instance that owns
+  // it after the splits; untouched members copy through unchanged.
   std::unordered_map<MemberId, std::vector<int>> owner_out;
-  for (MemberId m : touched) owner_out[m] = OwnerByMoment(*d_out, m);
+  for (MemberId m : touched) owner_out[m] = OwnerByMoment(d_out, m);
 
-  Cube out(schema_out, OptionsOf(in));
+  DestTable table;
+  table.Init(d_in.num_positions(), universe);
+  for (int p = 0; p < d_in.num_positions(); ++p) {
+    const MemberInstance& inst = d_in.instance(p);
+    int32_t* row = table.dest.data() + static_cast<size_t>(p) * universe;
+    auto it = owner_out.find(inst.member);
+    if (it == owner_out.end()) {
+      for (int t = 0; t < universe; ++t) row[t] = p;
+      continue;
+    }
+    for (int t = inst.validity.FindFirst(); t >= 0;
+         t = inst.validity.FindNext(t + 1)) {
+      row[t] = it->second[t];
+    }
+  }
+  table.Classify();
+  return ApplyDestTable(in, *std::move(schema_out), varying_dim, param_dim,
+                        table, threads, nullptr);
+}
+
+Result<Cube> SplitReference(const Cube& in, int varying_dim,
+                            const ChangeRelation& r) {
+  std::unordered_set<MemberId> touched;
+  Result<Schema> schema_out = SplitSchema(in, varying_dim, r, &touched);
+  if (!schema_out.ok()) return schema_out.status();
+  const Dimension& d_in = in.schema().dimension(varying_dim);
+  const Dimension& d_out = schema_out->dimension(varying_dim);
+  const int param_dim = in.schema().parameter_of(varying_dim);
+
+  std::unordered_map<MemberId, std::vector<int>> owner_out;
+  for (MemberId m : touched) owner_out[m] = OwnerByMoment(d_out, m);
+
+  Cube out(*schema_out, OptionsOf(in));
   std::vector<int> dst_coords;
   in.ForEachCell([&](const std::vector<int>& coords, CellValue v) {
     const MemberInstance& inst = d_in.instance(coords[varying_dim]);
@@ -292,7 +711,7 @@ Result<Cube> Allocate(const Cube& in, const AllocationSpec& spec) {
   std::vector<int> dst_coords;
   // Collect the moves first (mutating while iterating would be unsound).
   std::vector<std::pair<std::vector<int>, double>> moves;
-  in.ForEachCell([&](const std::vector<int>& coords, CellValue v) {
+  in.ForEachChunkCell([&](const std::vector<int>& coords, CellValue v) {
     if (coords[spec.dim] != from_pos) return;
     for (int d = 0; d < in.num_dims(); ++d) {
       if (!region_mask[d].empty() && !region_mask[d][coords[d]]) return;

@@ -33,7 +33,8 @@ std::vector<bool> KeepValidityOverlaps(const Cube& in, int dim,
                                        const DynamicBitset& moments);
 // Value predicate σ_{D θ c}: keep positions of `dim` that have at least one
 // cell in the cube slice satisfying pred(value), e.g. sales > 1000 with the
-// other coordinates restricted beforehand via Select.
+// other coordinates restricted beforehand via Select. Stops scanning as
+// soon as every position along `dim` is marked.
 std::vector<bool> KeepWhereAnyValue(const Cube& in, int dim,
                                     const std::function<bool(double)>& pred);
 
@@ -58,10 +59,27 @@ std::vector<bool> KeepWhereAnyValue(const Cube& in, int dim,
 // omitted from the output when it is false (the caller then reads them from
 // the input cube — see PerspectiveCube). Empty scope = all members.
 // `cells_moved`, when non-null, receives the number of leaf cells written.
+//
+// Data movement is chunk-native: a position-indexed destination table is
+// precomputed along the varying/parameter dimensions, then contiguous cell
+// runs are copied chunk-to-chunk (Chunk::CopyRunFrom), partitioned across
+// `threads` pool workers by source-chunk range with per-task outputs merged
+// deterministically. The result is bit-identical to RelocateReference at
+// every thread count.
 Cube Relocate(const Cube& in, int varying_dim,
               const std::vector<DynamicBitset>& vs_out,
               const std::vector<MemberId>& scope_members = {},
-              bool copy_out_of_scope = true, int64_t* cells_moved = nullptr);
+              bool copy_out_of_scope = true, int64_t* cells_moved = nullptr,
+              int threads = 1);
+
+// The serial cell-at-a-time implementation of Relocate (ForEachCell +
+// SetCell per cell). Kept as the oracle for the randomized equivalence
+// tests and the bench_kernels baseline; not used on the query path.
+Cube RelocateReference(const Cube& in, int varying_dim,
+                       const std::vector<DynamicBitset>& vs_out,
+                       const std::vector<MemberId>& scope_members = {},
+                       bool copy_out_of_scope = true,
+                       int64_t* cells_moved = nullptr);
 
 // ---------------------------------------------------------------------------
 // Split (Definition 4.5) — positive scenarios
@@ -81,7 +99,15 @@ using ChangeRelation = std::vector<ChangeTuple>;
 // "before t" version (keeps moments < t) and an "after t" version n/m
 // (receives moments >= t and the corresponding cells). Fails when o is not
 // actually m's parent over the reassigned moments.
-Result<Cube> Split(const Cube& in, int varying_dim, const ChangeRelation& r);
+//
+// Uses the same chunk-native run-copy kernel as Relocate; `threads`
+// parallelises the data movement with bit-identical results.
+Result<Cube> Split(const Cube& in, int varying_dim, const ChangeRelation& r,
+                   int threads = 1);
+
+// Serial cell-at-a-time Split, the oracle for equivalence tests/bench.
+Result<Cube> SplitReference(const Cube& in, int varying_dim,
+                            const ChangeRelation& r);
 
 // ---------------------------------------------------------------------------
 // Allocate — data-driven hypothetical scenarios

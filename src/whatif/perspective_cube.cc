@@ -190,7 +190,8 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
                                                const WhatIfSpec& spec,
                                                EvalStrategy strategy,
                                                SimulatedDisk* disk,
-                                               EvalStats* stats) {
+                                               EvalStats* stats,
+                                               int eval_threads) {
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = EvalStats{};
@@ -213,7 +214,7 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
     std::vector<MemberId> changed;
     for (const ChangeTuple& tuple : spec.changes) changed.push_back(tuple.member);
     ChargeScan(in, spec.varying_dim, changed, disk, stats);
-    Result<Cube> split = Split(in, spec.varying_dim, spec.changes);
+    Result<Cube> split = Split(in, spec.varying_dim, spec.changes, eval_threads);
     if (!split.ok()) return split.status();
     stats->cells_moved += split->CountNonNullCells();
     split_cube = *std::move(split);
@@ -253,7 +254,8 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
     ChargeRelocationScan(*base, spec.varying_dim, vs_out, scan_scope,
                          spec.pebbling_read_order, disk, stats);
     Cube out = Relocate(*base, spec.varying_dim, vs_out, relocate_scope,
-                        /*copy_out_of_scope=*/!scoped, &stats->cells_moved);
+                        /*copy_out_of_scope=*/!scoped, &stats->cells_moved,
+                        eval_threads);
     if (disk != nullptr) {
       stats->virtual_io_seconds = disk->stats().virtual_seconds - io_before;
     }
@@ -274,8 +276,8 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
     ChargeRelocationScan(*base, spec.varying_dim, vs, scan_scope,
                          spec.pebbling_read_order, disk, stats);
     runs.push_back(Relocate(*base, spec.varying_dim, vs, relocate_scope,
-                            /*copy_out_of_scope=*/!scoped,
-                            &stats->cells_moved));
+                            /*copy_out_of_scope=*/!scoped, &stats->cells_moved,
+                            eval_threads));
     run_vs.push_back(std::move(vs));
   }
 
@@ -307,7 +309,7 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
   }
   Cube merged(merged_schema, OptionsOf(*base));
   for (int r = 0; r < static_cast<int>(runs.size()); ++r) {
-    runs[r].ForEachCell([&](const std::vector<int>& coords, CellValue v) {
+    runs[r].ForEachChunkCell([&](const std::vector<int>& coords, CellValue v) {
       int governing = GoverningRun(spec.perspectives, spec.semantics,
                                    coords[param_dim]);
       if (governing >= 0 && governing != r) return;

@@ -109,10 +109,13 @@ class PerspectiveCube {
 //
 // `disk` (optional) charges every chunk fetched during the computation to
 // the simulated device; `stats` (optional) receives work counters.
+// `eval_threads` parallelises the Split/Relocate data movement over the
+// shared thread pool; results are bit-identical at every thread count.
 Result<PerspectiveCube> ComputePerspectiveCube(
     const Cube& in, const WhatIfSpec& spec,
     EvalStrategy strategy = EvalStrategy::kDirect,
-    SimulatedDisk* disk = nullptr, EvalStats* stats = nullptr);
+    SimulatedDisk* disk = nullptr, EvalStats* stats = nullptr,
+    int eval_threads = 1);
 
 // --- Lemma 5.1 / Sec. 5.2 planning helpers --------------------------------
 

@@ -17,8 +17,20 @@
 namespace olap {
 namespace {
 
+// Temp file path unique to the current test case: test cases of the same
+// binary run concurrently under `ctest -j`, and a shared filename would let
+// one case read a file another is mid-way through replacing.
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string unique = info == nullptr
+                           ? std::string("unknown")
+                           : std::string(info->test_suite_name()) + "_" +
+                                 info->name();
+  for (char& c : unique) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return std::string(::testing::TempDir()) + "/" + unique + "_" + name;
 }
 
 void WriteFile(const std::string& path, const std::string& bytes) {

@@ -13,8 +13,20 @@
 namespace olap {
 namespace {
 
+// Temp file path unique to the current test case: parameterized instances
+// of the same test run concurrently under `ctest -j`, and a shared filename
+// would let one instance load a file another is mid-way through replacing.
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string unique = info == nullptr
+                           ? std::string("unknown")
+                           : std::string(info->test_suite_name()) + "_" +
+                                 info->name();
+  for (char& c : unique) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return std::string(::testing::TempDir()) + "/" + unique + "_" + name;
 }
 
 void ExpectCubesEqual(const Cube& a, const Cube& b) {

@@ -21,8 +21,19 @@
 namespace olap {
 namespace {
 
+// Unique per test case: cases of the same binary run concurrently under
+// `ctest -j`, so a shared filename would race.
 std::string TempPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name;
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string unique = info == nullptr
+                           ? std::string("unknown")
+                           : std::string(info->test_suite_name()) + "_" +
+                                 info->name();
+  for (char& c : unique) {
+    if (c == '/' || c == '\\') c = '_';
+  }
+  return std::string(::testing::TempDir()) + "/" + unique + "_" + name;
 }
 
 WorkforceCube SmallWorkforce() {

@@ -1,0 +1,87 @@
+// ThreadPool: every index runs exactly once, the caller participates, and
+// nested ParallelFor calls cannot deadlock even on a saturated pool.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, 4, [&](int64_t i) { hits[i].fetch_add(1); });
+  for (int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOneIndices) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, 2, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, 2, [&](int64_t i) {
+    EXPECT_EQ(i, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelismOneRunsInlineInOrder) {
+  ThreadPool pool(4);
+  std::vector<int64_t> order;
+  pool.ParallelFor(100, 1, [&](int64_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ParallelismAbovePoolSizeStillCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(1000, 64, [&](int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  constexpr int64_t kOuter = 8;
+  constexpr int64_t kInner = 50;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, 4, [&](int64_t o) {
+    pool.ParallelFor(kInner, 4, [&](int64_t i) {
+      hits[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ScheduleRunsTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.Schedule([&] { done.fetch_add(1); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsSingletonAndUsable) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 2);
+  std::atomic<int64_t> sum{0};
+  a.ParallelFor(256, a.num_threads(), [&](int64_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 256 * 257 / 2);
+}
+
+}  // namespace
+}  // namespace olap
