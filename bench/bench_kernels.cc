@@ -7,13 +7,21 @@
 // Benchmark): the JSON schema, the smoke mode and the --check gate are the
 // interface.
 //
-//   bench_kernels [--smoke] [--out <path>] [--check]
+//   bench_kernels [--smoke] [--out <path>] [--check] [--profile]
+//                 [--profile-out <path>]
 //
 //   --smoke   scaled-down workloads + fewer repetitions (CI-sized)
 //   --out     write the JSON report to <path> (default: stdout only)
 //   --check   exit non-zero if the 1-thread kernel path is more than 1.5x
 //             slower than the per-cell reference on any workload, or if any
 //             result mismatches the reference (the CI regression gate)
+//   --profile       also time the Fig. 12 Relocate with tracing enabled vs
+//                   disabled (serial and 4-thread) and emit the per-span
+//                   breakdown + metrics delta as a second JSON report; with
+//                   --check, fail if the tracing overhead exceeds 5%
+//   --profile-out   where --profile writes its JSON
+//                   (default: BENCH_kernels_profile.json next to --out, or
+//                   stdout only)
 
 #include <chrono>
 #include <cstdint>
@@ -24,6 +32,8 @@
 #include <vector>
 
 #include "agg/chunk_aggregator.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "whatif/operators.h"
 #include "whatif/perspective.h"
 #include "workload/product.h"
@@ -265,6 +275,106 @@ WorkloadReport RunRollup(bool smoke) {
   return report;
 }
 
+// --profile: the instrumentation-overhead experiment. The Fig. 12 Relocate
+// (the acceptance workload) runs best-of-reps with tracing disabled, then
+// again inside a tracing session, at 1 and 4 threads. The enabled run's
+// drained trace becomes the per-span breakdown; the metrics delta over the
+// whole experiment rides along. The kernels carry spans at operator
+// granularity (never per cell), so the enabled/disabled ratio is the whole
+// cost of the observability layer on the hot path.
+struct ProfileReport {
+  int reps = 0;
+  std::map<int, double> off_ms;  // tracing disabled, best-of-reps.
+  std::map<int, double> on_ms;   // tracing enabled, best-of-reps.
+  std::vector<TraceData::AggregateRow> spans;
+  std::string metrics_delta_json;
+
+  double OverheadRatio(int threads) const {
+    double off = off_ms.at(threads);
+    return off > 0 ? on_ms.at(threads) / off : 1.0;
+  }
+};
+
+constexpr double kProfileOverheadLimit = 1.05;
+// Smoke workloads finish in a few ms, where scheduler jitter alone can
+// exceed 5%; the absolute grace keeps the gate meaningful without flaking.
+constexpr double kProfileGraceMs = 0.25;
+
+ProfileReport RunProfile(bool smoke) {
+  ProductCubeConfig config;
+  config.separation_chunks = smoke ? 400 : 2000;
+  config.chunk_products = 4;
+  config.move_moment = 6;
+  ProductCube pc = BuildProductCube(config);
+  const Dimension& dim = pc.cube.schema().dimension(pc.product_dim);
+  std::vector<DynamicBitset> vs_out = TransformValiditySets(
+      dim, Perspectives({0, 6}), Semantics::kForward);
+
+  ProfileReport report;
+  report.reps = smoke ? 5 : 7;
+  MetricsRegistry::Snapshot before = MetricsRegistry::Global().TakeSnapshot();
+  for (int threads : {1, 4}) {
+    auto run = [&] {
+      Cube out = Relocate(pc.cube, pc.product_dim, vs_out, {}, true, nullptr,
+                          threads);
+      if (out.NumStoredChunks() != pc.cube.NumStoredChunks()) abort();
+    };
+    report.off_ms[threads] = BestOfMs(report.reps, run);
+    if (!TraceCollector::Enable()) abort();
+    report.on_ms[threads] = BestOfMs(report.reps, run);
+    TraceData trace = TraceCollector::DisableAndDrain();
+    if (threads == 4) report.spans = trace.Aggregate();
+  }
+  report.metrics_delta_json =
+      MetricsRegistry::Snapshot::Delta(before,
+                                       MetricsRegistry::Global().TakeSnapshot())
+          .ToJson();
+  return report;
+}
+
+void WriteProfileJson(FILE* f, const ProfileReport& r, bool smoke) {
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"bench_kernels_profile\",\n");
+  fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  fprintf(f, "  \"workload\": \"fig12_colocation\",\n");
+  fprintf(f, "  \"reps\": %d,\n", r.reps);
+  fprintf(f, "  \"overhead_limit\": %.2f,\n", kProfileOverheadLimit);
+  for (const char* key : {"tracing_off_ms", "tracing_on_ms"}) {
+    const std::map<int, double>& ms =
+        std::strcmp(key, "tracing_off_ms") == 0 ? r.off_ms : r.on_ms;
+    fprintf(f, "  \"%s\": {", key);
+    bool first = true;
+    for (const auto& [threads, v] : ms) {
+      fprintf(f, "%s\"%d\": %.4f", first ? "" : ", ", threads, v);
+      first = false;
+    }
+    fprintf(f, "},\n");
+  }
+  fprintf(f, "  \"overhead_ratio\": {");
+  bool first = true;
+  for (const auto& [threads, v] : r.off_ms) {
+    (void)v;
+    fprintf(f, "%s\"%d\": %.4f", first ? "" : ", ", threads,
+            r.OverheadRatio(threads));
+    first = false;
+  }
+  fprintf(f, "},\n");
+  fprintf(f, "  \"spans\": [\n");
+  for (size_t i = 0; i < r.spans.size(); ++i) {
+    const TraceData::AggregateRow& row = r.spans[i];
+    fprintf(f,
+            "    {\"name\": \"%s\", \"depth\": %d, \"count\": %lld, "
+            "\"total_ms\": %.4f, \"errors\": %lld}%s\n",
+            row.name.c_str(), row.depth, static_cast<long long>(row.count),
+            static_cast<double>(row.total_ns) / 1e6,
+            static_cast<long long>(row.errors),
+            i + 1 < r.spans.size() ? "," : "");
+  }
+  fprintf(f, "  ],\n");
+  fprintf(f, "  \"metrics_delta\": %s", r.metrics_delta_json.c_str());
+  fprintf(f, "}\n");
+}
+
 void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports, bool smoke) {
   fprintf(f, "{\n");
   fprintf(f, "  \"bench\": \"bench_kernels\",\n");
@@ -300,19 +410,33 @@ void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports, bool smoke) 
 }
 
 int Main(int argc, char** argv) {
-  bool smoke = false, check = false;
-  std::string out_path;
+  bool smoke = false, check = false, profile = false;
+  std::string out_path, profile_out_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
       check = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profile_out_path = argv[++i];
     } else {
-      fprintf(stderr, "usage: %s [--smoke] [--out <path>] [--check]\n", argv[0]);
+      fprintf(stderr,
+              "usage: %s [--smoke] [--out <path>] [--check] [--profile] "
+              "[--profile-out <path>]\n",
+              argv[0]);
       return 2;
     }
+  }
+  if (profile && profile_out_path.empty() && !out_path.empty()) {
+    // Default: next to the main report.
+    std::string dir = out_path;
+    size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? "" : dir.substr(0, slash + 1);
+    profile_out_path = dir + "BENCH_kernels_profile.json";
   }
 
   std::vector<WorkloadReport> reports;
@@ -334,6 +458,33 @@ int Main(int argc, char** argv) {
   }
 
   int failures = 0;
+  if (profile) {
+    ProfileReport prof = RunProfile(smoke);
+    WriteProfileJson(stdout, prof, smoke);
+    if (!profile_out_path.empty()) {
+      FILE* f = std::fopen(profile_out_path.c_str(), "w");
+      if (f == nullptr) {
+        fprintf(stderr, "cannot open %s\n", profile_out_path.c_str());
+        return 2;
+      }
+      WriteProfileJson(f, prof, smoke);
+      std::fclose(f);
+    }
+    if (check) {
+      for (int threads : {1, 4}) {
+        const double off = prof.off_ms.at(threads);
+        const double on = prof.on_ms.at(threads);
+        if (on > off * kProfileOverheadLimit + kProfileGraceMs) {
+          fprintf(stderr,
+                  "FAIL fig12 profile (%d thread%s): tracing on %.3f ms vs "
+                  "off %.3f ms (limit %.0f%% + %.2f ms)\n",
+                  threads, threads == 1 ? "" : "s", on, off,
+                  (kProfileOverheadLimit - 1.0) * 100, kProfileGraceMs);
+          ++failures;
+        }
+      }
+    }
+  }
   for (const WorkloadReport& r : reports) {
     if (!r.timing.identical) {
       fprintf(stderr, "FAIL %s: kernel output differs from reference\n",

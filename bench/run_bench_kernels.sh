@@ -4,6 +4,8 @@
 #
 #   bench/run_bench_kernels.sh            # full run
 #   bench/run_bench_kernels.sh --smoke    # CI-sized run
+#   bench/run_bench_kernels.sh --profile  # + tracing-overhead experiment,
+#                                         #   writes BENCH_kernels_profile.json
 set -eu
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -2,7 +2,31 @@
 
 #include <numeric>
 
+#include "common/metrics.h"
+
 namespace olap {
+
+namespace {
+
+// Cache accounting contract (asserted by the stats contract suite):
+// lookups == hits + misses, always.
+struct CacheMetrics {
+  Counter* lookups;
+  Counter* hits;
+  Counter* misses;
+
+  static const CacheMetrics& Get() {
+    static CacheMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return CacheMetrics{reg.counter("agg.cache.lookups"),
+                          reg.counter("agg.cache.hits"),
+                          reg.counter("agg.cache.misses")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 AggregateCache::AggregateCache(const Cube& cube,
                                const std::vector<GroupByMask>& masks)
@@ -27,6 +51,7 @@ int64_t AggregateCache::TotalCells() const {
 
 std::optional<CellValue> AggregateCache::TryAnswer(const Cube& cube,
                                                    const CellRef& ref) const {
+  CacheMetrics::Get().lookups->Increment();
   // Dimensions the ref actually restricts (anything except the root).
   GroupByMask needed = 0;
   for (int d = 0; d < cube.num_dims(); ++d) {
@@ -43,6 +68,7 @@ std::optional<CellValue> AggregateCache::TryAnswer(const Cube& cube,
   }
   if (best < 0) {
     ++misses;
+    CacheMetrics::Get().misses->Increment();
     return std::nullopt;
   }
   const GroupByResult& view = views_[best];
@@ -56,6 +82,7 @@ std::optional<CellValue> AggregateCache::TryAnswer(const Cube& cube,
     positions[i] = cube.PositionsUnderWeighted(kept[i], ref[kept[i]]);
     if (positions[i].empty()) {
       ++hits;
+      CacheMetrics::Get().hits->Increment();
       return CellValue::Null();
     }
   }
@@ -82,6 +109,7 @@ std::optional<CellValue> AggregateCache::TryAnswer(const Cube& cube,
     if (kept.empty() || done) break;
   }
   ++hits;
+  CacheMetrics::Get().hits->Increment();
   return sum;
 }
 

@@ -1,6 +1,8 @@
 #include "agg/chunk_aggregator.h"
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace olap {
 
@@ -29,6 +31,7 @@ std::vector<GroupByResult> NaiveAggregator::Compute(
 std::vector<GroupByResult> ChunkAggregator::Compute(
     const std::vector<GroupByMask>& masks, const std::vector<int>& order,
     SimulatedDisk* disk, int threads) {
+  TraceSpan span("agg.rollup");
   stats_ = AggStats{};
   std::vector<GroupByResult> out;
   out.reserve(masks.size());
@@ -89,6 +92,18 @@ std::vector<GroupByResult> ChunkAggregator::Compute(
   } else {
     ThreadPool::Shared().ParallelFor(num_masks, threads, accumulate_mask);
   }
+
+  span.SetDetail("masks=" + std::to_string(masks.size()) +
+                 " chunks=" + std::to_string(stats_.chunks_read));
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter* rollups = reg.counter("agg.rollups");
+  static Counter* chunks_read = reg.counter("agg.chunks_read");
+  static Counter* cells_scanned = reg.counter("agg.cells_scanned");
+  static Gauge* mmst = reg.gauge("agg.mmst_memory_cells");
+  rollups->Increment();
+  chunks_read->Increment(stats_.chunks_read);
+  cells_scanned->Increment(stats_.cells_scanned);
+  mmst->Set(stats_.mmst_memory_cells);
   return out;
 }
 

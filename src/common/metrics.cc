@@ -1,0 +1,164 @@
+#include "common/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace olap {
+
+namespace {
+
+// Bucket index for a duration: bucket 0 holds < 1 µs, bucket i holds
+// [2^(i-1), 2^i) µs, the last bucket everything larger.
+int BucketFor(int64_t nanos) {
+  int64_t micros_bound = 1000;  // Upper bound of bucket 0, in ns.
+  for (int i = 0; i < Histogram::kNumBuckets - 1; ++i) {
+    if (nanos < micros_bound) return i;
+    micros_bound <<= 1;
+  }
+  return Histogram::kNumBuckets - 1;
+}
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->append("\": ");
+}
+
+}  // namespace
+
+void Histogram::RecordNanos(int64_t nanos) {
+  if (nanos < 0) nanos = 0;
+  buckets_[BucketFor(nanos)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+int64_t Histogram::BucketUpperNanos(int i) {
+  if (i >= kNumBuckets - 1) return INT64_MAX;
+  return int64_t{1000} << i;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally: instruments are referenced from static call-site
+  // caches that may fire during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = GaugeSnapshot{g->value(), g->max()};
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.count = h->TotalCount();
+    hs.sum_nanos = h->TotalNanos();
+    hs.buckets.reserve(Histogram::kNumBuckets);
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      hs.buckets.push_back(h->BucketCount(i));
+    }
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snapshot::Delta(
+    const Snapshot& before, const Snapshot& after) {
+  Snapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    int64_t d = value - (it == before.counters.end() ? 0 : it->second);
+    if (d != 0) delta.counters[name] = d;
+  }
+  delta.gauges = after.gauges;
+  for (const auto& [name, hs] : after.histograms) {
+    HistogramSnapshot d = hs;
+    auto it = before.histograms.find(name);
+    if (it != before.histograms.end()) {
+      d.count -= it->second.count;
+      d.sum_nanos -= it->second.sum_nanos;
+      for (size_t i = 0; i < d.buckets.size() && i < it->second.buckets.size();
+           ++i) {
+        d.buckets[i] -= it->second.buckets[i];
+      }
+    }
+    if (d.count != 0) delta.histograms[name] = std::move(d);
+  }
+  return delta;
+}
+
+std::string MetricsRegistry::Snapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    AppendJsonKey(&out, name);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    out += buf;
+    first = false;
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    AppendJsonKey(&out, name);
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "{\"value\": %" PRId64 ", \"max\": %" PRId64 "}",
+                  g.value, g.max);
+    out += buf;
+    first = false;
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hs] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    AppendJsonKey(&out, name);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"count\": %" PRId64 ", \"sum_ms\": %.3f, \"buckets\": [",
+                  hs.count, static_cast<double>(hs.sum_nanos) / 1e6);
+    out += buf;
+    // Trailing zero buckets are elided to keep snapshots readable.
+    size_t last = hs.buckets.size();
+    while (last > 0 && hs.buckets[last - 1] == 0) --last;
+    for (size_t i = 0; i < last; ++i) {
+      if (i > 0) out += ", ";
+      std::snprintf(buf, sizeof(buf), "%" PRId64, hs.buckets[i]);
+      out += buf;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace olap

@@ -1,0 +1,164 @@
+#ifndef OLAP_COMMON_METRICS_H_
+#define OLAP_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace olap {
+
+// Process-wide observability primitives. Three instrument kinds:
+//
+//   Counter    — monotonically increasing event count (one relaxed
+//                fetch_add on the hot path);
+//   Gauge      — last-value level with a high-watermark (queue depth,
+//                peak merge chunks);
+//   Histogram  — fixed power-of-two latency buckets plus total count and
+//                sum, every slot an independent relaxed atomic.
+//
+// Instruments live in the process-wide MetricsRegistry and are never
+// destroyed, so call sites cache the pointer once:
+//
+//   static Counter* reads =
+//       MetricsRegistry::Global().counter("disk.reads.physical");
+//   reads->Increment();
+//
+// The registry exports named snapshots; Snapshot::Delta subtracts two
+// snapshots so a query (or a test) can attribute activity to one window.
+// All instruments are thread-safe; snapshots see values at least as fresh
+// as every write that happened-before the snapshot call.
+
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    RaiseMax(v);
+  }
+  // Returns the post-add value (so Add(+1) can drive the watermark).
+  int64_t Add(int64_t delta) {
+    int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    RaiseMax(now);
+    return now;
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void RaiseMax(int64_t v) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+// Latency histogram with fixed exponential buckets: bucket i counts
+// samples in [2^(i-1), 2^i) microseconds (bucket 0: < 1 µs; the last
+// bucket absorbs everything >= ~134 s). The sum is kept in integer
+// nanoseconds so no atomic floating point is needed.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 28;
+
+  void RecordNanos(int64_t nanos);
+  void RecordSeconds(double seconds) {
+    RecordNanos(static_cast<int64_t>(seconds * 1e9));
+  }
+
+  int64_t TotalCount() const { return count_.load(std::memory_order_relaxed); }
+  int64_t TotalNanos() const {
+    return sum_nanos_.load(std::memory_order_relaxed);
+  }
+  int64_t BucketCount(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Inclusive upper bound of bucket i in nanoseconds (INT64_MAX for the
+  // last bucket).
+  static int64_t BucketUpperNanos(int i);
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_nanos_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry (created on first use, never destroyed).
+  static MetricsRegistry& Global();
+
+  // Returns the instrument registered under `name`, creating it on first
+  // use. The pointer stays valid for the life of the process. Registering
+  // the same name as two different kinds is a programming error (checked:
+  // each kind has its own namespace-free map, so the same string may name
+  // at most one counter, one gauge and one histogram — instrument names
+  // in this codebase are unique by convention, e.g. "disk.reads.physical").
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  struct HistogramSnapshot {
+    int64_t count = 0;
+    int64_t sum_nanos = 0;
+    std::vector<int64_t> buckets;  // kNumBuckets entries.
+  };
+  struct GaugeSnapshot {
+    int64_t value = 0;
+    int64_t max = 0;
+  };
+  // A point-in-time copy of every registered instrument.
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, GaugeSnapshot> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+
+    int64_t counter_value(const std::string& name) const {
+      auto it = counters.find(name);
+      return it == counters.end() ? 0 : it->second;
+    }
+    const HistogramSnapshot* histogram_snapshot(const std::string& name) const {
+      auto it = histograms.find(name);
+      return it == histograms.end() ? nullptr : &it->second;
+    }
+
+    // after - before: counters and histograms subtract (instruments absent
+    // from `before` count from zero); gauges carry `after`'s values. Zero
+    // counter/histogram deltas are dropped so a delta JSON shows only the
+    // instruments the window touched.
+    static Snapshot Delta(const Snapshot& before, const Snapshot& after);
+
+    std::string ToJson() const;
+  };
+
+  Snapshot TakeSnapshot() const;
+  std::string SnapshotJson() const { return TakeSnapshot().ToJson(); }
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace olap
+
+#endif  // OLAP_COMMON_METRICS_H_

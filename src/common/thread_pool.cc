@@ -1,11 +1,40 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+
+#include "common/metrics.h"
 
 namespace olap {
 
 namespace {
+
+// Pool instrumentation. Counters/histograms are process-wide: the shared
+// pool serves every query, so per-query attribution happens through
+// snapshot deltas (see MetricsRegistry::Snapshot::Delta).
+Counter* PoolTasksCounter() {
+  static Counter* c = MetricsRegistry::Global().counter("threadpool.tasks");
+  return c;
+}
+Gauge* PoolQueueDepthGauge() {
+  static Gauge* g = MetricsRegistry::Global().gauge("threadpool.queue_depth");
+  return g;
+}
+Histogram* PoolTaskLatency() {
+  static Histogram* h =
+      MetricsRegistry::Global().histogram("threadpool.task_seconds");
+  return h;
+}
+
+void RunInstrumented(const std::function<void()>& task) {
+  const auto start = std::chrono::steady_clock::now();
+  task();
+  const auto end = std::chrono::steady_clock::now();
+  PoolTasksCounter()->Increment();
+  PoolTaskLatency()->RecordNanos(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count());
+}
 
 // Shared state of one ParallelFor call. Heap-allocated and shared with the
 // helper tasks so a helper that wakes up after the caller already returned
@@ -55,6 +84,7 @@ void ThreadPool::Schedule(std::function<void()> fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(fn));
+    PoolQueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
   }
   work_available_.notify_one();
 }
@@ -68,14 +98,18 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
+      PoolQueueDepthGauge()->Set(static_cast<int64_t>(queue_.size()));
     }
-    task();
+    RunInstrumented(task);
   }
 }
 
 void ThreadPool::ParallelFor(int64_t n, int parallelism,
                              const std::function<void(int64_t)>& fn) {
   if (n <= 0) return;
+  static Counter* parallel_for_calls =
+      MetricsRegistry::Global().counter("threadpool.parallel_for.calls");
+  parallel_for_calls->Increment();
   const int helpers = std::min<int64_t>(
       {static_cast<int64_t>(std::max(0, parallelism - 1)), n - 1,
        static_cast<int64_t>(num_threads())});

@@ -1,0 +1,314 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace olap {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One thread's recording buffer. Parent indices are local to the buffer
+// until drain, which remaps them into the merged vector. The per-buffer
+// mutex is only ever contended by DisableAndDrain.
+struct ThreadBuffer {
+  std::mutex mu;
+  uint64_t epoch = 0;  // Session the records belong to; 0 = none.
+  std::vector<SpanRecord> spans;
+  std::vector<int> open;  // Stack of open local indices.
+};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_epoch{0};
+
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<std::shared_ptr<ThreadBuffer>>& Registry() {
+  static auto* buffers = new std::vector<std::shared_ptr<ThreadBuffer>>();
+  return *buffers;
+}
+
+ThreadBuffer* LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    Registry().push_back(b);
+    return b;
+  }();
+  return buffer.get();
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (c == '\n') {
+      out->append("\\n");
+      continue;
+    }
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+bool TraceCollector::Enable() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  if (g_enabled.load(std::memory_order_acquire)) return false;
+  g_epoch.fetch_add(1, std::memory_order_release);
+  g_enabled.store(true, std::memory_order_release);
+  return true;
+}
+
+bool TraceCollector::enabled() {
+  return g_enabled.load(std::memory_order_acquire);
+}
+
+TraceData TraceCollector::DisableAndDrain() {
+  TraceData data;
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  g_enabled.store(false, std::memory_order_release);
+  const uint64_t session = g_epoch.load(std::memory_order_acquire);
+
+  int thread_index = 0;
+  for (const std::shared_ptr<ThreadBuffer>& buffer : Registry()) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    if (buffer->epoch != session || buffer->spans.empty()) continue;
+    const int base = static_cast<int>(data.spans.size());
+    for (SpanRecord& record : buffer->spans) {
+      record.thread = thread_index;
+      if (record.parent >= 0) record.parent += base;
+      data.spans.push_back(std::move(record));
+    }
+    buffer->spans.clear();
+    buffer->open.clear();
+    buffer->epoch = 0;  // Late destructors of open spans become no-ops.
+    ++thread_index;
+  }
+
+  // Rebase times onto the session start so exported timestamps are small.
+  int64_t min_start = INT64_MAX;
+  for (const SpanRecord& s : data.spans) min_start = std::min(min_start, s.start_ns);
+  if (min_start != INT64_MAX) {
+    for (SpanRecord& s : data.spans) {
+      s.start_ns -= min_start;
+      if (s.end_ns != 0) s.end_ns -= min_start;
+    }
+  }
+  return data;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!g_enabled.load(std::memory_order_acquire)) return;
+  ThreadBuffer* b = LocalBuffer();
+  std::lock_guard<std::mutex> lock(b->mu);
+  const uint64_t session = g_epoch.load(std::memory_order_acquire);
+  if (b->epoch != session) {
+    // First span of this thread in the session: stale records belong to a
+    // session that was already drained (or never will be) — drop them.
+    b->spans.clear();
+    b->open.clear();
+    b->epoch = session;
+  }
+  index_ = static_cast<int>(b->spans.size());
+  epoch_ = session;
+  SpanRecord record;
+  record.name = name;
+  record.start_ns = NowNs();
+  record.parent = b->open.empty() ? -1 : b->open.back();
+  b->spans.push_back(std::move(record));
+  b->open.push_back(index_);
+}
+
+TraceSpan::~TraceSpan() {
+  if (index_ < 0) return;
+  ThreadBuffer* b = LocalBuffer();
+  std::lock_guard<std::mutex> lock(b->mu);
+  if (b->epoch != epoch_ || index_ >= static_cast<int>(b->spans.size())) {
+    return;  // The session was drained while this span was open.
+  }
+  b->spans[index_].end_ns = NowNs();
+  // Scoped lifetimes give stack discipline: this span is the innermost
+  // open one. Erase defensively anyway so a surprising destruction order
+  // cannot corrupt later parent links.
+  if (!b->open.empty() && b->open.back() == index_) {
+    b->open.pop_back();
+  } else {
+    b->open.erase(std::remove(b->open.begin(), b->open.end(), index_),
+                  b->open.end());
+  }
+}
+
+void TraceSpan::SetError(const Status& status) {
+  if (index_ < 0) return;
+  ThreadBuffer* b = LocalBuffer();
+  std::lock_guard<std::mutex> lock(b->mu);
+  if (b->epoch != epoch_ || index_ >= static_cast<int>(b->spans.size())) return;
+  b->spans[index_].ok = false;
+  b->spans[index_].detail = status.ToString();
+}
+
+void TraceSpan::SetDetail(std::string detail) {
+  if (index_ < 0) return;
+  ThreadBuffer* b = LocalBuffer();
+  std::lock_guard<std::mutex> lock(b->mu);
+  if (b->epoch != epoch_ || index_ >= static_cast<int>(b->spans.size())) return;
+  b->spans[index_].detail = std::move(detail);
+}
+
+bool TraceData::WellFormed(std::string* why) const {
+  auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    if (s.end_ns == 0) return fail("span '" + s.name + "' was never closed");
+    if (s.end_ns < s.start_ns) {
+      return fail("span '" + s.name + "' ends before it starts");
+    }
+    if (s.parent >= 0) {
+      if (s.parent >= static_cast<int>(spans.size())) {
+        return fail("span '" + s.name + "' has an out-of-range parent");
+      }
+      const SpanRecord& p = spans[s.parent];
+      if (p.thread != s.thread) {
+        return fail("span '" + s.name + "' is parented across threads");
+      }
+      if (s.start_ns < p.start_ns || (p.end_ns != 0 && s.end_ns > p.end_ns)) {
+        return fail("span '" + s.name + "' escapes its parent '" + p.name + "'");
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct AggregateNode {
+  int64_t count = 0;
+  int64_t total_ns = 0;
+  int64_t errors = 0;
+  int64_t first_start = INT64_MAX;
+  std::map<std::string, AggregateNode> children;
+};
+
+void FlattenNode(const std::string& name, const AggregateNode& node, int depth,
+                 std::vector<TraceData::AggregateRow>* out) {
+  out->push_back({name, depth, node.count, node.total_ns, node.errors});
+  // Siblings in execution order (first start time).
+  std::vector<const std::pair<const std::string, AggregateNode>*> kids;
+  for (const auto& entry : node.children) kids.push_back(&entry);
+  std::sort(kids.begin(), kids.end(), [](const auto* a, const auto* b) {
+    return a->second.first_start < b->second.first_start;
+  });
+  for (const auto* kid : kids) {
+    FlattenNode(kid->first, kid->second, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<TraceData::AggregateRow> TraceData::Aggregate() const {
+  AggregateNode root;
+  std::vector<std::string> path;
+  for (const SpanRecord& s : spans) {
+    // Path of names from the root to this span.
+    path.clear();
+    for (int at = static_cast<int>(&s - spans.data()); at >= 0;
+         at = spans[at].parent) {
+      path.push_back(spans[at].name);
+    }
+    AggregateNode* node = &root;
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      node = &node->children[*it];
+    }
+    ++node->count;
+    if (s.end_ns >= s.start_ns) node->total_ns += s.end_ns - s.start_ns;
+    if (!s.ok) ++node->errors;
+    node->first_start = std::min(node->first_start, s.start_ns);
+  }
+  std::vector<AggregateRow> rows;
+  std::vector<const std::pair<const std::string, AggregateNode>*> roots;
+  for (const auto& entry : root.children) roots.push_back(&entry);
+  std::sort(roots.begin(), roots.end(), [](const auto* a, const auto* b) {
+    return a->second.first_start < b->second.first_start;
+  });
+  for (const auto* r : roots) FlattenNode(r->first, r->second, 0, &rows);
+  return rows;
+}
+
+std::string TraceData::ToText() const {
+  std::string out;
+  for (const AggregateRow& row : Aggregate()) {
+    out.append(static_cast<size_t>(row.depth) * 2, ' ');
+    out += row.name;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ": count=%lld total=%.3fms",
+                  static_cast<long long>(row.count),
+                  static_cast<double>(row.total_ns) / 1e6);
+    out += buf;
+    if (row.errors > 0) {
+      std::snprintf(buf, sizeof(buf), " errors=%lld",
+                    static_cast<long long>(row.errors));
+      out += buf;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TraceData::ToChromeJson() const {
+  std::string out = "{\"traceEvents\": [\n";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    out += "  {\"name\": \"";
+    AppendEscaped(&out, s.name);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, "
+                  "\"ts\": %.3f, \"dur\": %.3f",
+                  s.thread, static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(std::max<int64_t>(0, s.end_ns - s.start_ns)) /
+                      1e3);
+    out += buf;
+    if (!s.ok || !s.detail.empty()) {
+      out += ", \"args\": {\"ok\": ";
+      out += s.ok ? "true" : "false";
+      out += ", \"detail\": \"";
+      AppendEscaped(&out, s.detail);
+      out += "\"}";
+    }
+    out += i + 1 < spans.size() ? "},\n" : "}\n";
+  }
+  out += "]}\n";
+  return out;
+}
+
+int64_t TraceData::TotalNanos(const std::string& name) const {
+  int64_t total = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.name == name && s.end_ns >= s.start_ns) total += s.end_ns - s.start_ns;
+  }
+  return total;
+}
+
+int64_t TraceData::CountOf(const std::string& name) const {
+  int64_t count = 0;
+  for (const SpanRecord& s : spans) {
+    if (s.name == name) ++count;
+  }
+  return count;
+}
+
+}  // namespace olap

@@ -1,0 +1,117 @@
+#ifndef OLAP_COMMON_TRACE_H_
+#define OLAP_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace olap {
+
+// Scoped query tracing.
+//
+// A TraceSpan is an RAII scope marker: construction records a start time
+// and links the span under the innermost open span *of the same thread*;
+// destruction records the end time. Spans recorded on thread-pool workers
+// root at that worker (cross-thread parentage is not tracked — a fan-out
+// shows up as one subtree per participating thread, which is what
+// chrome://tracing renders anyway).
+//
+// Recording is off by default: an idle TraceSpan costs one relaxed atomic
+// load. TraceCollector::Enable() turns recording on process-wide;
+// DisableAndDrain() turns it off and merges every thread's buffer into one
+// TraceData. Sessions are process-global and must not overlap — the engine
+// serializes profiled queries (see Executor), and tests drive one session
+// at a time.
+//
+// A span that is open when DisableAndDrain() runs is drained as-is (end
+// time zero) and makes the session's TraceData ill-formed; the span's
+// destructor then completes harmlessly against the emptied buffer. The
+// stats contract suite asserts drained trees are well-formed, so a leaked
+// open span is a test failure, not UB.
+
+struct SpanRecord {
+  std::string name;
+  int64_t start_ns = 0;  // steady_clock, process-relative.
+  int64_t end_ns = 0;    // 0 => never closed (ill-formed).
+  int thread = 0;        // Dense per-session thread index.
+  int parent = -1;       // Index into TraceData::spans; -1 = root.
+  bool ok = true;        // false once SetError was called.
+  std::string detail;    // Error text or call-site annotation.
+
+  double duration_ms() const {
+    return static_cast<double>(end_ns - start_ns) / 1e6;
+  }
+};
+
+// One drained tracing session.
+struct TraceData {
+  std::vector<SpanRecord> spans;
+
+  // Structural invariants the stats contract suite enforces: every span
+  // closed with end >= start, parent indices in range and pointing at a
+  // span of the same thread whose interval contains the child's.
+  bool WellFormed(std::string* why = nullptr) const;
+
+  // Aggregation by (depth-first path of span names): count, total wall
+  // time, errors. Rendered by ToText; also the base of the EXPLAIN
+  // ANALYZE profile output.
+  struct AggregateRow {
+    std::string name;  // Leaf span name.
+    int depth = 0;     // Nesting depth of the path.
+    int64_t count = 0;
+    int64_t total_ns = 0;
+    int64_t errors = 0;
+  };
+  std::vector<AggregateRow> Aggregate() const;
+
+  // Indented per-span table from Aggregate().
+  std::string ToText() const;
+
+  // chrome://tracing "traceEvents" JSON (complete events, microsecond
+  // timestamps).
+  std::string ToChromeJson() const;
+
+  // Sum of wall time over spans with this name (ill-formed/open spans
+  // contribute zero).
+  int64_t TotalNanos(const std::string& name) const;
+  // Number of spans with this name.
+  int64_t CountOf(const std::string& name) const;
+};
+
+class TraceCollector {
+ public:
+  // Starts a process-wide tracing session. Returns false (and changes
+  // nothing) if a session is already active.
+  static bool Enable();
+  // Ends the session and returns every span recorded since Enable().
+  static TraceData DisableAndDrain();
+  static bool enabled();
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  // Marks the span failed and records the status text.
+  void SetError(const Status& status);
+  // Free-form annotation ("chunks=117"); kept verbatim in the record.
+  void SetDetail(std::string detail);
+  // True when this span is actually recording (session active at
+  // construction time).
+  bool active() const { return index_ >= 0; }
+
+ private:
+  int index_ = -1;      // Slot in the owning thread buffer; -1 = inactive.
+  uint64_t epoch_ = 0;  // Session the slot belongs to.
+};
+
+}  // namespace olap
+
+#endif  // OLAP_COMMON_TRACE_H_

@@ -1,6 +1,9 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
 #include <optional>
 #include <set>
 
@@ -123,9 +126,14 @@ void ApplyAutoScope(const BoundQuery& bound, const Cube& cube,
 
 }  // namespace
 
-Result<QueryResult> Executor::Execute(std::string_view mdx_text,
-                                      const QueryOptions& options) const {
-  Result<mdx::ParsedQuery> parsed = mdx::Parse(mdx_text);
+Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
+                                          const QueryOptions& options) const {
+  Result<mdx::ParsedQuery> parsed = [&] {
+    TraceSpan span("query.parse");
+    Result<mdx::ParsedQuery> r = mdx::Parse(mdx_text);
+    if (!r.ok()) span.SetError(r.status());
+    return r;
+  }();
   if (!parsed.ok()) return parsed.status();
 
   std::string cube_name = Join(parsed->cube_name, ".");
@@ -133,7 +141,12 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
   if (!cube.ok()) return cube.status();
   const RuleSet* rules = db_->rules(cube_name);
 
-  Result<BoundQuery> bound = mdx::Bind(*parsed, (*cube)->schema(), db_, *cube);
+  Result<BoundQuery> bound = [&] {
+    TraceSpan span("query.bind");
+    Result<BoundQuery> r = mdx::Bind(*parsed, (*cube)->schema(), db_, *cube);
+    if (!r.ok()) span.SetError(r.status());
+    return r;
+  }();
   if (!bound.ok()) return bound.status();
 
   // Axis layout: ordinal 0 = columns, 1 = rows, 2 = pages. Pages are
@@ -163,13 +176,24 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
   std::optional<PerspectiveCube> pc;
   std::vector<WhatIfSpec> specs = bound->specs;
 
+  // One "query.whatif" phase span covers allocations plus the structural
+  // what-if pipeline; closed (reset) before evaluation starts.
+  std::optional<TraceSpan> whatif_span;
+  if (!bound->allocations.empty() || !specs.empty()) {
+    whatif_span.emplace("query.whatif");
+  }
+  auto whatif_fail = [&](const Status& s) {
+    if (whatif_span.has_value()) whatif_span->SetError(s);
+    return s;
+  };
+
   // Data-driven scenarios first: allocations produce the base cube the
   // structural what-if (if any) operates on.
   const Cube* active = *cube;
   std::optional<Cube> allocated;
   for (const AllocationSpec& allocation : bound->allocations) {
     Result<Cube> next = Allocate(*active, allocation);
-    if (!next.ok()) return next.status();
+    if (!next.ok()) return whatif_fail(next.status());
     allocated = *std::move(next);
     active = &*allocated;
     result.used_whatif = true;
@@ -185,7 +209,7 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
       Result<PerspectiveCube> computed = ComputePerspectiveCube(
           *active, specs[0], options.strategy, options.disk,
           &result.whatif_stats, options.eval_threads);
-      if (!computed.ok()) return computed.status();
+      if (!computed.ok()) return whatif_fail(computed.status());
       pc.emplace(*std::move(computed));
     } else {
       // Several varying dimensions: apply the specs as a pipeline, each
@@ -201,7 +225,7 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
         Result<PerspectiveCube> stage = ComputePerspectiveCube(
             current, spec, options.strategy, options.disk, &stage_stats,
             options.eval_threads);
-        if (!stage.ok()) return stage.status();
+        if (!stage.ok()) return whatif_fail(stage.status());
         result.whatif_stats.passes += stage_stats.passes;
         result.whatif_stats.chunk_reads += stage_stats.chunk_reads;
         result.whatif_stats.cells_moved += stage_stats.cells_moved;
@@ -212,6 +236,7 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
     }
     result.used_whatif = true;
   }
+  whatif_span.reset();
 
   const Schema& eff_schema =
       pc.has_value() ? pc->output().schema() : active->schema();
@@ -304,6 +329,11 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
 
   const int num_rows = static_cast<int>(row_tuples.size());
   const int threads = std::clamp(options.eval_threads, 1, std::max(1, num_rows));
+  std::optional<TraceSpan> eval_span(std::in_place, "query.evaluate");
+  eval_span->SetDetail("cells=" +
+                       std::to_string(static_cast<int64_t>(num_rows) *
+                                      static_cast<int64_t>(col_tuples.size())) +
+                       " threads=" + std::to_string(threads));
   if (threads <= 1) {
     evaluate_rows(0, num_rows);
   } else {
@@ -324,13 +354,21 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
       evaluate_rows(begin, end);
     });
   }
-  result.cells_evaluated =
-      static_cast<int64_t>(num_rows) * static_cast<int64_t>(col_tuples.size());
+  eval_span.reset();
+  {
+    // Raw computed-cell volume, before NON EMPTY drops anything. The
+    // QueryResult field (cells_evaluated) reports the *returned* grid.
+    static Counter* cells_computed =
+        MetricsRegistry::Global().counter("query.cells_computed");
+    cells_computed->Increment(static_cast<int64_t>(num_rows) *
+                              static_cast<int64_t>(col_tuples.size()));
+  }
   // NON EMPTY axes: drop all-⊥ rows/columns (the paper's figures likewise
   // omit rows for non-active members).
   const bool drop_rows = rows != nullptr && rows->non_empty;
   const bool drop_cols = columns->non_empty;
   if (drop_rows || drop_cols) {
+    TraceSpan filter_span("query.filter");
     std::vector<int> keep_rows, keep_cols;
     for (int r = 0; r < grid.num_rows(); ++r) {
       bool any = false;
@@ -365,8 +403,59 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
     grid = std::move(filtered);
   }
 
+  result.cells_evaluated = static_cast<int64_t>(grid.num_rows()) *
+                           static_cast<int64_t>(grid.num_columns());
+  {
+    static Counter* cells_returned =
+        MetricsRegistry::Global().counter("query.cells_returned");
+    cells_returned->Increment(result.cells_evaluated);
+  }
   result.grid = std::move(grid);
   return result;
+}
+
+Result<QueryResult> Executor::Execute(std::string_view mdx_text,
+                                      const QueryOptions& options) const {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter* executed = reg.counter("query.executed");
+  static Counter* failed = reg.counter("query.failed");
+  static Histogram* seconds = reg.histogram("query.seconds");
+
+  auto run = [&]() -> Result<QueryResult> {
+    TraceSpan span("query.execute");
+    const auto start = std::chrono::steady_clock::now();
+    Result<QueryResult> r = ExecuteImpl(mdx_text, options);
+    seconds->RecordNanos(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+    executed->Increment();
+    if (!r.ok()) {
+      failed->Increment();
+      span.SetError(r.status());
+    }
+    return r;
+  };
+
+  if (!options.collect_profile) return run();
+
+  // Tracing sessions are process-global, so profiled queries serialize.
+  // The metrics delta is likewise attributed to this query's window; any
+  // concurrent unprofiled activity would leak into it, which the mutex
+  // cannot prevent but profiling is an explicitly opt-in diagnostic mode.
+  static std::mutex profile_mu;
+  std::lock_guard<std::mutex> lock(profile_mu);
+  MetricsRegistry::Snapshot before = reg.TakeSnapshot();
+  const bool owns_session = TraceCollector::Enable();
+  Result<QueryResult> r = run();
+  TraceData trace;
+  if (owns_session) trace = TraceCollector::DisableAndDrain();
+  if (r.ok()) {
+    r->profile.collected = owns_session;
+    r->profile.trace = std::move(trace);
+    r->profile.metrics_delta =
+        MetricsRegistry::Snapshot::Delta(before, reg.TakeSnapshot());
+  }
+  return r;
 }
 
 Result<std::string> Executor::Explain(std::string_view mdx_text,
@@ -431,6 +520,55 @@ Result<std::string> Executor::Explain(std::string_view mdx_text,
                                 : "serving derived cells") +
            "\n";
   }
+  return out;
+}
+
+std::string QueryProfile::ToText() const {
+  if (!collected) {
+    return "profile: not collected (set QueryOptions::collect_profile)\n";
+  }
+  std::string out;
+  out += "-- profile: spans --\n";
+  out += trace.ToText();
+  out += "-- profile: metrics delta --\n";
+  for (const auto& [name, value] : metrics_delta.counters) {
+    out += name + ": " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, g] : metrics_delta.gauges) {
+    out += name + ": " + std::to_string(g.value) +
+           " (max " + std::to_string(g.max) + ")\n";
+  }
+  for (const auto& [name, h] : metrics_delta.histograms) {
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), "%.3f",
+                  static_cast<double>(h.sum_nanos) / 1e6);
+    out += name + ": count=" + std::to_string(h.count) + " total=" + ms +
+           "ms\n";
+  }
+  return out;
+}
+
+Result<std::string> Executor::ExplainAnalyze(std::string_view mdx_text,
+                                             const QueryOptions& options) const {
+  Result<std::string> plan = Explain(mdx_text, options);
+  if (!plan.ok()) return plan.status();
+  QueryOptions profiled = options;
+  profiled.collect_profile = true;
+  Result<QueryResult> executed = Execute(mdx_text, profiled);
+  if (!executed.ok()) return executed.status();
+
+  std::string out = *std::move(plan);
+  out += "result: " + std::to_string(executed->grid.num_rows()) + " row(s) x " +
+         std::to_string(executed->grid.num_columns()) + " column(s), " +
+         std::to_string(executed->cells_evaluated) + " cell(s)\n";
+  if (executed->used_whatif) {
+    out += "what-if cost: passes=" +
+           std::to_string(executed->whatif_stats.passes) +
+           " chunk_reads=" + std::to_string(executed->whatif_stats.chunk_reads) +
+           " cells_moved=" + std::to_string(executed->whatif_stats.cells_moved) +
+           "\n";
+  }
+  out += executed->profile.ToText();
   return out;
 }
 

@@ -3,7 +3,9 @@
 
 #include <string_view>
 
+#include "common/metrics.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "engine/database.h"
 #include "engine/result_grid.h"
 #include "storage/simulated_disk.h"
@@ -26,13 +28,40 @@ struct QueryOptions {
   // evaluation, all on the process-wide shared pool; results are
   // bit-identical to serial at every setting.
   int eval_threads = 1;
+  // Collect a QueryProfile (trace spans + metrics delta) for this query.
+  // Tracing sessions are process-global, so profiled queries serialize
+  // against each other; leave this off on the hot path.
+  bool collect_profile = false;
+};
+
+// Where one query's time went: the query's span tree (executor phases,
+// what-if algebra operators, storage activity) plus the delta of every
+// process-wide metric over the query's window. Collected when
+// QueryOptions::collect_profile is set; rendered by EXPLAIN ANALYZE.
+struct QueryProfile {
+  bool collected = false;
+  TraceData trace;
+  MetricsRegistry::Snapshot metrics_delta;
+
+  // EXPLAIN ANALYZE-style rendering: the per-span table (count / wall
+  // time, indented by nesting) followed by the non-zero counter deltas.
+  std::string ToText() const;
+  // chrome://tracing-compatible trace of the query.
+  std::string ToTraceJson() const { return trace.ToChromeJson(); }
+  std::string ToMetricsJson() const { return metrics_delta.ToJson(); }
 };
 
 struct QueryResult {
   ResultGrid grid;
   bool used_whatif = false;
-  EvalStats whatif_stats;        // Zero when no what-if clause.
-  int64_t cells_evaluated = 0;   // Grid cells computed.
+  EvalStats whatif_stats;  // Zero when no what-if clause.
+  // Cells in the returned grid (rows × columns, after NON EMPTY filtering
+  // dropped all-⊥ rows/columns) — always equal to
+  // grid.num_rows() * grid.num_columns(), a contract the stats suite
+  // enforces. The raw number of cells computed — including ones NON EMPTY
+  // later dropped — is the "query.cells_computed" registry counter.
+  int64_t cells_evaluated = 0;
+  QueryProfile profile;  // Collected when options.collect_profile.
 };
 
 // Parses, binds and evaluates extended-MDX queries against a Database.
@@ -59,7 +88,18 @@ class Executor {
   Result<std::string> Explain(std::string_view mdx_text,
                               const QueryOptions& options = QueryOptions()) const;
 
+  // EXPLAIN ANALYZE: actually executes the query with profiling on and
+  // returns the static plan (Explain) followed by the measured per-phase /
+  // per-operator breakdown and the query's metric deltas
+  // (QueryProfile::ToText).
+  Result<std::string> ExplainAnalyze(
+      std::string_view mdx_text,
+      const QueryOptions& options = QueryOptions()) const;
+
  private:
+  Result<QueryResult> ExecuteImpl(std::string_view mdx_text,
+                                  const QueryOptions& options) const;
+
   const Database* db_;
 };
 

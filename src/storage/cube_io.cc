@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "storage/compression.h"
 #include "storage/crc32c.h"
 
@@ -619,10 +621,8 @@ Result<Cube> LoadV1(std::string_view data, const std::string& path,
   return cube;
 }
 
-}  // namespace
-
-Status SaveCube(const Cube& cube, const std::string& path,
-                const SaveOptions& options) {
+Status SaveCubeImpl(const Cube& cube, const std::string& path,
+                    const SaveOptions& options) {
   if (options.format_version != 1 && options.format_version != 2) {
     return Status::InvalidArgument("unsupported cube format version " +
                                    std::to_string(options.format_version));
@@ -654,7 +654,7 @@ Status SaveCube(const Cube& cube, const std::string& path,
   return Status::Ok();
 }
 
-Result<Cube> LoadCube(const std::string& path, const LoadOptions& options) {
+Result<Cube> LoadCubeImpl(const std::string& path, const LoadOptions& options) {
   Env* env = options.env != nullptr ? options.env : Env::Default();
   if (options.report != nullptr) *options.report = RecoveryReport{};
   std::string data;
@@ -671,12 +671,54 @@ Result<Cube> LoadCube(const std::string& path, const LoadOptions& options) {
   return Status::InvalidArgument("'" + path + "' is not an OLAP cube file");
 }
 
+}  // namespace
+
+// Save/load wrappers: the implementation above does the work; here each
+// call gets a trace span (closed with the error status on failure) and a
+// metrics count, so storage activity shows up in query profiles and
+// snapshots alongside everything else.
+Status SaveCube(const Cube& cube, const std::string& path,
+                const SaveOptions& options) {
+  TraceSpan span("storage.save");
+  static Counter* saves = MetricsRegistry::Global().counter("storage.saves");
+  static Counter* failures =
+      MetricsRegistry::Global().counter("storage.save_failures");
+  saves->Increment();
+  Status status = SaveCubeImpl(cube, path, options);
+  if (!status.ok()) {
+    failures->Increment();
+    span.SetError(status);
+  }
+  return status;
+}
+
+Result<Cube> LoadCube(const std::string& path, const LoadOptions& options) {
+  TraceSpan span("storage.load");
+  static Counter* loads = MetricsRegistry::Global().counter("storage.loads");
+  static Counter* failures =
+      MetricsRegistry::Global().counter("storage.load_failures");
+  loads->Increment();
+  Result<Cube> cube = LoadCubeImpl(path, options);
+  if (!cube.ok()) {
+    failures->Increment();
+    span.SetError(cube.status());
+  }
+  return cube;
+}
+
 Result<Cube> LoadCubeWithRetry(const std::string& path,
                                const LoadOptions& options,
                                const RetryPolicy& policy, Clock* clock) {
+  TraceSpan span("storage.load_retry");
+  static Counter* attempts =
+      MetricsRegistry::Global().counter("storage.retry.attempts");
   if (clock == nullptr) clock = Clock::Real();
-  return CallWithRetry(policy, clock,
-                       [&] { return LoadCube(path, options); });
+  Result<Cube> cube = CallWithRetry(policy, clock, [&] {
+    attempts->Increment();
+    return LoadCube(path, options);
+  });
+  if (!cube.ok()) span.SetError(cube.status());
+  return cube;
 }
 
 Result<CubeChunkIndex> IndexCubeChunks(Env* env, const std::string& path) {

@@ -12,6 +12,7 @@ bool LruChunkCache::Touch(ChunkId id) {
   if (size() >= capacity_) {
     index_.erase(entries_.back());
     entries_.pop_back();
+    ++evictions_;
   }
   entries_.push_front(id);
   index_[id] = entries_.begin();
@@ -21,6 +22,7 @@ bool LruChunkCache::Touch(ChunkId id) {
 void LruChunkCache::Clear() {
   entries_.clear();
   index_.clear();
+  evictions_ = 0;
 }
 
 }  // namespace olap

@@ -20,6 +20,8 @@ class LruChunkCache {
 
   int64_t capacity() const { return capacity_; }
   int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  // Entries displaced by misses since construction (or the last Clear).
+  int64_t evictions() const { return evictions_; }
 
   // Marks `id` as most recently used. Returns true on a hit (already
   // resident); on a miss inserts it, evicting the LRU entry when full.
@@ -31,6 +33,7 @@ class LruChunkCache {
 
  private:
   int64_t capacity_;
+  int64_t evictions_ = 0;
   std::list<ChunkId> entries_;  // Front = most recently used.
   std::unordered_map<ChunkId, std::list<ChunkId>::iterator> index_;
 };

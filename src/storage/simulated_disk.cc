@@ -3,13 +3,45 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/metrics.h"
+#include "common/trace.h"
+
 namespace olap {
 
+namespace {
+
+struct DiskMetrics {
+  Counter* physical_reads;
+  Counter* cache_hits;
+  Counter* evictions;
+  Counter* seek_chunks;
+
+  static const DiskMetrics& Get() {
+    static DiskMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return DiskMetrics{reg.counter("disk.reads.physical"),
+                         reg.counter("disk.reads.cache_hits"),
+                         reg.counter("disk.cache.evictions"),
+                         reg.counter("disk.seek_chunks")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
 double SimulatedDisk::ReadChunk(ChunkId id) {
+  const DiskMetrics& metrics = DiskMetrics::Get();
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t evictions_before = cache_.evictions();
   if (cache_.Touch(id)) {
     ++stats_.cache_hits;
+    metrics.cache_hits->Increment();
     return 0.0;
   }
+  const int64_t evicted = cache_.evictions() - evictions_before;
+  stats_.evictions += evicted;
+  if (evicted > 0) metrics.evictions->Increment(evicted);
   int64_t distance = std::llabs(id - head_);
   double seek =
       std::min(model_.seek_seconds_per_chunk * static_cast<double>(distance),
@@ -19,10 +51,13 @@ double SimulatedDisk::ReadChunk(ChunkId id) {
   ++stats_.physical_reads;
   stats_.total_seek_chunks += distance;
   stats_.virtual_seconds += cost;
+  metrics.physical_reads->Increment();
+  metrics.seek_chunks->Increment(distance);
   return cost;
 }
 
 void SimulatedDisk::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.Clear();
   head_ = 0;
   stats_ = IoStats{};
@@ -40,11 +75,23 @@ Status SimulatedDisk::AttachBackingFile(Env* env, const std::string& path) {
 }
 
 Result<Chunk> SimulatedDisk::FetchChunk(ChunkId id) {
+  TraceSpan span("disk.fetch_chunk");
   if (backing_file_ == nullptr) {
-    return Status::FailedPrecondition("no backing file attached");
+    Status status = Status::FailedPrecondition("no backing file attached");
+    span.SetError(status);
+    return status;
   }
   ReadChunk(id);  // Charge the cost model (cache hit => no physical read).
-  return ReadIndexedChunk(backing_file_.get(), backing_index_, id);
+  // The actual read runs outside the accounting mutex: the backing file is
+  // positional (pread), so concurrent fetches do not interleave state.
+  Result<Chunk> chunk = ReadIndexedChunk(backing_file_.get(), backing_index_, id);
+  if (!chunk.ok()) {
+    static Counter* failures =
+        MetricsRegistry::Global().counter("disk.fetch_failures");
+    failures->Increment();
+    span.SetError(chunk.status());
+  }
+  return chunk;
 }
 
 }  // namespace olap

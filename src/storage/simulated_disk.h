@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -36,6 +37,7 @@ struct DiskModel {
 struct IoStats {
   int64_t physical_reads = 0;
   int64_t cache_hits = 0;
+  int64_t evictions = 0;          // LRU entries displaced by misses.
   int64_t total_seek_chunks = 0;  // Sum of head travel distances.
   double virtual_seconds = 0.0;   // Total simulated I/O time.
 };
@@ -43,6 +45,12 @@ struct IoStats {
 // Charges virtual I/O time for chunk accesses, with an LRU cache in front.
 // The engine's evaluation strategies call ReadChunk for every chunk they
 // visit; benchmarks add stats().virtual_seconds to measured CPU time.
+//
+// Thread-safe: fetches are charged from parallel evaluation paths, so the
+// cache, head position and stats are guarded by one mutex (the cost model
+// itself is sequential — head travel depends on the previous access — so a
+// finer lock would not help). Backing-file reads run outside the lock
+// (positional pread).
 //
 // Optionally backed by a real OLAPCUB2 cube file via AttachBackingFile:
 // FetchChunk then routes cache misses through the Env as ranged,
@@ -68,8 +76,15 @@ class SimulatedDisk {
   // checksum mismatch.
   Result<Chunk> FetchChunk(ChunkId id);
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  // A consistent copy of the counters (safe while other threads read).
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = IoStats{};
+  }
   // Drops cache contents and resets the head to chunk 0.
   void Reset();
 
@@ -77,6 +92,7 @@ class SimulatedDisk {
 
  private:
   DiskModel model_;
+  mutable std::mutex mu_;  // Guards cache_, head_, stats_.
   LruChunkCache cache_;
   ChunkId head_ = 0;
   IoStats stats_;

@@ -6,7 +6,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "rules/evaluator.h"
 
 namespace olap {
@@ -414,7 +416,21 @@ Result<Schema> SplitSchema(const Cube& in, int varying_dim,
 
 }  // namespace
 
+// Per-operator instrumentation (the paper's cube algebra: σ Select,
+// ρ Relocate, S Split, Φ Allocate, E Evaluate). Each operator application
+// opens one trace span and bumps one call counter; E is counted but not
+// spanned because it runs once per derived cell — a span there would blow
+// the <5% overhead budget (DESIGN.md §8).
+#define OLAP_OPERATOR_SCOPE(op_name)                                      \
+  TraceSpan op_span("op." op_name);                                       \
+  do {                                                                    \
+    static Counter* op_calls =                                            \
+        MetricsRegistry::Global().counter("op." op_name ".calls");        \
+    op_calls->Increment();                                                \
+  } while (0)
+
 Cube Select(const Cube& in, int dim, const std::function<bool(int)>& keep) {
+  OLAP_OPERATOR_SCOPE("select");
   Cube out = in;
   const int n_positions = in.schema().dimension(dim).num_positions();
   for (int pos = 0; pos < n_positions; ++pos) {
@@ -477,6 +493,7 @@ Cube Relocate(const Cube& in, int varying_dim,
               const std::vector<DynamicBitset>& vs_out,
               const std::vector<MemberId>& scope_members,
               bool copy_out_of_scope, int64_t* cells_moved, int threads) {
+  OLAP_OPERATOR_SCOPE("relocate");
   const Dimension& d_in = in.schema().dimension(varying_dim);
   assert(d_in.is_varying());
   assert(static_cast<int>(vs_out.size()) == d_in.num_instances());
@@ -608,9 +625,13 @@ Cube RelocateReference(const Cube& in, int varying_dim,
 
 Result<Cube> Split(const Cube& in, int varying_dim, const ChangeRelation& r,
                    int threads) {
+  OLAP_OPERATOR_SCOPE("split");
   std::unordered_set<MemberId> touched;
   Result<Schema> schema_out = SplitSchema(in, varying_dim, r, &touched);
-  if (!schema_out.ok()) return schema_out.status();
+  if (!schema_out.ok()) {
+    op_span.SetError(schema_out.status());
+    return schema_out.status();
+  }
   const Dimension& d_in = in.schema().dimension(varying_dim);
   const Dimension& d_out = schema_out->dimension(varying_dim);
   const int param_dim = in.schema().parameter_of(varying_dim);
@@ -674,6 +695,7 @@ Result<Cube> SplitReference(const Cube& in, int varying_dim,
 }
 
 Result<Cube> Allocate(const Cube& in, const AllocationSpec& spec) {
+  OLAP_OPERATOR_SCOPE("allocate");
   if (spec.dim < 0 || spec.dim >= in.num_dims()) {
     return Status::InvalidArgument("allocation dimension out of range");
   }
@@ -732,6 +754,8 @@ Result<Cube> Allocate(const Cube& in, const AllocationSpec& spec) {
 CellValue EvalOperator(const Cube& c1, const RuleSet* rules, const Cube& c2,
                        const CellRef& ref) {
   (void)c1;  // C1 contributes the rule definitions, passed in `rules`.
+  static Counter* op_calls = MetricsRegistry::Global().counter("op.evaluate.calls");
+  op_calls->Increment();
   return CellEvaluator(c2, rules).Evaluate(ref);
 }
 

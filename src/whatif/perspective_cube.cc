@@ -5,6 +5,8 @@
 #include <numeric>
 #include <optional>
 
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "rules/evaluator.h"
 #include "whatif/pebbling.h"
 
@@ -35,10 +37,17 @@ std::vector<MemberId> EffectiveScope(const Dimension& dim,
 }
 
 // Charges one scan over the chunks relevant to the computation.
+Gauge* PeakMergeChunksGauge() {
+  static Gauge* g = MetricsRegistry::Global().gauge("whatif.peak_merge_chunks");
+  return g;
+}
+
 void ChargeScan(const Cube& cube, int varying_dim,
                 const std::vector<MemberId>& scope, SimulatedDisk* disk,
                 EvalStats* stats) {
+  TraceSpan span("whatif.scan");
   std::vector<ChunkId> chunks = RelevantChunks(cube, varying_dim, scope);
+  span.SetDetail("chunks=" + std::to_string(chunks.size()));
   ++stats->passes;
   stats->chunk_reads += static_cast<int64_t>(chunks.size());
   if (disk != nullptr) {
@@ -56,6 +65,7 @@ void ChargeRelocationScan(const Cube& cube, int varying_dim,
                           const std::vector<MemberId>& scope,
                           bool pebbling_read_order, SimulatedDisk* disk,
                           EvalStats* stats) {
+  TraceSpan span("whatif.merge_scan");
   const Dimension& dim = cube.schema().dimension(varying_dim);
   std::unordered_set<MemberId> in_scope(scope.begin(), scope.end());
   std::vector<bool> needed(dim.num_positions(), false);
@@ -92,12 +102,15 @@ void ChargeRelocationScan(const Cube& cube, int varying_dim,
   // the chosen read order (the Sec. 5.2 pebble count). With the heuristic,
   // the merge-graph chunks are read in the pebbling order (front of the
   // schedule); otherwise everything goes in ascending id order.
+  TraceSpan pebble_span("whatif.plan.pebble");
   MergeGraph graph = BuildMergeGraph(cube, varying_dim, merge_members);
   std::vector<ChunkId> schedule;
   if (pebbling_read_order && graph.num_nodes() > 0) {
     PebbleResult pebbled = HeuristicPebble(graph);
+    pebble_span.SetDetail("heuristic peak=" + std::to_string(pebbled.peak_pebbles));
     stats->peak_merge_chunks =
         std::max(stats->peak_merge_chunks, pebbled.peak_pebbles);
+    PeakMergeChunksGauge()->Set(pebbled.peak_pebbles);
     // Merge-graph chunks (those actually stored) first, in pebbling order;
     // the remaining relevant chunks keep ascending order.
     std::unordered_set<ChunkId> stored(relevant.begin(), relevant.end());
@@ -119,8 +132,10 @@ void ChargeRelocationScan(const Cube& cube, int varying_dim,
       std::sort(ascending.begin(), ascending.end(), [&](int a, int b) {
         return graph.chunk(a) < graph.chunk(b);
       });
-      stats->peak_merge_chunks = std::max(
-          stats->peak_merge_chunks, PeakPebblesForOrder(graph, ascending));
+      const int peak = PeakPebblesForOrder(graph, ascending);
+      pebble_span.SetDetail("ascending peak=" + std::to_string(peak));
+      stats->peak_merge_chunks = std::max(stats->peak_merge_chunks, peak);
+      PeakMergeChunksGauge()->Set(peak);
     }
   }
   ++stats->passes;
@@ -186,24 +201,49 @@ CellValue PerspectiveCube::Evaluate(const CellRef& ref,
   return CellEvaluator(*input_, rules).Evaluate(ref);
 }
 
+namespace {
+
+// Mirrors one computation's EvalStats into the process-wide registry when
+// the computation finishes (any return path, including errors).
+struct EvalStatsFlush {
+  const EvalStats* stats;
+  ~EvalStatsFlush() {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    static Counter* passes = reg.counter("whatif.passes");
+    static Counter* chunk_reads = reg.counter("whatif.chunk_reads");
+    static Counter* cells_moved = reg.counter("whatif.cells_moved");
+    passes->Increment(stats->passes);
+    chunk_reads->Increment(stats->chunk_reads);
+    cells_moved->Increment(stats->cells_moved);
+  }
+};
+
+}  // namespace
+
 Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
                                                const WhatIfSpec& spec,
                                                EvalStrategy strategy,
                                                SimulatedDisk* disk,
                                                EvalStats* stats,
                                                int eval_threads) {
+  TraceSpan span("whatif.compute_perspective_cube");
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   *stats = EvalStats{};
+  EvalStatsFlush flush{stats};
   double io_before = disk != nullptr ? disk->stats().virtual_seconds : 0.0;
 
+  auto fail = [&span](Status status) {
+    span.SetError(status);
+    return status;
+  };
   if (spec.varying_dim < 0 || spec.varying_dim >= in.num_dims()) {
-    return Status::InvalidArgument("what-if spec names no varying dimension");
+    return fail(Status::InvalidArgument("what-if spec names no varying dimension"));
   }
   if (!in.schema().is_varying(spec.varying_dim)) {
-    return Status::FailedPrecondition(
+    return fail(Status::FailedPrecondition(
         "dimension '" + in.schema().dimension(spec.varying_dim).name() +
-        "' is not varying");
+        "' is not varying"));
   }
 
   // Positive scenario first: hypothetical changes are imposed, then any
@@ -215,7 +255,7 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
     for (const ChangeTuple& tuple : spec.changes) changed.push_back(tuple.member);
     ChargeScan(in, spec.varying_dim, changed, disk, stats);
     Result<Cube> split = Split(in, spec.varying_dim, spec.changes, eval_threads);
-    if (!split.ok()) return split.status();
+    if (!split.ok()) return fail(split.status());
     stats->cells_moved += split->CountNonNullCells();
     split_cube = *std::move(split);
     base = &*split_cube;
@@ -236,7 +276,7 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
   const int universe = dim.parameter_leaf_count();
   for (int p : spec.perspectives.moments()) {
     if (p < 0 || p >= universe) {
-      return Status::OutOfRange("perspective moment out of range");
+      return fail(Status::OutOfRange("perspective moment out of range"));
     }
   }
   // Scoped (partial) outputs are only sound when derived cells are not

@@ -1,0 +1,152 @@
+// AggregateCache and LRU cache statistics verified against hand-simulated
+// references: the cache's own hit/miss counters, the process-wide
+// "agg.cache.*" metrics, and SimulatedDisk's eviction accounting must all
+// match an independent model of the same access sequence.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "agg/aggregate_cache.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "storage/simulated_disk.h"
+#include "workload/paper_example.h"
+
+namespace olap {
+namespace {
+
+// Reference model of AggregateCache::TryAnswer's hit condition: a ref is
+// answerable iff some materialized view keeps every dimension the ref
+// restricts (anything but the root).
+bool ReferenceHit(const Cube& cube, const std::vector<GroupByMask>& masks,
+                  const CellRef& ref) {
+  GroupByMask needed = 0;
+  for (int d = 0; d < cube.num_dims(); ++d) {
+    if (ref[d].instance != kInvalidInstance ||
+        ref[d].member != cube.schema().dimension(d).root()) {
+      needed |= GroupByMask{1} << d;
+    }
+  }
+  for (GroupByMask mask : masks) {
+    if ((needed & mask) == needed) return true;
+  }
+  return false;
+}
+
+TEST(CacheStatsTest, HitMissCountersMatchHandSimulation) {
+  PaperExample ex = BuildPaperExample();
+  const Schema& schema = ex.cube.schema();
+
+  // Views over {Location}, {Time}, {Location, Time}: refs restricting
+  // Organization or Measures must miss, everything else must hit.
+  std::vector<GroupByMask> masks = {
+      GroupByMask{1} << ex.location_dim,
+      GroupByMask{1} << ex.time_dim,
+      (GroupByMask{1} << ex.location_dim) | (GroupByMask{1} << ex.time_dim),
+  };
+  AggregateCache cache(ex.cube, masks);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  MetricsRegistry::Snapshot before = reg.TakeSnapshot();
+
+  Rng rng(777);
+  int64_t expected_hits = 0, expected_misses = 0;
+  const int kTrials = 500;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CellRef ref(schema.num_dimensions());
+    for (int d = 0; d < schema.num_dimensions(); ++d) {
+      const Dimension& dim = schema.dimension(d);
+      if (rng.NextBool(0.45)) {
+        ref[d] = AxisRef::OfMember(dim.root());
+      } else if (dim.is_varying() && dim.num_instances() > 0 &&
+                 rng.NextBool(0.3)) {
+        InstanceId i =
+            static_cast<InstanceId>(rng.NextBelow(dim.num_instances()));
+        ref[d] = AxisRef::OfInstance(dim.instance(i).member, i);
+      } else {
+        ref[d] = AxisRef::OfMember(
+            static_cast<MemberId>(rng.NextBelow(dim.num_members())));
+      }
+    }
+    const bool hit = ReferenceHit(ex.cube, masks, ref);
+    (hit ? expected_hits : expected_misses) += 1;
+
+    std::optional<CellValue> answer = cache.TryAnswer(ex.cube, ref);
+    EXPECT_EQ(answer.has_value(), hit) << "trial " << trial;
+  }
+
+  // The cache's own counters...
+  EXPECT_EQ(cache.hits.load(), expected_hits);
+  EXPECT_EQ(cache.misses.load(), expected_misses);
+  EXPECT_EQ(cache.hits.load() + cache.misses.load(), kTrials);
+
+  // ...and the registry deltas agree with the hand simulation.
+  MetricsRegistry::Snapshot delta =
+      MetricsRegistry::Snapshot::Delta(before, reg.TakeSnapshot());
+  EXPECT_EQ(delta.counter_value("agg.cache.lookups"), kTrials);
+  EXPECT_EQ(delta.counter_value("agg.cache.hits"), expected_hits);
+  EXPECT_EQ(delta.counter_value("agg.cache.misses"), expected_misses);
+}
+
+// SimulatedDisk eviction stats against a hand-simulated LRU of the same
+// capacity over a randomized access sequence.
+TEST(CacheStatsTest, DiskEvictionsMatchHandSimulatedLru) {
+  constexpr int64_t kCapacity = 8;
+  SimulatedDisk disk(DiskModel{}, kCapacity);
+
+  std::vector<ChunkId> lru;  // Front = most recent.
+  int64_t expected_hits = 0, expected_misses = 0, expected_evictions = 0;
+
+  Rng rng(31337);
+  for (int i = 0; i < 2000; ++i) {
+    // Skewed access: small working set with occasional far touches.
+    ChunkId id = rng.NextBool(0.7)
+                     ? static_cast<ChunkId>(rng.NextBelow(10))
+                     : static_cast<ChunkId>(rng.NextBelow(64));
+    auto it = std::find(lru.begin(), lru.end(), id);
+    if (it != lru.end()) {
+      ++expected_hits;
+      lru.erase(it);
+      lru.insert(lru.begin(), id);
+    } else {
+      ++expected_misses;
+      if (static_cast<int64_t>(lru.size()) == kCapacity) {
+        lru.pop_back();
+        ++expected_evictions;
+      }
+      lru.insert(lru.begin(), id);
+    }
+    disk.ReadChunk(id);
+  }
+
+  IoStats stats = disk.stats();
+  EXPECT_EQ(stats.cache_hits, expected_hits);
+  EXPECT_EQ(stats.physical_reads, expected_misses);
+  EXPECT_EQ(stats.evictions, expected_evictions);
+}
+
+TEST(CacheStatsTest, SequentialScanEvictsAllButCapacity) {
+  constexpr int64_t kCapacity = 4;
+  constexpr int kChunks = 20;
+  SimulatedDisk disk(DiskModel{}, kCapacity);
+  for (int i = 0; i < kChunks; ++i) disk.ReadChunk(static_cast<ChunkId>(i));
+  IoStats stats = disk.stats();
+  EXPECT_EQ(stats.physical_reads, kChunks);
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.evictions, kChunks - kCapacity);
+
+  // Re-reading the resident tail hits; the evicted head misses again.
+  for (int i = kChunks - kCapacity; i < kChunks; ++i) {
+    disk.ReadChunk(static_cast<ChunkId>(i));
+  }
+  stats = disk.stats();
+  EXPECT_EQ(stats.cache_hits, kCapacity);
+  disk.ReadChunk(0);
+  EXPECT_EQ(disk.stats().physical_reads, kChunks + 1);
+}
+
+}  // namespace
+}  // namespace olap

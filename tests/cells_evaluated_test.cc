@@ -1,0 +1,169 @@
+// Property: QueryResult::cells_evaluated always equals the returned grid's
+// populated cell count (rows x columns, after NON EMPTY filtering) — across
+// the paper workloads and randomized queries.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "workload/paper_example.h"
+#include "workload/workforce.h"
+
+namespace olap {
+namespace {
+
+void ExpectCellsMatchGrid(const QueryResult& r, const std::string& query) {
+  EXPECT_EQ(r.cells_evaluated,
+            static_cast<int64_t>(r.grid.num_rows()) *
+                static_cast<int64_t>(r.grid.num_columns()))
+      << "query: " << query;
+}
+
+class CellsEvaluatedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = BuildPaperExample();
+    ASSERT_TRUE(db_.AddCube("Warehouse", ex_.cube).ok());
+
+    WorkforceConfig config;
+    config.num_departments = 8;
+    config.num_employees = 60;
+    config.num_changing = 10;
+    config.num_measures = 3;
+    config.num_scenarios = 2;
+    config.seed = 4242;
+    ASSERT_TRUE(
+        RegisterWorkforce(&db_, "App.Db", BuildWorkforceCube(config)).ok());
+    exec_ = std::make_unique<Executor>(&db_);
+  }
+
+  void CheckQuery(const std::string& query, int threads = 1) {
+    QueryOptions options;
+    options.eval_threads = threads;
+    Result<QueryResult> r = exec_->Execute(query, options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << query;
+    ExpectCellsMatchGrid(*r, query);
+  }
+
+  PaperExample ex_;
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+TEST_F(CellsEvaluatedTest, PaperWorkloadQueries) {
+  const char* queries[] = {
+      // Sec. 3.2 / Fig. 3.
+      "SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS, "
+      "Location.Region.State.MEMBERS ON ROWS FROM Warehouse "
+      "WHERE (Organization.[FTE].[Joe], Measures.[Salary])",
+      // What-if with instance expansion.
+      "WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD "
+      "SELECT {Time.[Jan], Time.[Feb]} ON COLUMNS, "
+      "{[Organization].[Joe]} ON ROWS FROM Warehouse "
+      "WHERE ([NY], [Salary])",
+      // Visual mode.
+      "WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD "
+      "VISUAL SELECT {Time.[Jan], Time.[Feb]} ON COLUMNS, "
+      "{[Organization].Members} ON ROWS FROM Warehouse "
+      "WHERE (Location.[NY], Measures.[Salary])",
+      // No rows axis.
+      "SELECT {Measures.[Salary]} ON COLUMNS FROM Warehouse",
+  };
+  for (const char* q : queries) {
+    CheckQuery(q, 1);
+    CheckQuery(q, 4);
+  }
+}
+
+TEST_F(CellsEvaluatedTest, NonEmptyFilteringShrinksBothInStep) {
+  // Sue and Dave have no data: NON EMPTY must drop their rows, and
+  // cells_evaluated must track the filtered grid, not the computed one.
+  const std::string query =
+      "SELECT {Time.[Jan], Time.[Feb], Time.[Mar]} ON COLUMNS, "
+      "NON EMPTY {[Organization].Members} ON ROWS FROM Warehouse "
+      "WHERE ([NY], [Salary])";
+  Result<QueryResult> all = exec_->Execute(
+      "SELECT {Time.[Jan], Time.[Feb], Time.[Mar]} ON COLUMNS, "
+      "{[Organization].Members} ON ROWS FROM Warehouse "
+      "WHERE ([NY], [Salary])");
+  Result<QueryResult> filtered = exec_->Execute(query);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  ExpectCellsMatchGrid(*all, "unfiltered");
+  ExpectCellsMatchGrid(*filtered, query);
+  EXPECT_LT(filtered->grid.num_rows(), all->grid.num_rows());
+  EXPECT_LT(filtered->cells_evaluated, all->cells_evaluated);
+}
+
+TEST_F(CellsEvaluatedTest, WorkforcePaperScenarios) {
+  const char* queries[] = {
+      "SELECT {[Account].Levels(0).Members} ON COLUMNS, "
+      "{CrossJoin({[Department].Children}, {Descendants([Period],1)})} "
+      "ON ROWS FROM App.Db WHERE ([Current], [Local])",
+      "WITH PERSPECTIVE {(Jan), (Jul)} FOR Department DYNAMIC FORWARD "
+      "SELECT {[Account].Levels(0).Members} ON COLUMNS, "
+      "{CrossJoin({[EmployeesWithAtleastOneMove-Set1].Children}, "
+      "{Descendants([Period],1,self_and_after)})} ON ROWS FROM App.Db "
+      "WHERE ([Current])",
+  };
+  for (const char* q : queries) {
+    CheckQuery(q, 1);
+    CheckQuery(q, 4);
+  }
+}
+
+// Randomized single-member axis queries over the paper example: every
+// combination the generator emits must satisfy the property, with and
+// without NON EMPTY, serial and parallel.
+TEST_F(CellsEvaluatedTest, RandomizedQueries) {
+  const char* months[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun"};
+  const char* quarters[] = {"Qtr1", "Qtr2"};
+  const char* orgs[] = {"Joe", "Lisa", "Sue", "Tom", "Dave", "Jane",
+                        "FTE", "PTE", "Contractor"};
+  const char* places[] = {"NY", "MA", "CA", "East", "West", "South"};
+  const char* measures[] = {"Salary", "Benefits", "Products", "Services"};
+
+  Rng rng(20080406);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Columns: 1-3 time members.
+    std::vector<std::string> cols;
+    const int num_cols = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int i = 0; i < num_cols; ++i) {
+      cols.push_back(rng.NextBelow(4) == 0
+                         ? std::string("Time.[") + quarters[rng.NextBelow(2)] + "]"
+                         : std::string("Time.[") + months[rng.NextBelow(6)] + "]");
+    }
+    // Rows: 1-3 organization members.
+    std::vector<std::string> rows;
+    const int num_rows = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int i = 0; i < num_rows; ++i) {
+      rows.push_back(std::string("[Organization].[") + orgs[rng.NextBelow(9)] +
+                     "]");
+    }
+    std::string query = "SELECT ";
+    if (rng.NextBelow(2) == 0) query += "NON EMPTY ";
+    query += "{";
+    for (size_t i = 0; i < cols.size(); ++i) {
+      query += (i > 0 ? ", " : "") + cols[i];
+    }
+    query += "} ON COLUMNS, ";
+    if (rng.NextBelow(2) == 0) query += "NON EMPTY ";
+    query += "{";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      query += (i > 0 ? ", " : "") + rows[i];
+    }
+    query += "} ON ROWS FROM Warehouse WHERE (Location.[";
+    query += places[rng.NextBelow(6)];
+    query += "], Measures.[";
+    query += measures[rng.NextBelow(4)];
+    query += "])";
+
+    CheckQuery(query, 1 + static_cast<int>(rng.NextBelow(4)));
+  }
+}
+
+}  // namespace
+}  // namespace olap

@@ -1,0 +1,175 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace olap {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAddTrackHighWatermark) {
+  Gauge g;
+  g.Set(5);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.max(), 5);
+  g.Set(2);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.max(), 5);
+  EXPECT_EQ(g.Add(10), 12);
+  EXPECT_EQ(g.max(), 12);
+  g.Add(-12);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), 12);
+}
+
+TEST(HistogramTest, BucketsPartitionTheRange) {
+  Histogram h;
+  h.RecordNanos(0);           // bucket 0: < 1 µs.
+  h.RecordNanos(999);         // bucket 0.
+  h.RecordNanos(1000);        // bucket 1: [1 µs, 2 µs).
+  h.RecordNanos(1999);        // bucket 1.
+  h.RecordNanos(2000);        // bucket 2.
+  h.RecordSeconds(1000.0);    // Far beyond the range: last bucket.
+  EXPECT_EQ(h.BucketCount(0), 2);
+  EXPECT_EQ(h.BucketCount(1), 2);
+  EXPECT_EQ(h.BucketCount(2), 1);
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets - 1), 1);
+  EXPECT_EQ(h.TotalCount(), 6);
+  EXPECT_EQ(h.TotalNanos(), 0 + 999 + 1000 + 1999 + 2000 + int64_t{1000} * 1000000000);
+}
+
+TEST(HistogramTest, TotalCountEqualsBucketSum) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.RecordNanos(int64_t{1} << (i % 40));
+  int64_t bucket_sum = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) bucket_sum += h.BucketCount(i);
+  EXPECT_EQ(bucket_sum, h.TotalCount());
+  EXPECT_EQ(h.TotalCount(), 1000);
+}
+
+TEST(HistogramTest, BucketUpperBoundsAreMonotone) {
+  for (int i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    EXPECT_LT(Histogram::BucketUpperNanos(i), Histogram::BucketUpperNanos(i + 1))
+        << "bucket " << i;
+  }
+  EXPECT_EQ(Histogram::BucketUpperNanos(Histogram::kNumBuckets - 1), INT64_MAX);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* a = reg.counter("metrics_test.stable");
+  Counter* b = reg.counter("metrics_test.stable");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(reg.gauge("metrics_test.g"), reg.gauge("metrics_test.g"));
+  EXPECT_EQ(reg.histogram("metrics_test.h"), reg.histogram("metrics_test.h"));
+  // The same string may name one instrument of each kind independently.
+  EXPECT_NE(static_cast<void*>(reg.counter("metrics_test.dual")),
+            static_cast<void*>(reg.gauge("metrics_test.dual")));
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      Counter* c = reg.counter("metrics_test.concurrent_reg");
+      c->Increment();
+      seen[t] = c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), 8);
+}
+
+TEST(MetricsRegistryTest, SnapshotDeltaSubtractsAndDropsZeroes) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* moved = reg.counter("metrics_test.delta.moved");
+  Counter* still = reg.counter("metrics_test.delta.still");
+  Histogram* lat = reg.histogram("metrics_test.delta.lat");
+  Gauge* level = reg.gauge("metrics_test.delta.level");
+  moved->Increment(3);
+  still->Increment(7);
+  lat->RecordNanos(1500);
+
+  MetricsRegistry::Snapshot before = reg.TakeSnapshot();
+  moved->Increment(5);
+  lat->RecordNanos(2500);
+  lat->RecordNanos(10);
+  level->Set(99);
+  MetricsRegistry::Snapshot after = reg.TakeSnapshot();
+
+  MetricsRegistry::Snapshot delta =
+      MetricsRegistry::Snapshot::Delta(before, after);
+  EXPECT_EQ(delta.counter_value("metrics_test.delta.moved"), 5);
+  // Untouched instruments are dropped from the delta entirely.
+  EXPECT_EQ(delta.counters.count("metrics_test.delta.still"), 0u);
+  const MetricsRegistry::HistogramSnapshot* hs =
+      delta.histogram_snapshot("metrics_test.delta.lat");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, 2);
+  EXPECT_EQ(hs->sum_nanos, 2510);
+  // Gauges are levels, not rates: the delta carries the after values.
+  EXPECT_EQ(delta.gauges.at("metrics_test.delta.level").value, 99);
+}
+
+TEST(MetricsRegistryTest, SnapshotHistogramCountMatchesBuckets) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Histogram* h = reg.histogram("metrics_test.hist.buckets");
+  for (int i = 0; i < 100; ++i) h->RecordNanos(i * 7919);
+  MetricsRegistry::Snapshot snap = reg.TakeSnapshot();
+  const MetricsRegistry::HistogramSnapshot* hs =
+      snap.histogram_snapshot("metrics_test.hist.buckets");
+  ASSERT_NE(hs, nullptr);
+  int64_t sum = 0;
+  for (int64_t b : hs->buckets) sum += b;
+  EXPECT_EQ(sum, hs->count);
+}
+
+TEST(MetricsRegistryTest, JsonNamesEveryInstrument) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.counter("metrics_test.json.c")->Increment();
+  reg.gauge("metrics_test.json.g")->Set(4);
+  reg.histogram("metrics_test.json.h")->RecordNanos(12345);
+  std::string json = reg.SnapshotJson();
+  EXPECT_NE(json.find("\"metrics_test.json.c\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics_test.json.g\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics_test.json.h\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonEscapesQuotesInNames) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.counter("metrics_test.\"quoted\"")->Increment();
+  std::string json = reg.SnapshotJson();
+  EXPECT_NE(json.find("metrics_test.\\\"quoted\\\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olap

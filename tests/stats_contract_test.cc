@@ -1,0 +1,290 @@
+// The test-first stats contract: the observability layer's numbers must be
+// internally consistent — span trees well-formed at every thread count,
+// deterministic engine counters identical across thread counts, histogram
+// totals reconciling with their driving counters, cache accounting closed
+// under lookups == hits + misses, and EXPLAIN ANALYZE agreeing with the
+// metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "engine/executor.h"
+#include "workload/paper_example.h"
+#include "workload/product.h"
+#include "workload/workforce.h"
+
+namespace olap {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4, 8};
+
+// Counter prefixes that must not depend on the thread count: the engine's
+// work is deterministic, only its placement on workers varies. Pool-level
+// metrics ("threadpool.*") legitimately vary (helper scheduling depends on
+// timing) and are excluded.
+bool IsDeterministicCounter(const std::string& name) {
+  for (const char* prefix : {"query.", "whatif.", "op.", "agg."}) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::map<std::string, int64_t> DeterministicCounters(
+    const MetricsRegistry::Snapshot& delta) {
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, value] : delta.counters) {
+    if (IsDeterministicCounter(name)) out[name] = value;
+  }
+  return out;
+}
+
+class StatsContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ex_ = BuildPaperExample();
+    ASSERT_TRUE(db_.AddCube("Warehouse", ex_.cube).ok());
+
+    WorkforceConfig config;
+    config.num_departments = 8;
+    config.num_employees = 60;
+    config.num_changing = 10;
+    config.num_measures = 3;
+    config.num_scenarios = 2;
+    config.seed = 20260806;
+    ASSERT_TRUE(
+        RegisterWorkforce(&db_, "App.Db", BuildWorkforceCube(config)).ok());
+    exec_ = std::make_unique<Executor>(&db_);
+  }
+
+  QueryResult MustProfile(const std::string& mdx, int threads) {
+    QueryOptions options;
+    options.collect_profile = true;
+    options.eval_threads = threads;
+    Result<QueryResult> r = exec_->Execute(mdx, options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << mdx;
+    EXPECT_TRUE(r->profile.collected);
+    return r.ok() ? *std::move(r) : QueryResult{};
+  }
+
+  PaperExample ex_;
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+const char kWhatIfQuery[] =
+    "WITH PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD "
+    "SELECT {Time.[Jan], Time.[Feb], Time.[Mar], Time.[Apr]} ON COLUMNS, "
+    "{[Organization].[Joe], [Organization].[Lisa]} ON ROWS FROM Warehouse "
+    "WHERE (Location.[NY], Measures.[Salary])";
+
+const char kPlainQuery[] =
+    "SELECT {Time.[Qtr1], Time.[Qtr2]} ON COLUMNS, "
+    "Location.Region.State.MEMBERS ON ROWS FROM Warehouse "
+    "WHERE (Organization.[FTE].[Joe], Measures.[Salary])";
+
+TEST_F(StatsContractTest, SpanTreesWellFormedAtEveryThreadCount) {
+  for (int threads : kThreadCounts) {
+    QueryResult r = MustProfile(kWhatIfQuery, threads);
+    std::string why;
+    EXPECT_TRUE(r.profile.trace.WellFormed(&why))
+        << "threads=" << threads << ": " << why;
+    EXPECT_EQ(r.profile.trace.CountOf("query.execute"), 1) << threads;
+    EXPECT_EQ(r.profile.trace.CountOf("query.parse"), 1) << threads;
+    EXPECT_EQ(r.profile.trace.CountOf("query.bind"), 1) << threads;
+    EXPECT_EQ(r.profile.trace.CountOf("query.whatif"), 1) << threads;
+    EXPECT_EQ(r.profile.trace.CountOf("query.evaluate"), 1) << threads;
+    EXPECT_GE(r.profile.trace.CountOf("whatif.compute_perspective_cube"), 1)
+        << threads;
+    for (const SpanRecord& s : r.profile.trace.spans) EXPECT_TRUE(s.ok) << s.name;
+  }
+}
+
+TEST_F(StatsContractTest, DeterministicCountersIdenticalAcrossThreadCounts) {
+  for (const char* query : {kWhatIfQuery, kPlainQuery}) {
+    std::map<std::string, int64_t> reference;
+    for (int threads : kThreadCounts) {
+      QueryResult r = MustProfile(query, threads);
+      std::map<std::string, int64_t> counters =
+          DeterministicCounters(r.profile.metrics_delta);
+      EXPECT_FALSE(counters.empty()) << query;
+      if (threads == kThreadCounts[0]) {
+        reference = std::move(counters);
+      } else {
+        EXPECT_EQ(counters, reference) << "threads=" << threads
+                                       << "\nquery: " << query;
+      }
+    }
+  }
+}
+
+TEST_F(StatsContractTest, QueryHistogramTotalsMatchQueryCounter) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  MetricsRegistry::Snapshot before = reg.TakeSnapshot();
+  for (int threads : {1, 4}) {
+    QueryOptions options;
+    options.eval_threads = threads;
+    ASSERT_TRUE(exec_->Execute(kWhatIfQuery, options).ok());
+    ASSERT_TRUE(exec_->Execute(kPlainQuery, options).ok());
+  }
+  MetricsRegistry::Snapshot delta =
+      MetricsRegistry::Snapshot::Delta(before, reg.TakeSnapshot());
+  const MetricsRegistry::HistogramSnapshot* hs =
+      delta.histogram_snapshot("query.seconds");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, delta.counter_value("query.executed"));
+  EXPECT_EQ(hs->count, 4);
+  int64_t bucket_sum = 0;
+  for (int64_t b : hs->buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, hs->count);
+}
+
+TEST_F(StatsContractTest, ThreadPoolHistogramTotalsMatchTaskCounter) {
+  QueryOptions options;
+  options.eval_threads = 4;
+  ASSERT_TRUE(exec_->Execute(kWhatIfQuery, options).ok());
+  // Guarantee the pool actually retired tasks regardless of how the query
+  // was partitioned on this machine.
+  ThreadPool::Shared().ParallelFor(16, 4, [](int64_t) {});
+  // Every scheduled task eventually retires with exactly one latency
+  // sample; at quiescence the counter and the histogram agree. The two are
+  // bumped together but not atomically-as-a-pair (and a queued helper may
+  // not have retired yet), so poll briefly.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  for (int attempt = 0;; ++attempt) {
+    MetricsRegistry::Snapshot snap = reg.TakeSnapshot();
+    const MetricsRegistry::HistogramSnapshot* hs =
+        snap.histogram_snapshot("threadpool.task_seconds");
+    const int64_t tasks = snap.counter_value("threadpool.tasks");
+    if ((hs != nullptr && hs->count == tasks && tasks > 0) || attempt >= 200) {
+      ASSERT_NE(hs, nullptr);
+      EXPECT_GT(tasks, 0);
+      EXPECT_EQ(hs->count, tasks);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+TEST_F(StatsContractTest, CacheAccountingIsClosed) {
+  ASSERT_TRUE(db_.BuildAggregates("App.Db", 6).ok());
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  MetricsRegistry::Snapshot before = reg.TakeSnapshot();
+  ASSERT_TRUE(exec_
+                  ->Execute(
+                      "SELECT {([Current], [Local])} ON COLUMNS, "
+                      "{CrossJoin({[Department].Children}, "
+                      "{Descendants([Period],1)})} ON ROWS FROM App.Db")
+                  .ok());
+  MetricsRegistry::Snapshot delta =
+      MetricsRegistry::Snapshot::Delta(before, reg.TakeSnapshot());
+  int64_t lookups = delta.counter_value("agg.cache.lookups");
+  EXPECT_GT(lookups, 0);
+  EXPECT_EQ(lookups, delta.counter_value("agg.cache.hits") +
+                         delta.counter_value("agg.cache.misses"));
+}
+
+TEST_F(StatsContractTest, CellsComputedCounterCoversTheGrid) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  MetricsRegistry::Snapshot before = reg.TakeSnapshot();
+  QueryOptions options;
+  Result<QueryResult> r = exec_->Execute(kPlainQuery, options);
+  ASSERT_TRUE(r.ok());
+  MetricsRegistry::Snapshot delta =
+      MetricsRegistry::Snapshot::Delta(before, reg.TakeSnapshot());
+  // No NON EMPTY in the query: computed == returned == the grid.
+  EXPECT_EQ(delta.counter_value("query.cells_computed"), r->cells_evaluated);
+  EXPECT_EQ(delta.counter_value("query.cells_returned"), r->cells_evaluated);
+}
+
+// The acceptance scenario: EXPLAIN ANALYZE over the Fig. 12 colocation
+// workload prints a per-operator breakdown that reconciles with the
+// metrics registry.
+class ExplainAnalyzeFig12Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ProductCubeConfig config;
+    config.separation_chunks = 40;
+    config.chunk_products = 4;
+    config.move_moment = 6;
+    pc_ = BuildProductCube(config);
+    ASSERT_TRUE(db_.AddCube("Products", pc_.cube).ok());
+    exec_ = std::make_unique<Executor>(&db_);
+  }
+
+  ProductCube pc_;
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+};
+
+const char kFig12Query[] =
+    "WITH PERSPECTIVE {(Jan), (Jul)} FOR Product DYNAMIC FORWARD "
+    "SELECT {Time.[Jan], Time.[Jul]} ON COLUMNS, "
+    "{Product.[1001]} ON ROWS FROM Products "
+    "WHERE (Measures.[Sales])";
+
+TEST_F(ExplainAnalyzeFig12Test, ProfileReconcilesWithRegistry) {
+  QueryOptions options;
+  options.collect_profile = true;
+  Result<QueryResult> r = exec_->Execute(kFig12Query, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->profile.collected);
+  std::string why;
+  ASSERT_TRUE(r->profile.trace.WellFormed(&why)) << why;
+
+  // Per-operator reconciliation: each operator span count in the trace
+  // equals the operator's call counter delta over the same window.
+  bool saw_operator = false;
+  for (const char* op : {"select", "relocate", "split", "allocate"}) {
+    const std::string span_name = std::string("op.") + op;
+    const int64_t trace_count = r->profile.trace.CountOf(span_name);
+    const int64_t counter_delta =
+        r->profile.metrics_delta.counter_value(span_name + ".calls");
+    EXPECT_EQ(trace_count, counter_delta) << op;
+    if (trace_count > 0) saw_operator = true;
+  }
+  EXPECT_TRUE(saw_operator);
+  EXPECT_GE(r->profile.trace.CountOf("op.relocate"), 1);
+  EXPECT_EQ(r->profile.trace.CountOf("query.execute"), 1);
+}
+
+TEST_F(ExplainAnalyzeFig12Test, TextRendererShowsBreakdownAndMetrics) {
+  Result<std::string> text = exec_->ExplainAnalyze(kFig12Query);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("what-if"), std::string::npos);
+  EXPECT_NE(text->find("-- profile: spans --"), std::string::npos);
+  EXPECT_NE(text->find("-- profile: metrics delta --"), std::string::npos);
+  EXPECT_NE(text->find("query.execute"), std::string::npos);
+  EXPECT_NE(text->find("op.relocate"), std::string::npos);
+  EXPECT_NE(text->find("result: "), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeFig12Test, ProfileJsonExportsAreWellFormedish) {
+  QueryOptions options;
+  options.collect_profile = true;
+  Result<QueryResult> r = exec_->Execute(kFig12Query, options);
+  ASSERT_TRUE(r.ok());
+  std::string trace_json = r->profile.ToTraceJson();
+  EXPECT_NE(trace_json.find("\"traceEvents\""), std::string::npos);
+  std::string metrics_json = r->profile.ToMetricsJson();
+  EXPECT_NE(metrics_json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics_json.find("op.relocate.calls"), std::string::npos);
+}
+
+TEST_F(ExplainAnalyzeFig12Test, UnprofiledQueryCarriesNoProfile) {
+  Result<QueryResult> r = exec_->Execute(kFig12Query);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->profile.collected);
+  EXPECT_TRUE(r->profile.trace.spans.empty());
+  EXPECT_NE(r->profile.ToText().find("not collected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace olap

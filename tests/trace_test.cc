@@ -1,0 +1,201 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace olap {
+namespace {
+
+// Every test drives its own session; sessions are process-global, so the
+// fixture guarantees no session leaks across tests.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (TraceCollector::enabled()) TraceCollector::DisableAndDrain();
+  }
+};
+
+TEST_F(TraceTest, SpansWithoutSessionAreInactive) {
+  ASSERT_FALSE(TraceCollector::enabled());
+  TraceSpan span("idle");
+  EXPECT_FALSE(span.active());
+  span.SetDetail("ignored");
+  span.SetError(Status::Internal("ignored"));
+}
+
+TEST_F(TraceTest, EmptySessionDrainsEmpty) {
+  ASSERT_TRUE(TraceCollector::Enable());
+  TraceData data = TraceCollector::DisableAndDrain();
+  EXPECT_TRUE(data.spans.empty());
+  EXPECT_TRUE(data.WellFormed());
+  EXPECT_FALSE(TraceCollector::enabled());
+}
+
+TEST_F(TraceTest, SecondEnableIsRefused) {
+  ASSERT_TRUE(TraceCollector::Enable());
+  EXPECT_FALSE(TraceCollector::Enable());
+  TraceCollector::DisableAndDrain();
+  EXPECT_TRUE(TraceCollector::Enable());
+  TraceCollector::DisableAndDrain();
+}
+
+TEST_F(TraceTest, NestingRecordsParents) {
+  ASSERT_TRUE(TraceCollector::Enable());
+  {
+    TraceSpan root("root");
+    {
+      TraceSpan child("child");
+      { TraceSpan grandchild("grandchild"); }
+    }
+    { TraceSpan sibling("sibling"); }
+  }
+  TraceData data = TraceCollector::DisableAndDrain();
+  std::string why;
+  ASSERT_TRUE(data.WellFormed(&why)) << why;
+  ASSERT_EQ(data.spans.size(), 4u);
+
+  auto find = [&](const std::string& name) -> const SpanRecord& {
+    for (const SpanRecord& s : data.spans) {
+      if (s.name == name) return s;
+    }
+    ADD_FAILURE() << "missing span " << name;
+    static SpanRecord dummy;
+    return dummy;
+  };
+  const SpanRecord& root = find("root");
+  EXPECT_EQ(root.parent, -1);
+  EXPECT_EQ(data.spans[find("child").parent].name, "root");
+  EXPECT_EQ(data.spans[find("grandchild").parent].name, "child");
+  EXPECT_EQ(data.spans[find("sibling").parent].name, "root");
+  for (const SpanRecord& s : data.spans) {
+    EXPECT_GT(s.end_ns, 0) << s.name;
+    EXPECT_GE(s.end_ns, s.start_ns) << s.name;
+  }
+}
+
+TEST_F(TraceTest, ErrorAndDetailAreRecorded) {
+  ASSERT_TRUE(TraceCollector::Enable());
+  {
+    TraceSpan ok_span("fine");
+    ok_span.SetDetail("chunks=7");
+    TraceSpan bad_span("broken");
+    bad_span.SetError(Status::DataLoss("checksum mismatch"));
+  }
+  TraceData data = TraceCollector::DisableAndDrain();
+  ASSERT_TRUE(data.WellFormed());
+  ASSERT_EQ(data.spans.size(), 2u);
+  for (const SpanRecord& s : data.spans) {
+    if (s.name == "fine") {
+      EXPECT_TRUE(s.ok);
+      EXPECT_EQ(s.detail, "chunks=7");
+    } else {
+      EXPECT_EQ(s.name, "broken");
+      EXPECT_FALSE(s.ok);
+      EXPECT_NE(s.detail.find("checksum mismatch"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(TraceTest, CountOfAndTotalNanos) {
+  ASSERT_TRUE(TraceCollector::Enable());
+  for (int i = 0; i < 3; ++i) TraceSpan span("repeated");
+  TraceData data = TraceCollector::DisableAndDrain();
+  EXPECT_EQ(data.CountOf("repeated"), 3);
+  EXPECT_EQ(data.CountOf("absent"), 0);
+  EXPECT_GE(data.TotalNanos("repeated"), 0);
+}
+
+TEST_F(TraceTest, AggregateGroupsByPath) {
+  ASSERT_TRUE(TraceCollector::Enable());
+  {
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+    { TraceSpan inner("inner"); }
+  }
+  TraceData data = TraceCollector::DisableAndDrain();
+  std::vector<TraceData::AggregateRow> rows = data.Aggregate();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "outer");
+  EXPECT_EQ(rows[0].depth, 0);
+  EXPECT_EQ(rows[0].count, 1);
+  EXPECT_EQ(rows[1].name, "inner");
+  EXPECT_EQ(rows[1].depth, 1);
+  EXPECT_EQ(rows[1].count, 2);
+
+  std::string text = data.ToText();
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  EXPECT_NE(text.find("inner"), std::string::npos);
+}
+
+TEST_F(TraceTest, ChromeJsonHasTraceEvents) {
+  ASSERT_TRUE(TraceCollector::Enable());
+  {
+    TraceSpan span("json \"quoted\"");
+    span.SetDetail("d");
+  }
+  TraceData data = TraceCollector::DisableAndDrain();
+  std::string json = data.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("json \\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(TraceTest, SpansOnManyThreadsMergeWellFormed) {
+  ASSERT_TRUE(TraceCollector::Enable());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      TraceSpan outer("worker.outer");
+      for (int i = 0; i < 10; ++i) TraceSpan inner("worker.inner");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  TraceData data = TraceCollector::DisableAndDrain();
+  std::string why;
+  ASSERT_TRUE(data.WellFormed(&why)) << why;
+  EXPECT_EQ(data.CountOf("worker.outer"), kThreads);
+  EXPECT_EQ(data.CountOf("worker.inner"), kThreads * 10);
+  // Each thread's spans root at that thread: parent links never cross
+  // thread indices.
+  for (const SpanRecord& s : data.spans) {
+    if (s.parent >= 0) {
+      EXPECT_EQ(data.spans[s.parent].thread, s.thread) << s.name;
+    }
+  }
+}
+
+TEST_F(TraceTest, OpenSpanAtDrainIsIllFormed) {
+  ASSERT_TRUE(TraceCollector::Enable());
+  auto leaked = std::make_unique<TraceSpan>("left.open");
+  TraceData data = TraceCollector::DisableAndDrain();
+  ASSERT_EQ(data.spans.size(), 1u);
+  EXPECT_EQ(data.spans[0].end_ns, 0);
+  std::string why;
+  EXPECT_FALSE(data.WellFormed(&why));
+  EXPECT_FALSE(why.empty());
+  // Destroying the span after the session ended is harmless (and must not
+  // corrupt a following session).
+  leaked.reset();
+  ASSERT_TRUE(TraceCollector::Enable());
+  { TraceSpan span("next.session"); }
+  TraceData next = TraceCollector::DisableAndDrain();
+  EXPECT_TRUE(next.WellFormed());
+  EXPECT_EQ(next.CountOf("next.session"), 1);
+  EXPECT_EQ(next.CountOf("left.open"), 0);
+}
+
+TEST_F(TraceTest, SpanStartedBeforeSessionIsNotRecorded) {
+  TraceSpan before("pre.session");
+  ASSERT_TRUE(TraceCollector::Enable());
+  { TraceSpan during("in.session"); }
+  TraceData data = TraceCollector::DisableAndDrain();
+  EXPECT_EQ(data.CountOf("pre.session"), 0);
+  EXPECT_EQ(data.CountOf("in.session"), 1);
+}
+
+}  // namespace
+}  // namespace olap
