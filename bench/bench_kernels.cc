@@ -23,6 +23,7 @@
 //                   (default: BENCH_kernels_profile.json next to --out, or
 //                   stdout only)
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -31,9 +32,13 @@
 #include <string>
 #include <vector>
 
+#include "agg/batch_eval.h"
 #include "agg/chunk_aggregator.h"
+#include "agg/rollup.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
+#include "engine/executor.h"
 #include "whatif/operators.h"
 #include "whatif/perspective.h"
 #include "workload/product.h"
@@ -44,6 +49,18 @@ namespace {
 
 constexpr int kThreadCounts[] = {1, 2, 4, 8};
 constexpr double kCheckSlowdownLimit = 1.5;
+// rollup_workforce gates: the batched path must beat per-cell evaluation by
+// this factor serially, and adding threads must never cost more than noise.
+constexpr double kRollupMinSerialSpeedup = 3.0;
+constexpr double kThreadNoiseLimit = 1.25;
+constexpr double kRollup4tNoiseLimit = 1.15;
+// Absolute slack for the thread-scaling gates. Sub-millisecond kernels on a
+// loaded or single-core machine jitter by a large relative factor, so the
+// grace also scales with the per-cell baseline (the slowest timing we have
+// for the workload) — regressions worth failing on are multiples, not a
+// fraction of a millisecond.
+constexpr double kThreadNoiseGraceMs = 0.5;
+constexpr double kThreadNoiseGraceFraction = 0.15;
 
 struct Timing {
   double percell_ms = 0.0;
@@ -56,6 +73,9 @@ struct WorkloadReport {
   int64_t cells = 0;
   int64_t chunks = 0;
   Timing timing;
+  // agg.cache.lookups delta over one what-if query (-1 = not measured):
+  // proof that what-if queries reach the scratch aggregate cache.
+  int64_t cache_lookups = -1;
 };
 
 double BestOfMs(int reps, const std::function<void()>& fn) {
@@ -183,6 +203,28 @@ WorkloadReport RunFig13(bool smoke) {
   report.cells = wf.cube.CountNonNullCells();
   report.chunks = wf.cube.NumStoredChunks();
   report.timing = TimeRelocate(wf.cube, wf.dept_dim, vs_out, smoke ? 3 : 5);
+
+  // Aggregate reuse under what-if: run one Fig. 13-shaped query end to end
+  // and record how many derived cells consulted an aggregate cache. Before
+  // batched evaluation this was identically zero (what-if queries
+  // unconditionally bypassed the cache); now the per-query scratch views on
+  // the transformed cube serve them.
+  Database db;
+  Status registered = RegisterWorkforce(&db, "App.Db", std::move(wf));
+  if (!registered.ok()) abort();
+  Executor exec(&db);
+  Counter* lookups = MetricsRegistry::Global().counter("agg.cache.lookups");
+  const int64_t before = lookups->value();
+  Result<QueryResult> r = exec.Execute(
+      "WITH PERSPECTIVE {(Jan), (Apr), (Jul), (Oct)} FOR Department STATIC "
+      "SELECT {[Account].Levels(0).Members} ON COLUMNS, "
+      "{CrossJoin({[Department].Children}, {Descendants([Period],1)})} "
+      "ON ROWS FROM App.Db");
+  if (!r.ok()) {
+    fprintf(stderr, "fig13 query failed: %s\n", r.status().ToString().c_str());
+    abort();
+  }
+  report.cache_lookups = lookups->value() - before;
   return report;
 }
 
@@ -228,8 +270,15 @@ WorkloadReport RunSplit(bool smoke) {
   return report;
 }
 
-// Parallel rollup: ChunkAggregator over the workforce cube, every 2-dim
-// group-by of (Department, Period, Account), serial visit order per mask.
+// Batched derived-cell evaluation vs the per-cell reference: a Fig. 10-
+// shaped result grid over the workforce cube — rows = department root plus
+// every department, columns = (Year + 12 months) x (Account root + every
+// account). The per-cell path evaluates each grid cell with EvaluateCell
+// (every cell re-scans its leaf scope); the kernel path is
+// BatchCellEvaluator: one chunk pass materializes the cover views, then
+// every derived cell is a weighted sum over the much smaller view. The
+// workforce cube holds integer values, so double summation is exact and
+// the two paths must agree bitwise at every thread count.
 WorkloadReport RunRollup(bool smoke) {
   WorkforceConfig config;
   config.num_departments = smoke ? 10 : 51;
@@ -239,39 +288,154 @@ WorkloadReport RunRollup(bool smoke) {
   config.num_scenarios = smoke ? 2 : 5;
   config.seed = 20080407;
   WorkforceCube wf = BuildWorkforceCube(config);
+  const Cube& cube = wf.cube;
+  const Schema& schema = cube.schema();
+  const Dimension& dept = schema.dimension(wf.dept_dim);
+  const Dimension& period = schema.dimension(wf.period_dim);
+  const Dimension& account = schema.dimension(wf.account_dim);
 
-  std::vector<GroupByMask> masks;
-  for (GroupByMask m = 1; m < (GroupByMask{1} << 3); ++m) masks.push_back(m);
-  std::vector<int> order(wf.cube.num_dims());
-  for (int d = 0; d < wf.cube.num_dims(); ++d) {
-    order[d] = wf.cube.num_dims() - 1 - d;
+  CellRef base(cube.num_dims());
+  for (int d = 0; d < cube.num_dims(); ++d) {
+    base[d] = AxisRef::OfMember(schema.dimension(d).root());
   }
+  std::vector<std::vector<std::pair<int, AxisRef>>> rows, cols;
+  rows.push_back({});  // Department root: the whole organization.
+  for (MemberId m : dept.member(dept.root()).children) {
+    rows.push_back({{wf.dept_dim, AxisRef::OfMember(m)}});
+  }
+  std::vector<AxisRef> period_refs = {AxisRef::OfMember(period.root())};
+  for (MemberId q : period.member(period.root()).children) {
+    for (MemberId m : period.member(q).children) {
+      period_refs.push_back(AxisRef::OfMember(m));
+    }
+  }
+  std::vector<AxisRef> account_refs = {AxisRef::OfMember(account.root())};
+  for (MemberId m : account.member(account.root()).children) {
+    account_refs.push_back(AxisRef::OfMember(m));
+  }
+  for (const AxisRef& p : period_refs) {
+    for (const AxisRef& a : account_refs) {
+      cols.push_back({{wf.period_dim, p}, {wf.account_dim, a}});
+    }
+  }
+  const int num_rows = static_cast<int>(rows.size());
+  const int num_cols = static_cast<int>(cols.size());
+  auto ref_of = [&](int r, int c) {
+    CellRef ref = base;
+    for (const auto& [d, ar] : rows[r]) ref[d] = ar;
+    for (const auto& [d, ar] : cols[c]) ref[d] = ar;
+    return ref;
+  };
+  auto run_percell = [&](std::vector<CellValue>* out) {
+    out->clear();
+    out->reserve(static_cast<size_t>(num_rows) * num_cols);
+    for (int r = 0; r < num_rows; ++r) {
+      for (int c = 0; c < num_cols; ++c) {
+        out->push_back(EvaluateCell(cube, ref_of(r, c)));
+      }
+    }
+  };
+  auto run_batched = [&](int threads, std::vector<CellValue>* out) {
+    BatchEvalOptions options;
+    options.threads = threads;
+    BatchCellEvaluator batch(cube, nullptr, options);
+    batch.PrepareGrid(base, rows, cols);
+    out->clear();
+    out->reserve(static_cast<size_t>(num_rows) * num_cols);
+    for (int r = 0; r < num_rows; ++r) {
+      for (int c = 0; c < num_cols; ++c) {
+        out->push_back(batch.Evaluate(ref_of(r, c)));
+      }
+    }
+  };
+  auto bits_identical = [](const std::vector<CellValue>& a,
+                           const std::vector<CellValue>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      double x = CellValue::ToStorage(a[i]);
+      double y = CellValue::ToStorage(b[i]);
+      if (std::memcmp(&x, &y, sizeof(x)) != 0) return false;
+    }
+    return true;
+  };
 
   WorkloadReport report;
   report.name = "rollup_workforce";
-  report.cells = wf.cube.CountNonNullCells();
-  report.chunks = wf.cube.NumStoredChunks();
+  report.cells = cube.CountNonNullCells();
+  report.chunks = cube.NumStoredChunks();
 
   const int reps = smoke ? 3 : 5;
-  ChunkAggregator serial(wf.cube);
-  std::vector<GroupByResult> ref = serial.Compute(masks, order, nullptr, 1);
-  report.timing.percell_ms = BestOfMs(reps, [&] {
-    ChunkAggregator agg(wf.cube);
-    std::vector<GroupByResult> out = agg.Compute(masks, order, nullptr, 1);
-    if (out.size() != masks.size()) abort();
+  std::vector<CellValue> ref_grid, got;
+  run_percell(&ref_grid);
+  report.timing.percell_ms = BestOfMs(smoke ? 2 : 3, [&] {
+    std::vector<CellValue> timed;
+    run_percell(&timed);
+    if (timed.size() != ref_grid.size()) abort();
   });
   for (int threads : kThreadCounts) {
-    ChunkAggregator check(wf.cube);
-    std::vector<GroupByResult> got = check.Compute(masks, order, nullptr, threads);
-    for (size_t i = 0; i < masks.size(); ++i) {
-      report.timing.identical = report.timing.identical && ref[i] == got[i];
-    }
+    run_batched(threads, &got);
+    report.timing.identical =
+        report.timing.identical && bits_identical(ref_grid, got);
     report.timing.kernel_ms[threads] = BestOfMs(reps, [&] {
-      ChunkAggregator agg(wf.cube);
-      std::vector<GroupByResult> out = agg.Compute(masks, order, nullptr, threads);
-      if (out.size() != masks.size()) abort();
+      std::vector<CellValue> timed;
+      run_batched(threads, &timed);
+      if (timed.size() != ref_grid.size()) abort();
     });
   }
+  return report;
+}
+
+// Cube::GetCell single-entry chunk memo: a sequential coordinate scan hits
+// the same chunk for long runs, so the memo skips the std::map lookup.
+struct MemoReport {
+  double uncached_ms = 0.0;
+  double memo_ms = 0.0;
+};
+
+MemoReport RunGetCellMemo(bool smoke) {
+  WorkforceConfig config;
+  config.num_departments = smoke ? 10 : 51;
+  config.num_employees = smoke ? 200 : 2025;
+  config.num_changing = smoke ? 30 : 250;
+  config.num_measures = smoke ? 4 : 10;
+  config.num_scenarios = smoke ? 2 : 5;
+  config.seed = 20080407;
+  WorkforceCube wf = BuildWorkforceCube(config);
+  const Cube& cube = wf.cube;
+  const std::vector<int>& extents = cube.layout().extents();
+  const int n = cube.num_dims();
+
+  // Row-major scan (last dimension fastest — the memo's best case, matching
+  // chunk-local storage order) summing every addressable cell.
+  auto scan = [&](auto&& get) {
+    std::vector<int> coords(n, 0);
+    CellValue sum;
+    while (true) {
+      sum += get(coords);
+      int d = n - 1;
+      while (d >= 0) {
+        if (++coords[d] < extents[d]) break;
+        coords[d] = 0;
+        --d;
+      }
+      if (d < 0) break;
+    }
+    return sum;
+  };
+
+  MemoReport report;
+  const int reps = smoke ? 3 : 5;
+  report.uncached_ms = BestOfMs(reps, [&] {
+    CellValue v = scan([&](const std::vector<int>& c) {
+      return cube.GetCellUncached(c);
+    });
+    if (v.is_null() && cube.CountNonNullCells() > 0) abort();
+  });
+  report.memo_ms = BestOfMs(reps, [&] {
+    CellValue v =
+        scan([&](const std::vector<int>& c) { return cube.GetCell(c); });
+    if (v.is_null() && cube.CountNonNullCells() > 0) abort();
+  });
   return report;
 }
 
@@ -375,11 +539,17 @@ void WriteProfileJson(FILE* f, const ProfileReport& r, bool smoke) {
   fprintf(f, "}\n");
 }
 
-void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports, bool smoke) {
+void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports,
+               const MemoReport& memo, bool smoke) {
   fprintf(f, "{\n");
   fprintf(f, "  \"bench\": \"bench_kernels\",\n");
   fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   fprintf(f, "  \"thread_counts\": [1, 2, 4, 8],\n");
+  fprintf(f, "  \"hardware_cores\": %d,\n", ThreadPool::HardwareCores());
+  fprintf(f, "  \"getcell_memo\": {\"uncached_ms\": %.4f, \"memo_ms\": %.4f, "
+          "\"speedup\": %.2f},\n",
+          memo.uncached_ms, memo.memo_ms,
+          memo.memo_ms > 0 ? memo.uncached_ms / memo.memo_ms : 0.0);
   fprintf(f, "  \"workloads\": [\n");
   for (size_t i = 0; i < reports.size(); ++i) {
     const WorkloadReport& r = reports[i];
@@ -389,6 +559,10 @@ void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports, bool smoke) 
     fprintf(f, "      \"chunks\": %lld,\n", static_cast<long long>(r.chunks));
     fprintf(f, "      \"bit_identical\": %s,\n",
             r.timing.identical ? "true" : "false");
+    if (r.cache_lookups >= 0) {
+      fprintf(f, "      \"cache_lookups\": %lld,\n",
+              static_cast<long long>(r.cache_lookups));
+    }
     fprintf(f, "      \"percell_ms\": %.4f,\n", r.timing.percell_ms);
     fprintf(f, "      \"kernel_ms\": {");
     bool first = true;
@@ -445,15 +619,16 @@ int Main(int argc, char** argv) {
   reports.push_back(RunFig13(smoke));
   reports.push_back(RunSplit(smoke));
   reports.push_back(RunRollup(smoke));
+  MemoReport memo = RunGetCellMemo(smoke);
 
-  WriteJson(stdout, reports, smoke);
+  WriteJson(stdout, reports, memo, smoke);
   if (!out_path.empty()) {
     FILE* f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
       fprintf(stderr, "cannot open %s\n", out_path.c_str());
       return 2;
     }
-    WriteJson(f, reports, smoke);
+    WriteJson(f, reports, memo, smoke);
     std::fclose(f);
   }
 
@@ -485,19 +660,67 @@ int Main(int argc, char** argv) {
       }
     }
   }
+  const int cores = ThreadPool::HardwareCores();
   for (const WorkloadReport& r : reports) {
     if (!r.timing.identical) {
       fprintf(stderr, "FAIL %s: kernel output differs from reference\n",
               r.name.c_str());
       ++failures;
     }
-    if (check &&
-        r.timing.kernel_ms.at(1) > kCheckSlowdownLimit * r.timing.percell_ms) {
+    if (!check) continue;
+    if (r.timing.kernel_ms.at(1) > kCheckSlowdownLimit * r.timing.percell_ms) {
       fprintf(stderr,
               "FAIL %s: kernel serial %.3f ms vs per-cell %.3f ms "
               "(limit %.1fx)\n",
               r.name.c_str(), r.timing.kernel_ms.at(1), r.timing.percell_ms,
               kCheckSlowdownLimit);
+      ++failures;
+    }
+    // Thread scaling must never regress: kernel_ms monotonically
+    // non-increasing up to the core count, within noise. Beyond the core
+    // count the work-unit cutoff keeps extra threads free, so the same
+    // bound holds there too.
+    const double grace = std::max(kThreadNoiseGraceMs,
+                                  kThreadNoiseGraceFraction * r.timing.percell_ms);
+    double prev = r.timing.kernel_ms.at(1);
+    for (int threads : kThreadCounts) {
+      if (threads == 1) continue;
+      const double ms = r.timing.kernel_ms.at(threads);
+      const double limit =
+          threads <= cores ? prev * kThreadNoiseLimit + grace
+                           : r.timing.kernel_ms.at(1) * kThreadNoiseLimit + grace;
+      if (ms > limit) {
+        fprintf(stderr,
+                "FAIL %s: kernel %.3f ms at %d threads vs %.3f ms limit "
+                "(parallel overhead regression)\n",
+                r.name.c_str(), ms, threads, limit);
+        ++failures;
+      }
+      if (threads <= cores) prev = ms;
+    }
+    if (r.name == "rollup_workforce") {
+      const double serial_speedup =
+          r.timing.kernel_ms.at(1) > 0
+              ? r.timing.percell_ms / r.timing.kernel_ms.at(1)
+              : 0.0;
+      if (serial_speedup < kRollupMinSerialSpeedup) {
+        fprintf(stderr,
+                "FAIL %s: batched serial speedup %.2fx < %.1fx\n",
+                r.name.c_str(), serial_speedup, kRollupMinSerialSpeedup);
+        ++failures;
+      }
+      if (r.timing.kernel_ms.at(4) >
+          r.timing.kernel_ms.at(1) * kRollup4tNoiseLimit + grace) {
+        fprintf(stderr, "FAIL %s: 4-thread %.3f ms slower than serial %.3f ms\n",
+                r.name.c_str(), r.timing.kernel_ms.at(4),
+                r.timing.kernel_ms.at(1));
+        ++failures;
+      }
+    }
+    if (r.name == "fig13_varying_members" && r.cache_lookups == 0) {
+      fprintf(stderr,
+              "FAIL %s: what-if query made no aggregate cache lookups\n",
+              r.name.c_str());
       ++failures;
     }
   }

@@ -28,13 +28,36 @@ struct CacheMetrics {
 
 }  // namespace
 
+// True when the root's weighted scope of dimension `dim` covers every axis
+// position exactly once with weight 1.0 — the condition under which a view
+// that summed the dimension away (all positions, weight 1) agrees with the
+// root roll-up.
+bool RootScopeIsUnitCover(const Cube& cube, int dim) {
+  const int extent = cube.layout().extents()[dim];
+  const AxisRef root = AxisRef::OfMember(cube.schema().dimension(dim).root());
+  std::vector<std::pair<int, double>> scope =
+      cube.PositionsUnderWeighted(dim, root);
+  if (static_cast<int>(scope.size()) != extent) return false;
+  std::vector<char> seen(extent, 0);
+  for (const auto& [pos, weight] : scope) {
+    if (weight != 1.0 || pos < 0 || pos >= extent || seen[pos]) return false;
+    seen[pos] = 1;
+  }
+  return true;
+}
+
 AggregateCache::AggregateCache(const Cube& cube,
-                               const std::vector<GroupByMask>& masks)
+                               const std::vector<GroupByMask>& masks,
+                               int threads)
     : masks_(masks) {
   ChunkAggregator aggregator(cube);
   std::vector<int> order(cube.num_dims());
   std::iota(order.begin(), order.end(), 0);
-  views_ = aggregator.Compute(masks_, order);
+  views_ = aggregator.Compute(masks_, order, /*disk=*/nullptr, threads);
+  root_droppable_.resize(cube.num_dims());
+  for (int d = 0; d < cube.num_dims(); ++d) {
+    root_droppable_[d] = RootScopeIsUnitCover(cube, d) ? 1 : 0;
+  }
 }
 
 AggregateCache AggregateCache::BuildGreedy(const Cube& cube, int max_views) {
@@ -49,29 +72,36 @@ int64_t AggregateCache::TotalCells() const {
   return total;
 }
 
-std::optional<CellValue> AggregateCache::TryAnswer(const Cube& cube,
-                                                   const CellRef& ref) const {
-  CacheMetrics::Get().lookups->Increment();
-  // Dimensions the ref actually restricts (anything except the root).
-  GroupByMask needed = 0;
-  for (int d = 0; d < cube.num_dims(); ++d) {
-    if (ref[d].instance != kInvalidInstance ||
-        ref[d].member != cube.schema().dimension(d).root()) {
-      needed |= GroupByMask{1} << d;
-    }
-  }
-  // Smallest materialized view keeping every restricted dimension.
+const GroupByResult* AggregateCache::SmallestCovering(GroupByMask needed) const {
   int best = -1;
   for (int i = 0; i < num_views(); ++i) {
     if ((needed & masks_[i]) != needed) continue;
     if (best < 0 || views_[i].num_cells() < views_[best].num_cells()) best = i;
   }
-  if (best < 0) {
+  return best < 0 ? nullptr : &views_[best];
+}
+
+std::optional<CellValue> AggregateCache::TryAnswer(const Cube& cube,
+                                                   const CellRef& ref) const {
+  CacheMetrics::Get().lookups->Increment();
+  // Dimensions a view must keep: anything the ref restricts (not the root),
+  // plus root dimensions whose consolidation weights make the view's plain
+  // dropped-dimension sum differ from the root roll-up.
+  GroupByMask needed = 0;
+  for (int d = 0; d < cube.num_dims(); ++d) {
+    if (ref[d].instance != kInvalidInstance ||
+        ref[d].member != cube.schema().dimension(d).root() ||
+        !root_droppable(d)) {
+      needed |= GroupByMask{1} << d;
+    }
+  }
+  const GroupByResult* covering = SmallestCovering(needed);
+  if (covering == nullptr) {
     ++misses;
     CacheMetrics::Get().misses->Increment();
     return std::nullopt;
   }
-  const GroupByResult& view = views_[best];
+  const GroupByResult& view = *covering;
 
   // Sum the view over the cross product of the ref's weighted position
   // scopes along the view's kept dimensions (consolidation weights apply

@@ -29,7 +29,10 @@ namespace olap {
 class AggregateCache {
  public:
   // Materializes the given group-bys of `cube` in one chunk pass.
-  AggregateCache(const Cube& cube, const std::vector<GroupByMask>& masks);
+  // `threads` parallelises the materialization pass (results are
+  // bit-identical at every thread count; see ChunkAggregator).
+  AggregateCache(const Cube& cube, const std::vector<GroupByMask>& masks,
+                 int threads = 1);
 
   // Convenience: HRU-greedy selection of up to `max_views` views.
   static AggregateCache BuildGreedy(const Cube& cube, int max_views);
@@ -39,15 +42,27 @@ class AggregateCache {
       : hits(other.hits.load()),
         misses(other.misses.load()),
         masks_(std::move(other.masks_)),
-        views_(std::move(other.views_)) {}
+        views_(std::move(other.views_)),
+        root_droppable_(std::move(other.root_droppable_)) {}
   AggregateCache& operator=(AggregateCache&&) = delete;
   AggregateCache(const AggregateCache&) = delete;
   AggregateCache& operator=(const AggregateCache&) = delete;
 
   int num_views() const { return static_cast<int>(views_.size()); }
   const std::vector<GroupByMask>& masks() const { return masks_; }
+  const GroupByResult& view(int i) const { return views_[i]; }
   // Total cells held across materialized views.
   int64_t TotalCells() const;
+
+  // A view may drop dimension d only when summing it in full with unit
+  // weights equals the root roll-up: the root's weighted scope must cover
+  // every axis position exactly once with weight 1.0. Precomputed at build
+  // time; dimensions failing this stay in every ref's needed mask.
+  bool root_droppable(int dim) const { return root_droppable_[dim] != 0; }
+
+  // The smallest materialized view whose mask keeps every dimension of
+  // `needed`, or nullptr when none covers it.
+  const GroupByResult* SmallestCovering(GroupByMask needed) const;
 
   // Answers `ref` from the smallest covering view, or nullopt when no
   // materialized view keeps every dimension the ref restricts. `cube` must
@@ -62,7 +77,13 @@ class AggregateCache {
  private:
   std::vector<GroupByMask> masks_;
   std::vector<GroupByResult> views_;
+  std::vector<char> root_droppable_;  // Per dimension; see root_droppable().
 };
+
+// The droppability condition behind AggregateCache::root_droppable: true
+// when the root's weighted scope of `dim` covers every axis position
+// exactly once with weight 1.0. Shared with the batched evaluator.
+bool RootScopeIsUnitCover(const Cube& cube, int dim);
 
 }  // namespace olap
 

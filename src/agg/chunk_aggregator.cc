@@ -1,10 +1,92 @@
 #include "agg/chunk_aggregator.h"
 
+#include <algorithm>
+
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 
 namespace olap {
+
+namespace {
+
+// Partition-plan knobs. The plan must depend only on the workload — never
+// on the thread count — so results stay bit-identical however the
+// partitions are scheduled.
+constexpr int64_t kMinChunksPerPartition = 4;
+constexpr int64_t kMaxPartitions = 32;
+// Cap on the total number of partial group-by cells alive at once
+// (kMaxPartialCells * 8 bytes of transient memory).
+constexpr int64_t kMaxPartialCells = int64_t{1} << 22;
+// Below this much total work (cells × masks) the rollup stays on the
+// single-partition path: partial buffers aren't worth their setup, and the
+// result is then bitwise equal to the naive cell-order sum (partitioning
+// re-associates floating-point addition across partition boundaries; it
+// stays bit-identical across thread counts either way).
+constexpr int64_t kMinWorkForPartitioning = int64_t{1} << 16;
+
+}  // namespace
+
+void AccumulateChunkIntoGroupBys(const ChunkLayout& layout, ChunkId id,
+                                 const Chunk& chunk,
+                                 std::vector<GroupByResult>* out) {
+  const int n = layout.num_dims();
+  const std::vector<int>& extents = layout.extents();
+  const std::vector<int>& csize = layout.chunk_sizes();
+  const std::vector<int> base = layout.ChunkBase(id);
+  const size_t num_gb = out->size();
+
+  // Per group-by, per cube dimension: the output-index stride of that
+  // dimension (0 when the group-by drops it), plus the output index of the
+  // chunk's base cell. The inner loop then maintains each output index
+  // incrementally as the odometer advances — no per-cell coordinate
+  // projection or allocation.
+  std::vector<std::vector<int64_t>> stride(num_gb, std::vector<int64_t>(n, 0));
+  std::vector<int64_t> gb_idx(num_gb, 0);
+  for (size_t g = 0; g < num_gb; ++g) {
+    const GroupByResult& r = (*out)[g];
+    const std::vector<int>& kept = r.kept_dims();
+    for (size_t i = 0; i < kept.size(); ++i) stride[g][kept[i]] = r.strides()[i];
+    int64_t idx = 0;
+    for (int d = 0; d < n; ++d) idx += static_cast<int64_t>(base[d]) * stride[g][d];
+    gb_idx[g] = idx;
+  }
+
+  // Row-major walk over the chunk box: the odometer (last dimension
+  // fastest) advances in lockstep with the linear cell offset, exactly the
+  // visit order of ChunkLayout::ForEachCellInChunk. Padded cells beyond the
+  // extents are all-⊥ by construction, but `oob_dims` tracks them anyway so
+  // a malformed chunk can never corrupt an aggregate.
+  std::vector<int> coords = base;
+  int oob_dims = 0;  // #dims whose coordinate currently exceeds the extent.
+  const int64_t cells = layout.cells_per_chunk();
+  for (int64_t off = 0; off < cells; ++off) {
+    if (oob_dims == 0) {
+      CellValue v = chunk.Get(off);
+      if (!v.is_null()) {
+        for (size_t g = 0; g < num_gb; ++g) (*out)[g].AccumulateAt(gb_idx[g], v);
+      }
+    }
+    int d = n - 1;
+    while (d >= 0) {
+      const bool was_oob = coords[d] >= extents[d];
+      ++coords[d];
+      for (size_t g = 0; g < num_gb; ++g) gb_idx[g] += stride[g][d];
+      if (coords[d] < base[d] + csize[d]) {
+        oob_dims += static_cast<int>(coords[d] >= extents[d]) -
+                    static_cast<int>(was_oob);
+        break;
+      }
+      coords[d] = base[d];  // Chunk bases are always inside the extents.
+      for (size_t g = 0; g < num_gb; ++g) {
+        gb_idx[g] -= static_cast<int64_t>(csize[d]) * stride[g][d];
+      }
+      oob_dims -= static_cast<int>(was_oob);
+      --d;
+    }
+    if (d < 0) break;
+  }
+}
 
 GroupByResult MakeGroupByShell(const Cube& cube, GroupByMask mask) {
   std::vector<int> kept, extents;
@@ -72,25 +154,61 @@ std::vector<GroupByResult> ChunkAggregator::Compute(
     if (pos == n) break;
   }
 
-  // Accumulation: one task per group-by mask. Every mask consumes the cells
-  // in the identical (serial) visit order, so each GroupByResult is
-  // bit-identical regardless of thread count — floating-point accumulation
-  // order never changes, only which mask runs on which worker.
-  auto accumulate_mask = [&](int64_t m) {
-    GroupByResult& g = out[m];
+  // Accumulation: the visit list is cut into contiguous partitions; each
+  // partition projects its cells onto every group-by in one traversal
+  // (incremental stride-table indices, no per-cell coordinate vectors), and
+  // the per-partition partials merge in ascending partition order. The
+  // partition count depends only on the workload — visit-list length and
+  // partial-buffer memory — so the cell-consumption and merge orders, and
+  // therefore every floating-point sum, are identical at every thread
+  // count; `threads` only changes which worker runs which partition.
+  const int64_t num_visited = static_cast<int64_t>(visit.size());
+  int64_t total_view_cells = 0;
+  for (const GroupByResult& g : out) total_view_cells += g.num_cells();
+  const int64_t by_mem =
+      std::max<int64_t>(1, kMaxPartialCells / std::max<int64_t>(1, total_view_cells));
+  const int64_t num_masks = static_cast<int64_t>(std::max<size_t>(1, masks.size()));
+  const int64_t total_work = stats_.cells_scanned * num_masks;
+  // Each partition pays ~total_view_cells of partial-buffer allocation and
+  // merge on top of its share of the scan, so cap the partition count to
+  // keep that overhead under ~25% of the scan work. Coarse views (the
+  // common rollup case) leave this unconstrained; near-full-rank views
+  // collapse toward the direct single-partition path.
+  const int64_t scan_cells = num_visited * layout.cells_per_chunk();
+  const int64_t by_merge_cost = std::max<int64_t>(
+      1, scan_cells * num_masks / (4 * std::max<int64_t>(1, total_view_cells)));
+  const int64_t num_partitions =
+      total_work < kMinWorkForPartitioning
+          ? 1
+          : std::max<int64_t>(
+                1, std::min<int64_t>({(num_visited + kMinChunksPerPartition - 1) /
+                                          kMinChunksPerPartition,
+                                      by_mem, by_merge_cost, kMaxPartitions}));
+
+  if (num_partitions <= 1) {
     for (const auto& [id, chunk] : visit) {
-      layout.ForEachCellInChunk(id, [&](const std::vector<int>& coords,
-                                        int64_t off) {
-        CellValue v = chunk->Get(off);
-        if (!v.is_null()) g.AccumulateFull(coords, v);
-      });
+      AccumulateChunkIntoGroupBys(layout, id, *chunk, &out);
     }
-  };
-  const int64_t num_masks = static_cast<int64_t>(masks.size());
-  if (threads <= 1 || num_masks <= 1) {
-    for (int64_t m = 0; m < num_masks; ++m) accumulate_mask(m);
   } else {
-    ThreadPool::Shared().ParallelFor(num_masks, threads, accumulate_mask);
+    std::vector<std::vector<GroupByResult>> partials(num_partitions);
+    auto run_partition = [&](int64_t p) {
+      std::vector<GroupByResult>& mine = partials[p];
+      mine.reserve(masks.size());
+      for (GroupByMask mask : masks) mine.push_back(MakeGroupByShell(cube_, mask));
+      const int64_t begin = p * num_visited / num_partitions;
+      const int64_t end = (p + 1) * num_visited / num_partitions;
+      for (int64_t i = begin; i < end; ++i) {
+        AccumulateChunkIntoGroupBys(layout, visit[i].first, *visit[i].second,
+                                    &mine);
+      }
+    };
+    ThreadPool::Shared().ParallelFor(
+        num_partitions, threads,
+        stats_.cells_scanned * static_cast<int64_t>(masks.size()),
+        run_partition);
+    for (int64_t p = 0; p < num_partitions; ++p) {
+      for (size_t m = 0; m < out.size(); ++m) out[m].MergeFrom(partials[p][m]);
+    }
   }
 
   span.SetDetail("masks=" + std::to_string(masks.size()) +

@@ -44,11 +44,15 @@ class ChunkAggregator {
   // `order`: permutation of dimensions; order[0] is read fastest.
   // `disk` may be null.
   //
-  // `threads` > 1 computes the group-bys in parallel on the shared pool,
-  // one task per mask. Each mask still accumulates its cells in the exact
-  // serial visit order (the chunk traversal order), so the results are
-  // bit-identical to the serial pass; stats and disk charging come from a
-  // serial traversal pre-pass and are likewise unchanged.
+  // The stored chunks (in traversal order) are split into a deterministic
+  // sequence of contiguous partitions whose count depends only on the
+  // workload (never on `threads`); each partition accumulates every
+  // requested group-by in one pass over its chunks, and the per-partition
+  // partials are merged in ascending partition order. `threads` > 1 runs
+  // the partitions in parallel on the shared pool; because the partition
+  // plan and the merge order are thread-independent, the results are
+  // bit-identical at every thread count. Stats and disk charging come from
+  // a serial traversal pre-pass and are likewise unchanged.
   std::vector<GroupByResult> Compute(const std::vector<GroupByMask>& masks,
                                      const std::vector<int>& order,
                                      SimulatedDisk* disk = nullptr,
@@ -60,6 +64,16 @@ class ChunkAggregator {
   const Cube& cube_;
   AggStats stats_;
 };
+
+// Accumulates every non-⊥ cell of `chunk` (chunk id `id` of `layout`) into
+// each group-by of `out` in row-major offset order, maintaining one
+// incrementally-updated output index per group-by (no per-cell coordinate
+// vectors). Padded cells beyond the layout extents are always ⊥, so the
+// null check alone keeps them out. Shared by ChunkAggregator and the
+// batched derived-cell evaluator.
+void AccumulateChunkIntoGroupBys(const ChunkLayout& layout, ChunkId id,
+                                 const Chunk& chunk,
+                                 std::vector<GroupByResult>* out);
 
 // Helper shared with the engine: makes one GroupByResult shell for `mask`
 // over `cube`'s position extents.

@@ -9,7 +9,11 @@ GroupByResult::GroupByResult(GroupByMask mask, std::vector<int> kept_dims,
     : mask_(mask), kept_dims_(std::move(kept_dims)), extents_(std::move(extents)) {
   assert(kept_dims_.size() == extents_.size());
   int64_t n = 1;
-  for (int e : extents_) n *= e;
+  strides_.assign(extents_.size(), 1);
+  for (size_t i = extents_.size(); i-- > 0;) {
+    strides_[i] = n;
+    n *= extents_[i];
+  }
   cells_.assign(n, CellValue::NullStorage());
 }
 
@@ -18,9 +22,18 @@ int64_t GroupByResult::IndexOf(const std::vector<int>& coords) const {
   int64_t idx = 0;
   for (size_t i = 0; i < coords.size(); ++i) {
     assert(coords[i] >= 0 && coords[i] < extents_[i]);
-    idx = idx * extents_[i] + coords[i];
+    idx += coords[i] * strides_[i];
   }
   return idx;
+}
+
+void GroupByResult::MergeFrom(const GroupByResult& other) {
+  assert(mask_ == other.mask_ && extents_ == other.extents_);
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    CellValue v = CellValue::FromStorage(other.cells_[i]);
+    if (v.is_null()) continue;
+    cells_[i] = CellValue::ToStorage(CellValue::FromStorage(cells_[i]) + v);
+  }
 }
 
 CellValue GroupByResult::Get(const std::vector<int>& coords) const {

@@ -24,12 +24,31 @@ class GroupByResult {
   const std::vector<int>& extents() const { return extents_; }
   int64_t num_cells() const { return static_cast<int64_t>(cells_.size()); }
 
+  // Row-major strides over extents(), in kept_dims() order: the index of
+  // `coords` is sum(coords[i] * strides()[i]). Exposed so chunk-native
+  // inner loops can maintain indices incrementally instead of re-deriving
+  // them per cell.
+  const std::vector<int64_t>& strides() const { return strides_; }
+
   // `coords` indexes the kept dimensions, in kept_dims() order.
   CellValue Get(const std::vector<int>& coords) const;
   void Accumulate(const std::vector<int>& coords, CellValue v);
 
   // Projects a full-rank cell coordinate onto this group-by and accumulates.
   void AccumulateFull(const std::vector<int>& full_coords, CellValue v);
+
+  // Direct-index variants for hot loops that precompute indices via
+  // strides(). `idx` must be in [0, num_cells()).
+  CellValue GetAt(int64_t idx) const { return CellValue::FromStorage(cells_[idx]); }
+  void AccumulateAt(int64_t idx, CellValue v) {
+    cells_[idx] = CellValue::ToStorage(CellValue::FromStorage(cells_[idx]) + v);
+  }
+
+  // Adds every non-⊥ cell of `other` (same mask and extents) into this
+  // result. Slots that are ⊥ on both sides stay ⊥. This is the merge step
+  // of partitioned aggregation: merging partials in ascending partition
+  // order keeps results deterministic at every thread count.
+  void MergeFrom(const GroupByResult& other);
 
   // Number of non-⊥ result cells.
   int64_t CountNonNull() const;
@@ -49,6 +68,7 @@ class GroupByResult {
   GroupByMask mask_ = 0;
   std::vector<int> kept_dims_;
   std::vector<int> extents_;
+  std::vector<int64_t> strides_;
   std::vector<double> cells_;
 };
 

@@ -131,6 +131,25 @@ void ThreadPool::ParallelFor(int64_t n, int parallelism,
   });
 }
 
+void ThreadPool::ParallelFor(int64_t n, int parallelism, int64_t work_units,
+                             const std::function<void(int64_t)>& fn) {
+  static Counter* work_cutoffs =
+      MetricsRegistry::Global().counter("threadpool.parallel_for.work_cutoff");
+  const int64_t requested = std::max(1, parallelism);
+  const int64_t by_work =
+      std::max<int64_t>(1, work_units / kMinWorkUnitsPerExecutor);
+  const int executors = static_cast<int>(
+      std::min<int64_t>({requested, HardwareCores(), by_work}));
+  if (executors < requested && by_work < requested) work_cutoffs->Increment();
+  ParallelFor(n, executors, fn);
+}
+
+int ThreadPool::HardwareCores() {
+  static const int cores =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  return cores;
+}
+
 ThreadPool& ThreadPool::Shared() {
   static ThreadPool* pool = new ThreadPool(
       static_cast<int>(std::max(2u, std::thread::hardware_concurrency())));

@@ -48,6 +48,23 @@ class ThreadPool {
   void ParallelFor(int64_t n, int parallelism,
                    const std::function<void(int64_t)>& fn);
 
+  // Below this many work units per executor, fan-out costs more than it
+  // saves (queue wakeups + cache misses dwarf sub-millisecond kernels).
+  static constexpr int64_t kMinWorkUnitsPerExecutor = 1 << 14;
+
+  // Work-hinted overload: same contract as ParallelFor above, but the
+  // number of concurrent executors is additionally capped by the hardware
+  // core count (oversubscribing a small machine only adds scheduling
+  // overhead) and by work_units / kMinWorkUnitsPerExecutor, so small
+  // kernels run inline on the caller instead of paying fan-out latency.
+  // `work_units` is the caller's estimate of total cheap inner operations
+  // (e.g. cells touched) across the whole index range.
+  void ParallelFor(int64_t n, int parallelism, int64_t work_units,
+                   const std::function<void(int64_t)>& fn);
+
+  // Number of hardware execution slots on this machine (>= 1).
+  static int HardwareCores();
+
   // The process-wide pool, sized to the hardware concurrency. Thread-safe;
   // created on first use and intentionally leaked (workers must outlive
   // every static destructor that might still evaluate queries).

@@ -1,6 +1,7 @@
 #ifndef OLAP_CUBE_CUBE_H_
 #define OLAP_CUBE_CUBE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -57,6 +58,13 @@ class Cube {
   Cube() = default;
   Cube(Schema schema, const CubeOptions& options = CubeOptions());
 
+  // Value semantics; the GetCell chunk memo is per-object and never carried
+  // across copies/moves (it points into this cube's own chunk map).
+  Cube(const Cube& other);
+  Cube& operator=(const Cube& other);
+  Cube(Cube&& other) noexcept;
+  Cube& operator=(Cube&& other) noexcept;
+
   const Schema& schema() const { return schema_; }
   Schema* mutable_schema() { return &schema_; }
   const ChunkLayout& layout() const { return layout_; }
@@ -65,8 +73,14 @@ class Cube {
   // --- Leaf-cell access (by position coordinates) -----------------------
 
   // `coords[d]` is an axis position of dimension d (instance index for a
-  // varying dimension, leaf ordinal otherwise).
+  // varying dimension, leaf ordinal otherwise). GetCell memoizes the last
+  // chunk it touched (scope enumeration walks positions in order, so
+  // consecutive reads overwhelmingly land in the same chunk); the memo is a
+  // single atomic pointer, safe under concurrent read-only evaluation.
   CellValue GetCell(const std::vector<int>& coords) const;
+  // GetCell without the last-chunk memo (always a map lookup). Baseline for
+  // the memo microbench; results are identical to GetCell.
+  CellValue GetCellUncached(const std::vector<int>& coords) const;
   void SetCell(const std::vector<int>& coords, CellValue v);
 
   // --- Leaf-cell access (by member names, for tests/examples) ------------
@@ -161,11 +175,17 @@ class Cube {
   void ClearSlice(int dim, int pos);
 
  private:
+  using ChunkNode = std::pair<const ChunkId, Chunk>;
+
   Status ResolveOneCoord(int dim, const std::string& path_name, int* out) const;
 
   Schema schema_;
   ChunkLayout layout_;
   std::map<ChunkId, Chunk> chunks_;  // Ordered => deterministic iteration.
+  // Last chunk-map node GetCell resolved. Node pointers stay valid for the
+  // cube's lifetime (the map never erases), so the memo can only go stale
+  // across copy/move — which reset it.
+  mutable std::atomic<const ChunkNode*> last_chunk_{nullptr};
 };
 
 }  // namespace olap

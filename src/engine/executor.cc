@@ -306,10 +306,38 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
   }
   for (const auto& [dim, ref] : bound->slicer.refs) base[dim] = ref;
 
-  // Materialized aggregations only answer queries over the stored cube —
-  // any what-if transformation yields different data.
+  // The cube the grid's main evaluation path reads: the perspective output
+  // in visual mode, the (retained) input cube in non-visual mode, else the
+  // active cube.
+  const Cube* eval_cube =
+      pc.has_value()
+          ? (pc->mode() == EvalMode::kVisual ? &pc->output() : &pc->input())
+          : active;
+  // Materialized aggregations answer queries over the stored cube only. A
+  // non-visual what-if evaluates derived cells on its *input* cube, which
+  // is the stored cube unless an allocation rewrote it — so non-visual
+  // what-if queries reuse the persistent aggregations; transformed-cube
+  // paths rely on the per-query scratch views below.
   const AggregateCache* cache =
-      result.used_whatif ? nullptr : db_->aggregates(cube_name);
+      eval_cube == *cube ? db_->aggregates(cube_name) : nullptr;
+
+  // Batched cover-view evaluation: collect the grid's derived-cell masks,
+  // materialize the covering subtotal views in one chunk pass, and serve
+  // cells from the smallest covering view.
+  std::optional<BatchCellEvaluator> batch;
+  if (options.batched_eval) {
+    TraceSpan prepare_span("query.batch_prepare");
+    BatchEvalOptions batch_options;
+    batch_options.threads = options.eval_threads;
+    batch.emplace(*eval_cube, cache, batch_options);
+    std::vector<std::vector<std::pair<int, AxisRef>>> row_over, col_over;
+    row_over.reserve(row_tuples.size());
+    for (const BoundTuple& t : row_tuples) row_over.push_back(t.refs);
+    col_over.reserve(col_tuples.size());
+    for (const BoundTuple& t : col_tuples) col_over.push_back(t.refs);
+    batch->PrepareGrid(base, row_over, col_over);
+  }
+  const BatchCellEvaluator* batch_ptr = batch.has_value() ? &*batch : nullptr;
 
   auto evaluate_rows = [&](int row_begin, int row_end) {
     for (int r = row_begin; r < row_end; ++r) {
@@ -318,10 +346,10 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
       for (int c = 0; c < static_cast<int>(col_tuples.size()); ++c) {
         CellRef cell_ref = row_ref;
         for (const auto& [dim, ref] : col_tuples[c].refs) cell_ref[dim] = ref;
-        CellValue v =
-            pc.has_value()
-                ? pc->Evaluate(cell_ref, rules)
-                : CellEvaluator(*active, rules, cache).Evaluate(cell_ref);
+        CellValue v = pc.has_value()
+                          ? pc->Evaluate(cell_ref, rules, batch_ptr)
+                          : CellEvaluator(*active, rules, cache, batch_ptr)
+                                .Evaluate(cell_ref);
         grid.set(r, c, v);
       }
     }
@@ -345,14 +373,18 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
       }
     }
     // Same contiguous row blocks as before, but run on the shared pool
-    // instead of spawning one std::thread per query.
+    // instead of spawning one std::thread per query. The work hint lets
+    // small grids collapse to fewer (or zero) pool dispatches.
     const int per_thread = (num_rows + threads - 1) / threads;
     const int num_blocks = (num_rows + per_thread - 1) / per_thread;
-    ThreadPool::Shared().ParallelFor(num_blocks, threads, [&](int64_t block) {
-      const int begin = static_cast<int>(block) * per_thread;
-      const int end = std::min(num_rows, begin + per_thread);
-      evaluate_rows(begin, end);
-    });
+    const int64_t grid_work = static_cast<int64_t>(num_rows) *
+                              static_cast<int64_t>(col_tuples.size()) * 32;
+    ThreadPool::Shared().ParallelFor(
+        num_blocks, threads, grid_work, [&](int64_t block) {
+          const int begin = static_cast<int>(block) * per_thread;
+          const int end = std::min(num_rows, begin + per_thread);
+          evaluate_rows(begin, end);
+        });
   }
   eval_span.reset();
   {
@@ -515,9 +547,17 @@ Result<std::string> Executor::Explain(std::string_view mdx_text,
   }
   const AggregateCache* cache = db_->aggregates(cube_name);
   if (cache != nullptr) {
+    // Persistent views serve whenever derived cells evaluate on the stored
+    // cube: plain queries and non-visual what-if. Visual mode and
+    // allocations evaluate a transformed cube, where only the per-query
+    // scratch views built by batched evaluation apply.
+    bool transformed = !bound->allocations.empty();
+    for (const WhatIfSpec& spec : bound->specs) {
+      if (spec.mode == EvalMode::kVisual) transformed = true;
+    }
     out += "aggregations: " + std::to_string(cache->num_views()) + " view(s), " +
-           (bound->has_whatif() ? "bypassed (what-if query)"
-                                : "serving derived cells") +
+           (transformed ? "scratch only (transformed cube)"
+                        : "serving derived cells") +
            "\n";
   }
   return out;

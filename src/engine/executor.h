@@ -32,6 +32,13 @@ struct QueryOptions {
   // Tracing sessions are process-global, so profiled queries serialize
   // against each other; leave this off on the hot path.
   bool collect_profile = false;
+  // Batched cover-view evaluation: plan + materialize the subtotal views
+  // covering the grid's derived cells in one chunk pass, then serve each
+  // cell from the smallest covering view (what-if queries get a per-query
+  // scratch cache on the transformed cube). Off = per-cell evaluation.
+  // Values are identical either way on exactly-summable data; sums are
+  // re-associated, so the last float bits can differ otherwise.
+  bool batched_eval = true;
 };
 
 // Where one query's time went: the query's span tree (executor phases,

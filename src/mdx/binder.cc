@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "agg/batch_eval.h"
 #include "agg/rollup.h"
 #include "common/strings.h"
 
@@ -334,12 +335,22 @@ class Binder {
     for (int d = 0; d < schema_.num_dimensions(); ++d) {
       base[d] = AxisRef::OfMember(schema_.dimension(d).root());
     }
-    std::vector<BoundTuple> out;
-    for (BoundTuple& tuple : *inner) {
+    // One batched pass: the candidate tuples usually share most of their
+    // roll-up scopes, so a handful of cover views answers the whole set.
+    std::vector<CellRef> refs;
+    refs.reserve(inner->size());
+    for (const BoundTuple& tuple : *inner) {
       CellRef ref = base;
       for (const auto& [dim, axis_ref] : tuple.refs) ref[dim] = axis_ref;
       ref[condition->first] = condition->second;
-      CellValue v = EvaluateCell(*data_, ref);
+      refs.push_back(std::move(ref));
+    }
+    BatchCellEvaluator batch(*data_, nullptr);
+    batch.PrepareRefs(refs);
+    std::vector<BoundTuple> out;
+    for (size_t i = 0; i < inner->size(); ++i) {
+      BoundTuple& tuple = (*inner)[i];
+      CellValue v = batch.Evaluate(refs[i]);
       if (v.is_null()) continue;
       bool pass = false;
       double value = v.value();
@@ -371,13 +382,20 @@ class Binder {
     for (int d = 0; d < schema_.num_dimensions(); ++d) {
       base[d] = AxisRef::OfMember(schema_.dimension(d).root());
     }
-    std::vector<std::pair<CellValue, BoundTuple>> keyed;
-    keyed.reserve(inner->size());
-    for (BoundTuple& tuple : *inner) {
+    std::vector<CellRef> refs;
+    refs.reserve(inner->size());
+    for (const BoundTuple& tuple : *inner) {
       CellRef ref = base;
       for (const auto& [dim, axis_ref] : tuple.refs) ref[dim] = axis_ref;
       ref[condition->first] = condition->second;
-      keyed.emplace_back(EvaluateCell(*data_, ref), std::move(tuple));
+      refs.push_back(std::move(ref));
+    }
+    BatchCellEvaluator batch(*data_, nullptr);
+    batch.PrepareRefs(refs);
+    std::vector<std::pair<CellValue, BoundTuple>> keyed;
+    keyed.reserve(inner->size());
+    for (size_t i = 0; i < inner->size(); ++i) {
+      keyed.emplace_back(batch.Evaluate(refs[i]), std::move((*inner)[i]));
     }
     const bool descending = expr.kind == SetExpr::Kind::kTopCount ||
                             (expr.kind == SetExpr::Kind::kOrder &&

@@ -35,6 +35,11 @@ CellValue CellEvaluator::EvaluateInternal(
       return out;
     }
   }
+  if (batch_ != nullptr) {
+    // Batched cover-view evaluation: leaf reads, view-served roll-ups, and
+    // residual scans — with its own cache accounting.
+    return batch_->Evaluate(ref);
+  }
   if (cache_ != nullptr) {
     // Materialized aggregations: serve the roll-up from the smallest
     // covering view when one exists.

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "agg/aggregate_cache.h"
+#include "agg/batch_eval.h"
 #include "common/value.h"
 #include "cube/cube.h"
 #include "rules/rule.h"
@@ -28,11 +29,15 @@ class CellEvaluator {
  public:
   // `rules` may be null (pure roll-up cube); `cache` may be null (no
   // materialized aggregations — every derived cell scans leaves). The
-  // cache, if given, must have been built from `data`. All references must
-  // outlive the evaluator.
+  // cache, if given, must have been built from `data`. `batch` (nullable)
+  // is a prepared batched evaluator over `data`; when given, cells not
+  // derived by formula — including rule operands — are served through its
+  // cover views instead of the per-cell cache/leaf path. All references
+  // must outlive the evaluator.
   CellEvaluator(const Cube& data, const RuleSet* rules,
-                const AggregateCache* cache = nullptr)
-      : data_(data), rules_(rules), cache_(cache) {}
+                const AggregateCache* cache = nullptr,
+                const BatchCellEvaluator* batch = nullptr)
+      : data_(data), rules_(rules), cache_(cache), batch_(batch) {}
 
   CellValue Evaluate(const CellRef& ref) const;
 
@@ -43,6 +48,7 @@ class CellEvaluator {
   const Cube& data_;
   const RuleSet* rules_;
   const AggregateCache* cache_;
+  const BatchCellEvaluator* batch_;
 };
 
 }  // namespace olap

@@ -310,7 +310,12 @@ Cube ApplyDestTable(const Cube& in, Schema schema_out, int varying_dim,
   if (threads <= 1 || num_tasks <= 1) {
     for (int task = 0; task < num_tasks; ++task) run_task(task);
   } else {
-    ThreadPool::Shared().ParallelFor(num_tasks, threads, run_task);
+    // Work-hinted: small relocations (few chunks) run inline instead of
+    // paying pool fan-out latency, and executors never exceed the cores.
+    ThreadPool::Shared().ParallelFor(
+        num_tasks, threads,
+        static_cast<int64_t>(stored.size()) * in.layout().cells_per_chunk(),
+        run_task);
   }
 
   int64_t moved = 0;

@@ -174,8 +174,13 @@ int GoverningRun(const Perspectives& p, Semantics sem, int t) {
 
 }  // namespace
 
-CellValue PerspectiveCube::Evaluate(const CellRef& ref,
-                                    const RuleSet* rules) const {
+CellValue PerspectiveCube::Evaluate(const CellRef& ref, const RuleSet* rules,
+                                    const BatchCellEvaluator* batch) const {
+  // A prepared batch evaluator only applies to the branch evaluating the
+  // cube it was built over.
+  auto batch_for = [batch](const Cube& cube) -> const BatchCellEvaluator* {
+    return (batch != nullptr && &batch->data() == &cube) ? batch : nullptr;
+  };
   std::vector<int> leaf_coords;
   if (output_.IsLeafRef(ref, &leaf_coords)) {
     if (varying_dim_ >= 0 && !scoped_members_.empty()) {
@@ -186,7 +191,8 @@ CellValue PerspectiveCube::Evaluate(const CellRef& ref,
     return output_.GetCell(leaf_coords);
   }
   if (mode_ == EvalMode::kVisual) {
-    return CellEvaluator(output_, rules).Evaluate(ref);
+    return CellEvaluator(output_, rules, nullptr, batch_for(output_))
+        .Evaluate(ref);
   }
   // Non-visual: derived values are retained from the input cube. Refs that
   // pin instances created by a Split do not exist in the input; evaluate
@@ -198,7 +204,8 @@ CellValue PerspectiveCube::Evaluate(const CellRef& ref,
       return CellEvaluator(output_, rules).Evaluate(ref);
     }
   }
-  return CellEvaluator(*input_, rules).Evaluate(ref);
+  return CellEvaluator(*input_, rules, nullptr, batch_for(*input_))
+      .Evaluate(ref);
 }
 
 namespace {

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "agg/batch_eval.h"
 #include "common/status.h"
 #include "cube/cube.h"
 #include "rules/rule.h"
@@ -91,7 +92,12 @@ class PerspectiveCube {
   //  * derived cells are evaluated on the output cube (visual) or retained
   //    from the input cube (non-visual).
   // `rules` may be null (pure roll-up).
-  CellValue Evaluate(const CellRef& ref, const RuleSet* rules = nullptr) const;
+  // `batch` (nullable) is a prepared batched evaluator; it is used only for
+  // the branch whose evaluation cube matches batch->data() (the output cube
+  // in visual mode, the input cube otherwise) — other branches keep the
+  // per-cell path.
+  CellValue Evaluate(const CellRef& ref, const RuleSet* rules = nullptr,
+                     const BatchCellEvaluator* batch = nullptr) const;
 
  private:
   bool InScope(MemberId m) const {

@@ -1,5 +1,7 @@
 #include "agg/chunk_aggregator.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include <gtest/gtest.h>
@@ -115,6 +117,62 @@ INSTANTIATE_TEST_SUITE_P(
         AggCase{8, {3, 3, 3, 3}, 2, 0.9, {3, 2, 1, 0}},
         AggCase{9, {12, 1, 7}, 4, 0.4, {2, 0, 1}},
         AggCase{10, {5, 5}, 5, 0.0, {0, 1}}));
+
+// A workload big enough to cross kMinWorkForPartitioning with coarse views:
+// the partitioned accumulation path must be bit-identical across thread
+// counts (the partition plan is workload-only) and agree with the naive
+// scan up to floating-point re-association.
+TEST(ChunkAggregatorTest, PartitionedPathIsThreadInvariantAndNearNaive) {
+  Schema schema;
+  std::vector<int> extents = {48, 48, 8};
+  for (size_t d = 0; d < extents.size(); ++d) {
+    Dimension dim("D" + std::to_string(d));
+    for (int i = 0; i < extents[d]; ++i) {
+      EXPECT_TRUE(dim.AddChildOfRoot("m" + std::to_string(d) + "_" +
+                                     std::to_string(i))
+                      .ok());
+    }
+    schema.AddDimension(std::move(dim));
+  }
+  Cube cube(std::move(schema), CubeOptions{});
+  Rng rng(77);
+  std::vector<int> coords(3, 0);
+  for (coords[0] = 0; coords[0] < extents[0]; ++coords[0]) {
+    for (coords[1] = 0; coords[1] < extents[1]; ++coords[1]) {
+      for (coords[2] = 0; coords[2] < extents[2]; ++coords[2]) {
+        // Fractional values: partition boundaries re-associate the sums, so
+        // this exercises the "identical across threads, only near naive"
+        // half of the contract (integer cubes would mask association bugs).
+        cube.SetCell(coords, CellValue(0.1 + rng.NextDouble() * 10.0));
+      }
+    }
+  }
+
+  std::vector<GroupByMask> masks = {0b000, 0b001, 0b010, 0b100};
+  std::vector<int> order = {2, 1, 0};
+  ChunkAggregator serial(cube);
+  std::vector<GroupByResult> expect = serial.Compute(masks, order, nullptr, 1);
+  for (int threads : {2, 4, 8}) {
+    ChunkAggregator agg(cube);
+    std::vector<GroupByResult> got = agg.Compute(masks, order, nullptr, threads);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < masks.size(); ++i) {
+      EXPECT_TRUE(got[i] == expect[i]) << "mask " << masks[i] << " threads "
+                                       << threads;
+    }
+  }
+
+  std::vector<GroupByResult> naive = NaiveAggregator::Compute(cube, masks);
+  for (size_t i = 0; i < masks.size(); ++i) {
+    ASSERT_EQ(expect[i].num_cells(), naive[i].num_cells());
+    for (int64_t c = 0; c < expect[i].num_cells(); ++c) {
+      const double a = expect[i].GetAt(c).value();
+      const double b = naive[i].GetAt(c).value();
+      EXPECT_NEAR(a, b, 1e-7 * std::max(1.0, std::abs(b)))
+          << "mask " << masks[i] << " cell " << c;
+    }
+  }
+}
 
 TEST(ChunkAggregatorTest, ChargesDiskOncePerStoredChunk) {
   Cube cube = RandomCube(11, {8, 8}, 4, 1.0);

@@ -1,5 +1,8 @@
 #include "cube/cube.h"
 
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "workload/paper_example.h"
@@ -164,6 +167,66 @@ TEST(CubeTest, ForEachCellVisitsAllNonNull) {
   EXPECT_EQ(count, ex.cube.CountNonNullCells());
   // 3 everywhere-active employees * 6 months * 10 + Joe's {10,10,30,10,10}.
   EXPECT_EQ(sum, CellValue(3 * 6 * 10 + 70.0));
+}
+
+// Full row-major sweep across every chunk boundary: the last-chunk memo
+// must be invisible to callers — GetCell and GetCellUncached agree on every
+// cell, stored or hole.
+TEST(CubeTest, GetCellMemoMatchesUncachedAcrossChunks) {
+  PaperExample ex = BuildPaperExample();
+  const Cube& cube = ex.cube;
+  const std::vector<int>& ext = cube.layout().extents();
+  ASSERT_EQ(ext.size(), 4u);
+  std::vector<int> c(4, 0);
+  int64_t cells = 0, non_null = 0;
+  for (c[0] = 0; c[0] < ext[0]; ++c[0]) {
+    for (c[1] = 0; c[1] < ext[1]; ++c[1]) {
+      for (c[2] = 0; c[2] < ext[2]; ++c[2]) {
+        for (c[3] = 0; c[3] < ext[3]; ++c[3]) {
+          CellValue memoized = cube.GetCell(c);
+          CellValue plain = cube.GetCellUncached(c);
+          ASSERT_EQ(memoized.is_null(), plain.is_null());
+          if (!memoized.is_null()) {
+            ASSERT_EQ(memoized, plain);
+            ++non_null;
+          }
+          ++cells;
+        }
+      }
+    }
+  }
+  EXPECT_GT(cells, 0);
+  EXPECT_EQ(non_null, cube.CountNonNullCells());
+}
+
+TEST(CubeTest, GetCellMemoSeesWritesAndResetsOnCopyAndMove) {
+  PaperExample ex = BuildPaperExample();
+  Cube cube(ex.cube.schema());
+  cube.SetCell({0, 0, 0, 0}, CellValue(1.0));
+  // Warm the memo on the first chunk, then write through it: chunk nodes
+  // are stable, so the memoized read must see the new value.
+  EXPECT_EQ(cube.GetCell({0, 0, 0, 0}), CellValue(1.0));
+  cube.SetCell({0, 0, 0, 0}, CellValue(2.0));
+  EXPECT_EQ(cube.GetCell({0, 0, 0, 0}), CellValue(2.0));
+  // A write that creates a *different* chunk leaves the memo stale but
+  // harmless: reads of either chunk stay correct.
+  const std::vector<int>& ext = cube.layout().extents();
+  std::vector<int> far = {ext[0] - 1, ext[1] - 1, ext[2] - 1, ext[3] - 1};
+  cube.SetCell(far, CellValue(3.0));
+  EXPECT_EQ(cube.GetCell(far), CellValue(3.0));
+  EXPECT_EQ(cube.GetCell({0, 0, 0, 0}), CellValue(2.0));
+
+  // The memo points into this cube's own chunk map: copies and moves start
+  // cold and must read their own storage, not the source's.
+  Cube copy = cube;
+  EXPECT_EQ(copy.GetCell(far), CellValue(3.0));
+  copy.SetCell(far, CellValue(4.0));
+  EXPECT_EQ(copy.GetCell(far), CellValue(4.0));
+  EXPECT_EQ(cube.GetCell(far), CellValue(3.0));
+
+  Cube moved = std::move(copy);
+  EXPECT_EQ(moved.GetCell(far), CellValue(4.0));
+  EXPECT_EQ(moved.GetCell({0, 0, 0, 0}), CellValue(2.0));
 }
 
 }  // namespace

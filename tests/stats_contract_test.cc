@@ -191,6 +191,55 @@ TEST_F(StatsContractTest, CacheAccountingIsClosed) {
                          delta.counter_value("agg.cache.misses"));
 }
 
+TEST_F(StatsContractTest, BatchEvaluationAccountingIsClosed) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  MetricsRegistry::Snapshot before = reg.TakeSnapshot();
+  ASSERT_TRUE(exec_
+                  ->Execute(
+                      "SELECT {([Current], [Local])} ON COLUMNS, "
+                      "{CrossJoin({[Department].Children}, "
+                      "{Descendants([Period],1)})} ON ROWS FROM App.Db")
+                  .ok());
+  MetricsRegistry::Snapshot delta =
+      MetricsRegistry::Snapshot::Delta(before, reg.TakeSnapshot());
+  // Every ref handed to the batch evaluator takes exactly one of the four
+  // serving paths; the classification is thread-independent (covered for
+  // all agg.* counters by DeterministicCountersIdenticalAcrossThreadCounts).
+  const int64_t refs = delta.counter_value("agg.batch.refs");
+  EXPECT_GT(refs, 0);
+  EXPECT_EQ(refs, delta.counter_value("agg.batch.leaf") +
+                      delta.counter_value("agg.batch.view_served") +
+                      delta.counter_value("agg.batch.residual") +
+                      delta.counter_value("agg.batch.null_scope"));
+  // The rollup grid is dominated by derived cells sharing a handful of
+  // masks: the plan must actually materialize and serve from views.
+  EXPECT_GT(delta.counter_value("agg.batch.plans"), 0);
+  EXPECT_GT(delta.counter_value("agg.batch.views_materialized"), 0);
+  EXPECT_GT(delta.counter_value("agg.batch.view_served"), 0);
+}
+
+TEST_F(StatsContractTest, WhatIfQueriesUseTheScratchAggregateCache) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  MetricsRegistry::Snapshot before = reg.TakeSnapshot();
+  ASSERT_TRUE(exec_
+                  ->Execute(
+                      "WITH PERSPECTIVE {(Jan), (Apr)} FOR Department STATIC "
+                      "SELECT {([Current], [Local])} ON COLUMNS, "
+                      "{CrossJoin({[Department].Children}, "
+                      "{Descendants([Period],1)})} ON ROWS FROM App.Db")
+                  .ok());
+  MetricsRegistry::Snapshot delta =
+      MetricsRegistry::Snapshot::Delta(before, reg.TakeSnapshot());
+  // The what-if grid's derived cells go through per-query scratch views:
+  // cache lookups happen even with no persistent aggregates built, and the
+  // accounting stays closed.
+  const int64_t lookups = delta.counter_value("agg.cache.lookups");
+  EXPECT_GT(lookups, 0);
+  EXPECT_EQ(lookups, delta.counter_value("agg.cache.hits") +
+                         delta.counter_value("agg.cache.misses"));
+  EXPECT_GT(delta.counter_value("agg.batch.view_served"), 0);
+}
+
 TEST_F(StatsContractTest, CellsComputedCounterCoversTheGrid) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   MetricsRegistry::Snapshot before = reg.TakeSnapshot();

@@ -4,9 +4,12 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/metrics.h"
 
 namespace olap {
 namespace {
@@ -71,6 +74,43 @@ TEST(ThreadPoolTest, ScheduleRunsTasks) {
     // Destructor drains the queue before joining.
   }
   EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, WorkHintBelowCutoffRunsInlineAndCounts) {
+  ThreadPool pool(4);
+  Counter* cutoffs = MetricsRegistry::Global().counter(
+      "threadpool.parallel_for.work_cutoff");
+  const int64_t before = cutoffs->value();
+
+  // Tiny kernel: fan-out would cost more than the loop. The work hint must
+  // collapse it to a single executor — the caller — and record the cutoff.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<bool> all_inline{true};
+  pool.ParallelFor(64, 8, /*work_units=*/16, [&](int64_t i) {
+    hits[i].fetch_add(1);
+    if (std::this_thread::get_id() != caller) all_inline.store(false);
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  EXPECT_TRUE(all_inline.load());
+  EXPECT_EQ(cutoffs->value(), before + 1);
+}
+
+TEST(ThreadPoolTest, WorkHintAboveCutoffDoesNotCount) {
+  ThreadPool pool(4);
+  Counter* cutoffs = MetricsRegistry::Global().counter(
+      "threadpool.parallel_for.work_cutoff");
+  const int64_t before = cutoffs->value();
+
+  // Enough work for every requested executor: the hint never limits below
+  // the request, so no cutoff is recorded (the hardware-core clamp alone
+  // does not count as one).
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(256, 4,
+                   /*work_units=*/4 * ThreadPool::kMinWorkUnitsPerExecutor,
+                   [&](int64_t i) { sum.fetch_add(i + 1); });
+  EXPECT_EQ(sum.load(), 256 * 257 / 2);
+  EXPECT_EQ(cutoffs->value(), before);
 }
 
 TEST(ThreadPoolTest, SharedPoolIsSingletonAndUsable) {
