@@ -30,6 +30,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "agg/batch_eval.h"
@@ -545,7 +546,13 @@ void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports,
   fprintf(f, "  \"bench\": \"bench_kernels\",\n");
   fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   fprintf(f, "  \"thread_counts\": [1, 2, 4, 8],\n");
+  // hardware_cores is the effective parallelism the pool plans with (the
+  // affinity-visible count); hardware_concurrency is the machine's raw
+  // report, kept so CI runs on restricted cpusets are interpretable.
   fprintf(f, "  \"hardware_cores\": %d,\n", ThreadPool::HardwareCores());
+  fprintf(f, "  \"hardware_concurrency\": %u,\n",
+          std::max(1u, std::thread::hardware_concurrency()));
+  fprintf(f, "  \"affinity_cores\": %d,\n", ThreadPool::AffinityVisibleCores());
   fprintf(f, "  \"getcell_memo\": {\"uncached_ms\": %.4f, \"memo_ms\": %.4f, "
           "\"speedup\": %.2f},\n",
           memo.uncached_ms, memo.memo_ms,

@@ -1,0 +1,471 @@
+// Out-of-core pipeline benchmark: synchronous FetchChunk streaming vs the
+// ChunkPipeline (async prefetch, coalesced ranged reads, bounded pin table)
+// on a Fig. 12-style workload — a product cube whose merge schedule
+// alternates between two far-apart chunk regions, so every synchronous
+// fetch pays a long seek while the pipeline's lookahead window coalesces
+// each region's chunks into ranged reads (one seek per run).
+//
+// Reported time is CPU wall time plus the SimulatedDisk's virtual I/O
+// seconds, matching the other benches. Emits BENCH_outofcore.json.
+//
+// Usage: bench_outofcore [--smoke] [--check] [--out PATH]
+//   --smoke  smaller cube / fewer sweep points (CI).
+//   --check  exit non-zero unless: every mode is bit-identical to the
+//            synchronous oracle, peak pinned chunks never exceed the pin
+//            budget, the stall + compute ≈ wall accounting identity holds,
+//            and the headline config (lookahead 16, 4 io_threads) beats the
+//            synchronous loop by >= 1.5x in total (CPU + virtual) time.
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "agg/chunk_aggregator.h"
+#include "agg/group_by.h"
+#include "common/thread_pool.h"
+#include "cube/cube.h"
+#include "storage/chunk_pipeline.h"
+#include "storage/cube_io.h"
+#include "storage/env.h"
+#include "storage/simulated_disk.h"
+#include "workload/product.h"
+
+namespace olap {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// Order-dependent FNV-style digest of a delivered chunk stream. The
+// pipeline delivers in schedule order, so equal digests mean the bytes AND
+// the order matched the synchronous oracle.
+uint64_t FoldChunk(uint64_t h, ChunkId id, const Chunk& chunk) {
+  h = (h ^ static_cast<uint64_t>(id)) * 1099511628211ull;
+  for (int64_t i = 0; i < chunk.size(); ++i) {
+    const double raw = CellValue::ToStorage(chunk.Get(i));
+    uint64_t bits;
+    std::memcpy(&bits, &raw, sizeof(bits));
+    h = (h ^ bits) * 1099511628211ull;
+  }
+  return h;
+}
+
+// The Fig. 12 access pattern: chunks of two far-apart regions consumed
+// alternately (front half, back half, front half, ...), the way a merge of
+// two distant member instances walks the grid.
+std::vector<ChunkId> InterleavedSchedule(const std::vector<ChunkId>& stored) {
+  const size_t half = stored.size() / 2;
+  std::vector<ChunkId> schedule;
+  schedule.reserve(stored.size());
+  for (size_t i = 0; i < half; ++i) {
+    schedule.push_back(stored[i]);
+    schedule.push_back(stored[half + i]);
+  }
+  for (size_t i = 2 * half; i < stored.size(); ++i) schedule.push_back(stored[i]);
+  return schedule;
+}
+
+struct SyncResult {
+  double wall_ms = 0.0;
+  double virtual_ms = 0.0;
+  uint64_t digest = 0;
+  int64_t physical_reads = 0;
+  int64_t seek_chunks = 0;
+  bool ok = true;
+  double total_ms() const { return wall_ms + virtual_ms; }
+};
+
+SyncResult RunSync(SimulatedDisk* disk, const std::vector<ChunkId>& schedule) {
+  SyncResult r;
+  disk->Reset();
+  const Clock::time_point t0 = Clock::now();
+  uint64_t h = 14695981039346656037ull;
+  for (ChunkId id : schedule) {
+    Result<Chunk> chunk = disk->FetchChunk(id);
+    if (!chunk.ok()) {
+      fprintf(stderr, "sync fetch of chunk %" PRIu64 " failed: %s\n",
+              static_cast<uint64_t>(id), chunk.status().ToString().c_str());
+      r.ok = false;
+      return r;
+    }
+    h = FoldChunk(h, id, *chunk);
+  }
+  r.wall_ms = MsSince(t0);
+  const IoStats stats = disk->stats();
+  r.virtual_ms = stats.virtual_seconds * 1e3;
+  r.physical_reads = stats.physical_reads;
+  r.seek_chunks = stats.total_seek_chunks;
+  r.digest = h;
+  return r;
+}
+
+struct PipelinedResult {
+  int lookahead = 0;
+  int io_threads = 0;
+  int64_t cache_chunks = 0;
+  int64_t pin_budget = 0;  // Resolved.
+  double wall_ms = 0.0;
+  double next_ms = 0.0;  // Time inside Next() (stalls + handoff overhead).
+  double compute_ms = 0.0;
+  double stall_ms = 0.0;
+  double virtual_ms = 0.0;
+  uint64_t digest = 0;
+  ChunkPipelineStats stats;
+  bool ok = true;
+  bool bit_identical = false;
+  double total_ms() const { return wall_ms + virtual_ms; }
+  // stall + compute should reconstruct wall up to handoff overhead.
+  double accounting_gap_ms() const {
+    return stall_ms + compute_ms - wall_ms;
+  }
+};
+
+PipelinedResult RunPipelined(SimulatedDisk* disk,
+                             const std::vector<ChunkId>& schedule,
+                             const ChunkPipelineOptions& options) {
+  PipelinedResult r;
+  r.lookahead = options.lookahead;
+  r.io_threads = options.io_threads;
+  r.pin_budget = options.pin_budget;
+  disk->Reset();
+  const Clock::time_point t0 = Clock::now();
+  uint64_t h = 14695981039346656037ull;
+  double next_ms = 0.0;
+  {
+    ChunkPipeline pipeline(disk, schedule, options);
+    r.pin_budget = pipeline.pin_budget();
+    while (true) {
+      const Clock::time_point n0 = Clock::now();
+      Result<ChunkPipeline::Pin> pin = pipeline.Next();
+      next_ms += MsSince(n0);
+      if (!pin.ok()) {
+        if (pin.status().code() != StatusCode::kOutOfRange) {
+          fprintf(stderr, "pipelined fetch failed: %s\n",
+                  pin.status().ToString().c_str());
+          r.ok = false;
+        }
+        break;
+      }
+      h = FoldChunk(h, pin->id(), pin->chunk());
+    }
+    r.stats = pipeline.stats();
+  }
+  r.wall_ms = MsSince(t0);
+  r.next_ms = next_ms;
+  r.compute_ms = r.wall_ms - next_ms;
+  r.stall_ms = r.stats.stall_seconds * 1e3;
+  r.virtual_ms = disk->stats().virtual_seconds * 1e3;
+  r.digest = h;
+  return r;
+}
+
+// ---- rollup workload: ChunkAggregator::ComputeOutOfCore ------------------
+
+struct RollupResult {
+  double sync_wall_ms = 0.0, sync_virtual_ms = 0.0;
+  double pipe_wall_ms = 0.0, pipe_virtual_ms = 0.0;
+  bool ok = true;
+  bool bit_identical = false;   // pipelined == sync streaming.
+  bool matches_memory = false;  // sync streaming == in-memory pass, value-wise.
+  double sync_total_ms() const { return sync_wall_ms + sync_virtual_ms; }
+  double pipe_total_ms() const { return pipe_wall_ms + pipe_virtual_ms; }
+};
+
+RollupResult RunRollup(const Cube& cube, SimulatedDisk* disk, int io_threads) {
+  RollupResult r;
+  std::vector<GroupByMask> masks = {0b001, 0b010, 0b011, 0b110};
+  std::vector<int> order(cube.num_dims());
+  std::iota(order.begin(), order.end(), 0);
+
+  ChunkAggregator::OutOfCoreOptions sync_opts;
+  sync_opts.pipelined = false;
+  ChunkAggregator::OutOfCoreOptions pipe_opts;
+  pipe_opts.pipelined = true;
+  pipe_opts.pipeline.lookahead = 16;
+  pipe_opts.pipeline.io_threads = io_threads;
+
+  disk->Reset();
+  ChunkAggregator sync_agg(cube);
+  Clock::time_point t0 = Clock::now();
+  Result<std::vector<GroupByResult>> sync_views =
+      sync_agg.ComputeOutOfCore(masks, order, disk, sync_opts);
+  r.sync_wall_ms = MsSince(t0);
+  r.sync_virtual_ms = disk->stats().virtual_seconds * 1e3;
+
+  disk->Reset();
+  ChunkAggregator pipe_agg(cube);
+  t0 = Clock::now();
+  Result<std::vector<GroupByResult>> pipe_views =
+      pipe_agg.ComputeOutOfCore(masks, order, disk, pipe_opts);
+  r.pipe_wall_ms = MsSince(t0);
+  r.pipe_virtual_ms = disk->stats().virtual_seconds * 1e3;
+
+  if (!sync_views.ok() || !pipe_views.ok()) {
+    fprintf(stderr, "rollup failed: %s\n",
+            (!sync_views.ok() ? sync_views.status() : pipe_views.status())
+                .ToString()
+                .c_str());
+    r.ok = false;
+    return r;
+  }
+  ChunkAggregator memory_agg(cube);
+  std::vector<GroupByResult> memory_views = memory_agg.Compute(masks, order);
+  r.bit_identical = *sync_views == *pipe_views;
+  r.matches_memory = *sync_views == memory_views;
+  return r;
+}
+
+// ---- driver --------------------------------------------------------------
+
+int Main(int argc, char** argv) {
+  bool smoke = false, check = false;
+  std::string out_path = "BENCH_outofcore.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      fprintf(stderr, "usage: %s [--smoke] [--check] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Fig. 12 geometry: one product per chunk along the varying axis, the
+  // probe's two instances far apart, fillers in between. Stored chunk ids
+  // are contiguous (every grid chunk holds data), so the two halves of the
+  // id range are two distant platter regions.
+  ProductCubeConfig config;
+  config.separation_chunks = smoke ? 2000 : 4000;
+  config.chunk_products = 1;
+  config.fill_data = true;
+  ProductCube workload = BuildProductCube(config);
+  const Cube& cube = workload.cube;
+
+  const std::string path = "/tmp/bench_outofcore_" +
+                           std::to_string(static_cast<long>(::getpid())) +
+                           ".olapcub2";
+  Status saved = SaveCube(cube, path);
+  if (!saved.ok()) {
+    fprintf(stderr, "SaveCube failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+
+  DiskModel model;
+  SimulatedDisk disk(model, /*cache_capacity_chunks=*/0);
+  Status attached = disk.AttachBackingFile(Env::Default(), path);
+  if (!attached.ok()) {
+    fprintf(stderr, "AttachBackingFile failed: %s\n",
+            attached.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ChunkId> stored;
+  cube.ForEachChunk([&](ChunkId id, const Chunk&) { stored.push_back(id); });
+  const std::vector<ChunkId> schedule = InterleavedSchedule(stored);
+
+  fprintf(stderr,
+          "bench_outofcore: %lld stored chunks, schedule %zu, file %s\n",
+          static_cast<long long>(cube.NumStoredChunks()), schedule.size(),
+          path.c_str());
+
+  const SyncResult sync = RunSync(&disk, schedule);
+
+  std::vector<PipelinedResult> runs;
+  const std::vector<int> lookaheads =
+      smoke ? std::vector<int>{1, 16} : std::vector<int>{1, 4, 16, 64};
+  for (int lookahead : lookaheads) {
+    ChunkPipelineOptions options;
+    options.lookahead = lookahead;
+    options.io_threads = 4;
+    runs.push_back(RunPipelined(&disk, schedule, options));
+  }
+  const std::vector<int> io_thread_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  for (int io_threads : io_thread_counts) {
+    if (io_threads == 4) continue;  // Covered by the lookahead sweep.
+    ChunkPipelineOptions options;
+    options.lookahead = 16;
+    options.io_threads = io_threads;
+    runs.push_back(RunPipelined(&disk, schedule, options));
+  }
+  {
+    // Tiny pin budget: back-pressure throttles the window but must still
+    // terminate and stay within budget.
+    ChunkPipelineOptions options;
+    options.lookahead = 16;
+    options.io_threads = 4;
+    options.pin_budget = 2;
+    runs.push_back(RunPipelined(&disk, schedule, options));
+  }
+  if (!smoke) {
+    // A warm cache in front of the cost model (both modes benefit).
+    SimulatedDisk cached_disk(model, /*cache_capacity_chunks=*/256);
+    Status s = cached_disk.AttachBackingFile(Env::Default(), path);
+    if (s.ok()) {
+      ChunkPipelineOptions options;
+      options.lookahead = 16;
+      options.io_threads = 4;
+      PipelinedResult warm = RunPipelined(&cached_disk, schedule, options);
+      warm.cache_chunks = 256;
+      runs.push_back(warm);
+    }
+  }
+  for (PipelinedResult& r : runs) r.bit_identical = r.ok && r.digest == sync.digest;
+
+  const RollupResult rollup = RunRollup(cube, &disk, /*io_threads=*/4);
+
+  std::remove(path.c_str());
+
+  // ---- report ------------------------------------------------------------
+  FILE* f = fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  fprintf(f, "{\n");
+  fprintf(f, "  \"bench\": \"bench_outofcore\",\n");
+  fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  fprintf(f, "  \"hardware_cores\": %d,\n", ThreadPool::HardwareCores());
+  fprintf(f, "  \"hardware_concurrency\": %u,\n",
+          std::max(1u, std::thread::hardware_concurrency()));
+  fprintf(f, "  \"affinity_cores\": %d,\n", ThreadPool::AffinityVisibleCores());
+  fprintf(f, "  \"chunks\": %lld,\n",
+          static_cast<long long>(cube.NumStoredChunks()));
+  fprintf(f, "  \"schedule_len\": %zu,\n", schedule.size());
+  fprintf(f,
+          "  \"disk\": {\"seek_seconds_per_chunk\": %g, "
+          "\"max_seek_seconds\": %g, \"transfer_seconds\": %g},\n",
+          model.seek_seconds_per_chunk, model.max_seek_seconds,
+          model.transfer_seconds);
+  fprintf(f,
+          "  \"sync\": {\"wall_ms\": %.3f, \"virtual_ms\": %.3f, "
+          "\"total_ms\": %.3f, \"physical_reads\": %lld, "
+          "\"seek_chunks\": %lld},\n",
+          sync.wall_ms, sync.virtual_ms, sync.total_ms(),
+          static_cast<long long>(sync.physical_reads),
+          static_cast<long long>(sync.seek_chunks));
+  fprintf(f, "  \"pipelined\": [\n");
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const PipelinedResult& r = runs[i];
+    fprintf(f,
+            "    {\"lookahead\": %d, \"io_threads\": %d, \"cache_chunks\": "
+            "%lld, \"pin_budget\": %lld, \"peak_pinned\": %lld,\n"
+            "     \"wall_ms\": %.3f, \"compute_ms\": %.3f, \"stall_ms\": "
+            "%.3f, \"virtual_ms\": %.3f, \"total_ms\": %.3f,\n"
+            "     \"accounting_gap_ms\": %.3f, \"read_batches\": %lld, "
+            "\"coalesced_reads\": %lld, \"prefetch_issued\": %lld,\n"
+            "     \"ready_hits\": %lld, \"stall_waits\": %lld, "
+            "\"speedup_total\": %.2f, \"bit_identical\": %s}%s\n",
+            r.lookahead, r.io_threads, static_cast<long long>(r.cache_chunks),
+            static_cast<long long>(r.pin_budget),
+            static_cast<long long>(r.stats.peak_pinned), r.wall_ms,
+            r.compute_ms, r.stall_ms, r.virtual_ms, r.total_ms(),
+            r.accounting_gap_ms(), static_cast<long long>(r.stats.read_batches),
+            static_cast<long long>(r.stats.coalesced_reads),
+            static_cast<long long>(r.stats.prefetch_issued),
+            static_cast<long long>(r.stats.ready_hits),
+            static_cast<long long>(r.stats.stall_waits),
+            r.total_ms() > 0 ? sync.total_ms() / r.total_ms() : 0.0,
+            r.bit_identical ? "true" : "false",
+            i + 1 < runs.size() ? "," : "");
+  }
+  fprintf(f, "  ],\n");
+  fprintf(f,
+          "  \"rollup_outofcore\": {\"sync_wall_ms\": %.3f, "
+          "\"sync_virtual_ms\": %.3f, \"sync_total_ms\": %.3f,\n"
+          "    \"pipelined_wall_ms\": %.3f, \"pipelined_virtual_ms\": %.3f, "
+          "\"pipelined_total_ms\": %.3f,\n"
+          "    \"bit_identical\": %s, \"matches_memory\": %s}\n",
+          rollup.sync_wall_ms, rollup.sync_virtual_ms, rollup.sync_total_ms(),
+          rollup.pipe_wall_ms, rollup.pipe_virtual_ms, rollup.pipe_total_ms(),
+          rollup.bit_identical ? "true" : "false",
+          rollup.matches_memory ? "true" : "false");
+  fprintf(f, "}\n");
+  fclose(f);
+  fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+  // ---- gates -------------------------------------------------------------
+  int failures = 0;
+  if (!sync.ok) ++failures;
+  if (!rollup.ok || !rollup.bit_identical || !rollup.matches_memory) {
+    fprintf(stderr, "FAIL rollup_outofcore: pipelined/sync/in-memory mismatch\n");
+    ++failures;
+  }
+  const PipelinedResult* headline = nullptr;
+  for (const PipelinedResult& r : runs) {
+    if (!r.ok || !r.bit_identical) {
+      fprintf(stderr,
+              "FAIL pipelined (lookahead %d, %d io_threads): stream differs "
+              "from synchronous oracle\n",
+              r.lookahead, r.io_threads);
+      ++failures;
+    }
+    if (r.stats.peak_pinned > r.pin_budget) {
+      fprintf(stderr,
+              "FAIL pipelined (lookahead %d, %d io_threads): peak pinned "
+              "%lld exceeds budget %lld\n",
+              r.lookahead, r.io_threads,
+              static_cast<long long>(r.stats.peak_pinned),
+              static_cast<long long>(r.pin_budget));
+      ++failures;
+    }
+    if (r.lookahead == 16 && r.io_threads == 4 && r.cache_chunks == 0 &&
+        headline == nullptr) {
+      headline = &r;
+    }
+  }
+  if (check) {
+    constexpr double kSpeedupFloor = 1.5;
+    constexpr double kAccountingSlack = 0.10;  // Fraction of wall.
+    constexpr double kAccountingGraceMs = 5.0;
+    if (headline == nullptr) {
+      fprintf(stderr, "FAIL: headline config (lookahead 16, 4 io_threads) missing\n");
+      ++failures;
+    } else {
+      const double speedup =
+          headline->total_ms() > 0 ? sync.total_ms() / headline->total_ms() : 0.0;
+      if (speedup < kSpeedupFloor) {
+        fprintf(stderr,
+                "FAIL headline: pipelined total %.3f ms vs sync %.3f ms "
+                "(%.2fx < %.1fx floor)\n",
+                headline->total_ms(), sync.total_ms(), speedup, kSpeedupFloor);
+        ++failures;
+      }
+      const double gap = headline->accounting_gap_ms();
+      const double limit =
+          kAccountingSlack * headline->wall_ms + kAccountingGraceMs;
+      if (gap < -limit || gap > limit) {
+        fprintf(stderr,
+                "FAIL headline: stall %.3f + compute %.3f vs wall %.3f ms "
+                "(gap %.3f beyond %.3f)\n",
+                headline->stall_ms, headline->compute_ms, headline->wall_ms,
+                gap, limit);
+        ++failures;
+      }
+    }
+  }
+  if (failures > 0) {
+    fprintf(stderr, "%d check(s) failed\n", failures);
+    return 1;
+  }
+  fprintf(stderr, "all checks passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace olap
+
+int main(int argc, char** argv) { return olap::Main(argc, argv); }

@@ -60,6 +60,32 @@ AggregateCache::AggregateCache(const Cube& cube,
   }
 }
 
+AggregateCache::AggregateCache(const Cube& cube,
+                               const std::vector<GroupByMask>& masks,
+                               SimulatedDisk* disk,
+                               const ChunkAggregator::OutOfCoreOptions& options,
+                               int threads)
+    : masks_(masks) {
+  ChunkAggregator aggregator(cube);
+  std::vector<int> order(cube.num_dims());
+  std::iota(order.begin(), order.end(), 0);
+  Result<std::vector<GroupByResult>> streamed =
+      disk != nullptr
+          ? aggregator.ComputeOutOfCore(masks_, order, disk, options)
+          : Result<std::vector<GroupByResult>>(
+                Status(StatusCode::kFailedPrecondition, "no disk"));
+  if (streamed.ok()) {
+    views_ = *std::move(streamed);
+  } else {
+    // The in-memory pass is always available and value-equivalent.
+    views_ = aggregator.Compute(masks_, order, /*disk=*/nullptr, threads);
+  }
+  root_droppable_.resize(cube.num_dims());
+  for (int d = 0; d < cube.num_dims(); ++d) {
+    root_droppable_[d] = RootScopeIsUnitCover(cube, d) ? 1 : 0;
+  }
+}
+
 AggregateCache AggregateCache::BuildGreedy(const Cube& cube, int max_views) {
   Lattice lattice(cube.layout());
   SelectedViews selected = SelectViewsGreedy(lattice, max_views);

@@ -34,6 +34,17 @@ class AggregateCache {
   AggregateCache(const Cube& cube, const std::vector<GroupByMask>& masks,
                  int threads = 1);
 
+  // Out-of-core materialization: streams the chunk data from `disk`'s
+  // backing file (which must store `cube`) through
+  // ChunkAggregator::ComputeOutOfCore — synchronous fetches or the async
+  // prefetch pipeline per `options`. Falls back to the in-memory pass when
+  // streaming is unavailable (no backing file) or fails; either way the
+  // views are value-equivalent.
+  AggregateCache(const Cube& cube, const std::vector<GroupByMask>& masks,
+                 SimulatedDisk* disk,
+                 const ChunkAggregator::OutOfCoreOptions& options,
+                 int threads = 1);
+
   // Convenience: HRU-greedy selection of up to `max_views` views.
   static AggregateCache BuildGreedy(const Cube& cube, int max_views);
 

@@ -273,7 +273,15 @@ void BatchCellEvaluator::PlanAndMaterialize(
   }
   // Deterministic view order regardless of ref-count ranking.
   std::sort(masks.begin(), masks.end());
-  scratch_.emplace(data_, masks, options_.threads);
+  if (options_.out_of_core_disk != nullptr) {
+    ChunkAggregator::OutOfCoreOptions ooc;
+    ooc.pipelined = options_.pipelined_io;
+    ooc.pipeline = options_.pipeline;
+    scratch_.emplace(data_, masks, options_.out_of_core_disk, ooc,
+                     options_.threads);
+  } else {
+    scratch_.emplace(data_, masks, options_.threads);
+  }
   bm.views_materialized->Increment(static_cast<int64_t>(masks.size()));
   bm.view_cells->Increment(total_cells);
   span.SetDetail("views=" + std::to_string(masks.size()) +

@@ -11,6 +11,8 @@
 #include "agg/group_by.h"
 #include "agg/lattice.h"
 #include "cube/cube.h"
+#include "storage/chunk_pipeline.h"
+#include "storage/simulated_disk.h"
 
 namespace olap {
 
@@ -49,6 +51,16 @@ struct BatchEvalOptions {
   // Masks needed by fewer refs than this are not worth a dedicated
   // materialization pass share; they fall to covering views or residual.
   int64_t min_refs_per_view = 2;
+  // Out-of-core scratch materialization: when non-null, the disk must have
+  // a backing file storing the evaluator's data cube, and the scratch
+  // views are built by streaming chunks from it
+  // (ChunkAggregator::ComputeOutOfCore) instead of scanning the in-memory
+  // chunk map. Falls back to the in-memory pass if streaming fails.
+  SimulatedDisk* out_of_core_disk = nullptr;
+  // Stream through an async ChunkPipeline (prefetch + coalesced ranged
+  // reads) instead of synchronous per-chunk fetches.
+  bool pipelined_io = false;
+  ChunkPipelineOptions pipeline;
 };
 
 class BatchCellEvaluator {

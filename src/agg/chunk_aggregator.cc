@@ -225,4 +225,133 @@ std::vector<GroupByResult> ChunkAggregator::Compute(
   return out;
 }
 
+Result<std::vector<GroupByResult>> ChunkAggregator::ComputeOutOfCore(
+    const std::vector<GroupByMask>& masks, const std::vector<int>& order,
+    SimulatedDisk* disk, const OutOfCoreOptions& options) {
+  TraceSpan span("agg.rollup_outofcore");
+  if (disk == nullptr || !disk->has_backing()) {
+    Status status =
+        Status::FailedPrecondition("out-of-core rollup needs a backing file");
+    span.SetError(status);
+    return status;
+  }
+  stats_ = AggStats{};
+  std::vector<GroupByResult> out;
+  out.reserve(masks.size());
+  for (GroupByMask mask : masks) out.push_back(MakeGroupByShell(cube_, mask));
+
+  const ChunkLayout& layout = cube_.layout();
+  Lattice lattice(layout);
+  for (GroupByMask mask : masks) {
+    stats_.mmst_memory_cells += lattice.MemoryRequirementCells(mask, order);
+  }
+
+  // Same odometer traversal as Compute, but "stored" means present in the
+  // backing file's chunk index — the data never has to be in memory.
+  const CubeChunkIndex& index = disk->backing_index();
+  const int n = layout.num_dims();
+  std::vector<int> chunk_coords(n, 0);
+  const std::vector<int>& grid = layout.chunks_per_dim();
+  std::vector<ChunkId> visit;
+  while (true) {
+    ++stats_.chunks_visited;
+    ChunkId id = layout.ChunkIdAt(chunk_coords);
+    if (index.entries.count(id) > 0) {
+      ++stats_.chunks_read;
+      visit.push_back(id);
+    }
+    int pos = 0;
+    while (pos < n) {
+      int dim = order[pos];
+      if (++chunk_coords[dim] < grid[dim]) break;
+      chunk_coords[dim] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+
+  // The partition plan mirrors Compute's, with the one out-of-core
+  // difference that cells_scanned is unknown before the stream runs, so
+  // the work estimate uses whole-chunk cell counts. Still workload-only:
+  // identical for both streaming modes and every io_threads setting.
+  const int64_t num_visited = static_cast<int64_t>(visit.size());
+  int64_t total_view_cells = 0;
+  for (const GroupByResult& g : out) total_view_cells += g.num_cells();
+  const int64_t by_mem = std::max<int64_t>(
+      1, kMaxPartialCells / std::max<int64_t>(1, total_view_cells));
+  const int64_t num_masks = static_cast<int64_t>(std::max<size_t>(1, masks.size()));
+  const int64_t scan_cells = num_visited * layout.cells_per_chunk();
+  const int64_t total_work = scan_cells * num_masks;
+  const int64_t by_merge_cost = std::max<int64_t>(
+      1, scan_cells * num_masks / (4 * std::max<int64_t>(1, total_view_cells)));
+  const int64_t num_partitions =
+      total_work < kMinWorkForPartitioning
+          ? 1
+          : std::max<int64_t>(
+                1, std::min<int64_t>({(num_visited + kMinChunksPerPartition - 1) /
+                                          kMinChunksPerPartition,
+                                      by_mem, by_merge_cost, kMaxPartitions}));
+
+  std::vector<std::vector<GroupByResult>> partials;
+  std::vector<GroupByResult>* sink = &out;
+  if (num_partitions > 1) {
+    partials.resize(num_partitions);
+    for (int64_t p = 0; p < num_partitions; ++p) {
+      partials[p].reserve(masks.size());
+      for (GroupByMask mask : masks) {
+        partials[p].push_back(MakeGroupByShell(cube_, mask));
+      }
+    }
+  }
+  // Streams chunks in visit order into the partition that owns each visit
+  // index; identical accumulation and merge order in both modes.
+  auto partition_of = [&](int64_t i) {
+    return num_partitions <= 1 ? int64_t{0} : i * num_partitions / num_visited;
+  };
+  auto accumulate = [&](int64_t i, ChunkId id, const Chunk& chunk) {
+    stats_.cells_scanned += chunk.CountNonNull();
+    if (num_partitions > 1) sink = &partials[partition_of(i)];
+    AccumulateChunkIntoGroupBys(layout, id, chunk, sink);
+  };
+  if (!options.pipelined) {
+    for (int64_t i = 0; i < num_visited; ++i) {
+      Result<Chunk> chunk = disk->FetchChunk(visit[i]);
+      if (!chunk.ok()) {
+        span.SetError(chunk.status());
+        return chunk.status();
+      }
+      accumulate(i, visit[i], *chunk);
+    }
+  } else {
+    ChunkPipeline pipeline(disk, visit, options.pipeline);
+    for (int64_t i = 0; i < num_visited; ++i) {
+      Result<ChunkPipeline::Pin> pin = pipeline.Next();
+      if (!pin.ok()) {
+        span.SetError(pin.status());
+        return pin.status();
+      }
+      accumulate(i, pin->id(), pin->chunk());
+    }
+  }
+  if (num_partitions > 1) {
+    for (int64_t p = 0; p < num_partitions; ++p) {
+      for (size_t m = 0; m < out.size(); ++m) out[m].MergeFrom(partials[p][m]);
+    }
+  }
+
+  span.SetDetail("masks=" + std::to_string(masks.size()) +
+                 " chunks=" + std::to_string(stats_.chunks_read) +
+                 (options.pipelined ? " pipelined" : " sync"));
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  static Counter* rollups = reg.counter("agg.rollups");
+  static Counter* chunks_read = reg.counter("agg.chunks_read");
+  static Counter* cells_scanned = reg.counter("agg.cells_scanned");
+  static Gauge* mmst = reg.gauge("agg.mmst_memory_cells");
+  rollups->Increment();
+  chunks_read->Increment(stats_.chunks_read);
+  cells_scanned->Increment(stats_.cells_scanned);
+  mmst->Set(stats_.mmst_memory_cells);
+  return out;
+}
+
 }  // namespace olap

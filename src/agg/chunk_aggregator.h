@@ -7,6 +7,7 @@
 #include "agg/group_by.h"
 #include "agg/lattice.h"
 #include "cube/cube.h"
+#include "storage/chunk_pipeline.h"
 #include "storage/simulated_disk.h"
 
 namespace olap {
@@ -57,6 +58,25 @@ class ChunkAggregator {
                                      const std::vector<int>& order,
                                      SimulatedDisk* disk = nullptr,
                                      int threads = 1);
+
+  // Out-of-core variant: reads the chunk data from `disk`'s backing file
+  // (which must store this aggregator's cube) instead of the in-memory
+  // chunk map. The traversal order, the workload-only partition plan, and
+  // the ascending partial merge are the same as Compute's, and chunks are
+  // accumulated strictly in traversal order — so the two streaming modes
+  // below are bit-identical to each other at every io_threads setting:
+  //   * pipelined=false: synchronous FetchChunk per visited chunk (the
+  //     oracle — compute stalls on every virtual+real read);
+  //   * pipelined=true:  chunks stream through a ChunkPipeline (prefetch,
+  //     coalesced ranged reads, bounded pin table), one pin held at a time.
+  // kFailedPrecondition without a backing file; read errors propagate.
+  struct OutOfCoreOptions {
+    bool pipelined = false;
+    ChunkPipelineOptions pipeline;
+  };
+  Result<std::vector<GroupByResult>> ComputeOutOfCore(
+      const std::vector<GroupByMask>& masks, const std::vector<int>& order,
+      SimulatedDisk* disk, const OutOfCoreOptions& options);
 
   const AggStats& stats() const { return stats_; }
 

@@ -4,6 +4,10 @@
 #include <chrono>
 #include <memory>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "common/metrics.h"
 
 namespace olap {
@@ -138,15 +142,33 @@ void ThreadPool::ParallelFor(int64_t n, int parallelism, int64_t work_units,
   const int64_t requested = std::max(1, parallelism);
   const int64_t by_work =
       std::max<int64_t>(1, work_units / kMinWorkUnitsPerExecutor);
-  const int executors = static_cast<int>(
-      std::min<int64_t>({requested, HardwareCores(), by_work}));
+  const int executors = ClampedExecutors(parallelism, work_units);
   if (executors < requested && by_work < requested) work_cutoffs->Increment();
   ParallelFor(n, executors, fn);
 }
 
+int ThreadPool::ClampedExecutors(int parallelism, int64_t work_units) {
+  const int64_t requested = std::max(1, parallelism);
+  const int64_t by_work =
+      std::max<int64_t>(1, work_units / kMinWorkUnitsPerExecutor);
+  return static_cast<int>(
+      std::min<int64_t>({requested, HardwareCores(), by_work}));
+}
+
+int ThreadPool::AffinityVisibleCores() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int visible = CPU_COUNT(&set);
+    if (visible > 0) return visible;
+  }
+#endif
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
 int ThreadPool::HardwareCores() {
-  static const int cores =
-      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  static const int cores = AffinityVisibleCores();
   return cores;
 }
 

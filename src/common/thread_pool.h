@@ -62,8 +62,23 @@ class ThreadPool {
   void ParallelFor(int64_t n, int parallelism, int64_t work_units,
                    const std::function<void(int64_t)>& fn);
 
-  // Number of hardware execution slots on this machine (>= 1).
+  // The executor count the work-hinted ParallelFor would actually use:
+  // `parallelism` capped by HardwareCores() and by
+  // work_units / kMinWorkUnitsPerExecutor (>= 1). Pure — no metrics.
+  // Callers sizing per-task scratch (partial maps, accumulators) must use
+  // this instead of the requested parallelism, or a clamped run pays the
+  // allocation and merge cost of a fan-out that never happens.
+  static int ClampedExecutors(int parallelism, int64_t work_units);
+
+  // Number of hardware execution slots on this machine (>= 1). On Linux
+  // this is the affinity-visible core count (the scheduler mask is the
+  // truth inside cpuset-limited containers); elsewhere it falls back to
+  // std::thread::hardware_concurrency().
   static int HardwareCores();
+
+  // CPUs in this process's scheduler affinity mask (Linux), else
+  // hardware_concurrency; >= 1.
+  static int AffinityVisibleCores();
 
   // The process-wide pool, sized to the hardware concurrency. Thread-safe;
   // created on first use and intentionally leaked (workers must outlive

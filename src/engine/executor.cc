@@ -199,6 +199,16 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
     result.used_whatif = true;
   }
 
+  // Out-of-core pipeline configuration, shared by the what-if read passes
+  // and the batched-eval scratch materialization below.
+  ChunkPipelineOptions pipeline_options;
+  pipeline_options.lookahead = std::max(1, options.pipeline_lookahead);
+  pipeline_options.pin_budget = options.chunk_memory_budget;
+  pipeline_options.io_threads = std::max(1, options.eval_threads);
+  const ChunkPipelineOptions* pipeline =
+      options.pipelined_io && options.disk != nullptr ? &pipeline_options
+                                                      : nullptr;
+
   if (!specs.empty()) {
     // Single-what-if queries can confine the instance merge (Sec. 6.3).
     if (specs.size() == 1 && options.auto_scope) {
@@ -208,7 +218,7 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
     if (specs.size() == 1) {
       Result<PerspectiveCube> computed = ComputePerspectiveCube(
           *active, specs[0], options.strategy, options.disk,
-          &result.whatif_stats, options.eval_threads);
+          &result.whatif_stats, options.eval_threads, pipeline);
       if (!computed.ok()) return whatif_fail(computed.status());
       pc.emplace(*std::move(computed));
     } else {
@@ -224,7 +234,7 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
         EvalStats stage_stats;
         Result<PerspectiveCube> stage = ComputePerspectiveCube(
             current, spec, options.strategy, options.disk, &stage_stats,
-            options.eval_threads);
+            options.eval_threads, pipeline);
         if (!stage.ok()) return whatif_fail(stage.status());
         result.whatif_stats.passes += stage_stats.passes;
         result.whatif_stats.chunk_reads += stage_stats.chunk_reads;
@@ -329,6 +339,15 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
     TraceSpan prepare_span("query.batch_prepare");
     BatchEvalOptions batch_options;
     batch_options.threads = options.eval_threads;
+    // Out-of-core scratch materialization is only sound when the backing
+    // file stores the evaluation cube itself (a what-if transform lives in
+    // memory only, never on the simulated device).
+    if (pipeline != nullptr && options.disk->has_backing() &&
+        eval_cube == *cube) {
+      batch_options.out_of_core_disk = options.disk;
+      batch_options.pipelined_io = true;
+      batch_options.pipeline = pipeline_options;
+    }
     batch.emplace(*eval_cube, cache, batch_options);
     std::vector<std::vector<std::pair<int, AxisRef>>> row_over, col_over;
     row_over.reserve(row_tuples.size());

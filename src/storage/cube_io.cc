@@ -870,6 +870,64 @@ Result<Chunk> ReadIndexedChunk(RandomAccessFile* file,
   return chunk;
 }
 
+Result<std::vector<Chunk>> ReadIndexedChunkRun(RandomAccessFile* file,
+                                               const CubeChunkIndex& index,
+                                               ChunkId begin, int count) {
+  if (count <= 0) return Status::InvalidArgument("empty chunk run");
+  // Record framing per chunk: id u64 + nbytes u32 before the payload, CRC
+  // u32 after it. Consecutively-stored ids are contiguous on disk unless
+  // an id between them is unstored.
+  constexpr int64_t kRecordHeaderBytes = 12;
+  std::vector<const CubeChunkIndex::Entry*> entries(count);
+  bool contiguous = true;
+  int64_t next_record_start = -1;
+  for (int i = 0; i < count; ++i) {
+    auto it = index.entries.find(begin + i);
+    if (it == index.entries.end()) {
+      return Status::NotFound("no stored chunk " + std::to_string(begin + i));
+    }
+    entries[i] = &it->second;
+    const int64_t record_start = it->second.payload_offset - kRecordHeaderBytes;
+    if (next_record_start >= 0 && record_start != next_record_start) {
+      contiguous = false;
+    }
+    next_record_start = it->second.payload_offset +
+                        static_cast<int64_t>(it->second.nbytes) + 4;
+  }
+  std::vector<Chunk> out;
+  out.reserve(count);
+  if (!contiguous) {
+    for (int i = 0; i < count; ++i) {
+      Result<Chunk> one = ReadIndexedChunk(file, index, begin + i);
+      if (!one.ok()) return one.status();
+      out.push_back(*std::move(one));
+    }
+    return out;
+  }
+  const int64_t span_begin = entries.front()->payload_offset;
+  const int64_t span_end = next_record_start;
+  std::string body;
+  OLAP_RETURN_IF_ERROR(
+      file->Read(span_begin, static_cast<size_t>(span_end - span_begin), &body));
+  for (int i = 0; i < count; ++i) {
+    const CubeChunkIndex::Entry& entry = *entries[i];
+    const size_t at = static_cast<size_t>(entry.payload_offset - span_begin);
+    std::string_view payload(body.data() + at, entry.nbytes);
+    uint32_t stored_crc;
+    std::memcpy(&stored_crc, body.data() + at + entry.nbytes, 4);
+    if (stored_crc != ChunkRecordCrc(static_cast<uint64_t>(begin + i),
+                                     entry.nbytes, payload)) {
+      return Status::DataLoss("chunk " + std::to_string(begin + i) +
+                              " checksum mismatch");
+    }
+    Chunk chunk(index.cells_per_chunk);
+    OLAP_RETURN_IF_ERROR(DecodeChunkPayload(payload, index.compressed,
+                                            index.cells_per_chunk, &chunk));
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
 Result<int64_t> FileSize(const std::string& path, Env* env) {
   if (env == nullptr) env = Env::Default();
   return env->GetFileSize(path);

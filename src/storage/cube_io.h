@@ -127,6 +127,16 @@ Result<CubeChunkIndex> IndexCubeChunks(Env* env, const std::string& path);
 Result<Chunk> ReadIndexedChunk(RandomAccessFile* file,
                                const CubeChunkIndex& index, ChunkId id);
 
+// Reads chunks [begin, begin + count) with ONE ranged file read covering
+// their records, then CRC-verifies and decodes each. The writer emits
+// chunk records in ascending id order, so a run of consecutively-stored
+// ids is physically contiguous; if the records turn out not to be back to
+// back (ids missing in between), this falls back to per-chunk reads —
+// the result is the same either way. kNotFound if any id is unstored.
+Result<std::vector<Chunk>> ReadIndexedChunkRun(RandomAccessFile* file,
+                                               const CubeChunkIndex& index,
+                                               ChunkId begin, int count);
+
 // Size of the file at `path`, in bytes (for reporting).
 Result<int64_t> FileSize(const std::string& path, Env* env = nullptr);
 

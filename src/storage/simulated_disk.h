@@ -1,10 +1,13 @@
 #ifndef OLAP_STORAGE_SIMULATED_DISK_H_
 #define OLAP_STORAGE_SIMULATED_DISK_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "cube/chunk.h"
@@ -39,6 +42,7 @@ struct IoStats {
   int64_t cache_hits = 0;
   int64_t evictions = 0;          // LRU entries displaced by misses.
   int64_t total_seek_chunks = 0;  // Sum of head travel distances.
+  int64_t coalesced_reads = 0;    // Ranged accesses spanning > 1 chunk.
   double virtual_seconds = 0.0;   // Total simulated I/O time.
 };
 
@@ -46,14 +50,18 @@ struct IoStats {
 // The engine's evaluation strategies call ReadChunk for every chunk they
 // visit; benchmarks add stats().virtual_seconds to measured CPU time.
 //
-// Thread-safe: fetches are charged from parallel evaluation paths, so the
-// cache, head position and stats are guarded by one mutex (the cost model
-// itself is sequential — head travel depends on the previous access — so a
-// finer lock would not help). Backing-file reads run outside the lock
-// (positional pread).
+// Thread-safe. The cache and head position are inherently sequential (the
+// cost of an access depends on the previous one), so they stay behind one
+// mutex — but the critical section is now just the cache touch and the
+// head/seek arithmetic. Statistics accumulate in cache-line-padded stripes
+// of relaxed atomics outside the lock and are merged on demand by stats(),
+// so parallel fetches no longer serialise on stats accounting. The cost
+// model itself stays deterministic for pipelined readers because the
+// ChunkPipeline charges in schedule order from one thread (see
+// storage/chunk_pipeline.h); only the data reads fan out.
 //
 // Optionally backed by a real OLAPCUB2 cube file via AttachBackingFile:
-// FetchChunk then routes cache misses through the Env as ranged,
+// FetchChunk/FetchRun then route cache misses through the Env as ranged,
 // CRC-verified reads of the file's chunk records (storage/cube_io.h) while
 // charging the same cost model — the out-of-core read path of the engine.
 class SimulatedDisk {
@@ -65,10 +73,21 @@ class SimulatedDisk {
   // (0 on a cache hit).
   double ReadChunk(ChunkId id);
 
+  // Accounts for ONE coalesced ranged access covering chunks
+  // [begin, begin + count): ids resident in the cache are hits; the misses
+  // are charged a single seek (head to the first miss) plus one transfer
+  // each, and the head finishes on the last miss — the cost contract of a
+  // single contiguous I/O, which is what makes coalescing adjacent chunk
+  // ids worth it under the Fig. 12 seek model. Returns the seconds charged
+  // (0 when every id hits).
+  double ReadRun(ChunkId begin, int count);
+
   // Indexes the OLAPCUB2 file at `path` and keeps it open for FetchChunk.
   // `env` nullptr -> Env::Default(); must outlive this disk.
   Status AttachBackingFile(Env* env, const std::string& path);
   bool has_backing() const { return backing_file_ != nullptr; }
+  // The backing file's chunk index (valid while has_backing()).
+  const CubeChunkIndex& backing_index() const { return backing_index_; }
 
   // Reads chunk `id` from the backing file (CRC-verified), charging the
   // cost model exactly as ReadChunk does. kFailedPrecondition without a
@@ -76,26 +95,50 @@ class SimulatedDisk {
   // checksum mismatch.
   Result<Chunk> FetchChunk(ChunkId id);
 
-  // A consistent copy of the counters (safe while other threads read).
-  IoStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_ = IoStats{};
-  }
-  // Drops cache contents and resets the head to chunk 0.
+  // Ranged fetch: charges ReadRun(begin, count) and reads the chunks'
+  // records with one ranged file read.
+  Result<std::vector<Chunk>> FetchRun(ChunkId begin, int count);
+
+  // Data-only ranged read of backing chunks [begin, begin + count) —
+  // charges nothing. The ChunkPipeline charges the cost model separately
+  // (in schedule order, from the issuing thread) and calls this from pool
+  // workers; positional preads make concurrent calls safe.
+  Result<std::vector<Chunk>> ReadBackingRun(ChunkId begin, int count) const;
+
+  // A merged snapshot of the counters (safe while other threads read;
+  // exact once concurrent readers have quiesced).
+  IoStats stats() const;
+  void ResetStats();
+  // Drops cache contents, resets the head to chunk 0 and zeroes the stats.
   void Reset();
 
   const DiskModel& model() const { return model_; }
 
  private:
+  // Per-stripe statistics, padded to a cache line so concurrent fetch
+  // threads don't false-share. Stripes are picked by thread identity;
+  // totals are exact because every field is a commutative sum. The virtual
+  // time accumulates per-stripe as a double (serial and pipelined charging
+  // stay on one stripe, preserving the exact pre-striping sums) and merges
+  // in ascending stripe order.
+  struct alignas(64) StatStripe {
+    std::atomic<int64_t> physical_reads{0};
+    std::atomic<int64_t> cache_hits{0};
+    std::atomic<int64_t> evictions{0};
+    std::atomic<int64_t> seek_chunks{0};
+    std::atomic<int64_t> coalesced_reads{0};
+    std::atomic<double> virtual_seconds{0.0};
+  };
+  static constexpr int kStatStripes = 8;
+
+  StatStripe& LocalStripe();
+  static void AddSeconds(std::atomic<double>* slot, double delta);
+
   DiskModel model_;
-  mutable std::mutex mu_;  // Guards cache_, head_, stats_.
+  mutable std::mutex mu_;  // Guards cache_ and head_ only.
   LruChunkCache cache_;
   ChunkId head_ = 0;
-  IoStats stats_;
+  std::array<StatStripe, kStatStripes> stripes_;
   std::unique_ptr<RandomAccessFile> backing_file_;
   CubeChunkIndex backing_index_;
 };

@@ -285,14 +285,24 @@ Cube ApplyDestTable(const Cube& in, Schema schema_out, int varying_dim,
   };
 
   // Deterministic partitioning: contiguous ranges of the ascending stored
-  // list. More tasks than threads for load balance; partial outputs are
+  // list. More tasks than executors for load balance; partial outputs are
   // disjoint in their non-⊥ cells, so the merge below is order-independent.
   // Serial runs use a single task so the merge degenerates to moving the
   // one partial map into the (empty) output cube.
+  //
+  // The fan-out is sized by the *effective* executor count — the requested
+  // thread budget after the work-hinted core/work clamp — not by the
+  // request itself: when the clamp collapses a run to few executors, extra
+  // tasks only duplicate destination-chunk allocations across partial maps
+  // and inflate the AdoptChunks merge (the former inverse thread scaling of
+  // the fig13/split benchmarks on small machines).
+  const int64_t work_units =
+      static_cast<int64_t>(stored.size()) * in.layout().cells_per_chunk();
+  const int executors = ThreadPool::ClampedExecutors(threads, work_units);
   const int num_tasks =
-      threads <= 1 ? 1
-                   : static_cast<int>(std::min<int64_t>(
-                         stored.size(), static_cast<int64_t>(threads) * 4));
+      executors <= 1 ? 1
+                     : static_cast<int>(std::min<int64_t>(
+                           stored.size(), static_cast<int64_t>(executors) * 4));
   std::vector<std::map<ChunkId, Chunk>> partial(num_tasks);
   std::vector<int64_t> moved_per_task(num_tasks, 0);
   auto run_task = [&](int64_t task) {
@@ -307,15 +317,12 @@ Cube ApplyDestTable(const Cube& in, Schema schema_out, int varying_dim,
                     &moved_per_task[task], scratch);
     }
   };
-  if (threads <= 1 || num_tasks <= 1) {
+  if (num_tasks <= 1) {
     for (int task = 0; task < num_tasks; ++task) run_task(task);
   } else {
     // Work-hinted: small relocations (few chunks) run inline instead of
     // paying pool fan-out latency, and executors never exceed the cores.
-    ThreadPool::Shared().ParallelFor(
-        num_tasks, threads,
-        static_cast<int64_t>(stored.size()) * in.layout().cells_per_chunk(),
-        run_task);
+    ThreadPool::Shared().ParallelFor(num_tasks, threads, work_units, run_task);
   }
 
   int64_t moved = 0;

@@ -42,17 +42,34 @@ Gauge* PeakMergeChunksGauge() {
   return g;
 }
 
+// Charges one read pass over `schedule`. The synchronous loop is the
+// oracle; with `pipeline` set the same schedule is charged through the
+// out-of-core pipeline's windowed run coalescing (identical chunk set,
+// fewer seeks). `peak_pebbles` > 0 resolves a defaulted pin budget.
+void ChargeReadPass(const std::vector<ChunkId>& schedule, SimulatedDisk* disk,
+                    const ChunkPipelineOptions* pipeline, int peak_pebbles) {
+  if (disk == nullptr) return;
+  if (pipeline == nullptr) {
+    for (ChunkId id : schedule) disk->ReadChunk(id);
+    return;
+  }
+  ChunkPipelineOptions opts = *pipeline;
+  if (opts.pin_budget <= 0) {
+    opts.pin_budget =
+        std::max<int64_t>(std::max(1, peak_pebbles), opts.lookahead);
+  }
+  ChunkPipeline::ChargeSchedule(disk, schedule, opts);
+}
+
 void ChargeScan(const Cube& cube, int varying_dim,
                 const std::vector<MemberId>& scope, SimulatedDisk* disk,
-                EvalStats* stats) {
+                EvalStats* stats, const ChunkPipelineOptions* pipeline) {
   TraceSpan span("whatif.scan");
   std::vector<ChunkId> chunks = RelevantChunks(cube, varying_dim, scope);
   span.SetDetail("chunks=" + std::to_string(chunks.size()));
   ++stats->passes;
   stats->chunk_reads += static_cast<int64_t>(chunks.size());
-  if (disk != nullptr) {
-    for (ChunkId id : chunks) disk->ReadChunk(id);
-  }
+  ChargeReadPass(chunks, disk, pipeline, /*peak_pebbles=*/0);
 }
 
 // Charges one relocation pass: only the chunks holding (a) instances that
@@ -64,7 +81,8 @@ void ChargeRelocationScan(const Cube& cube, int varying_dim,
                           const std::vector<DynamicBitset>& vs_out,
                           const std::vector<MemberId>& scope,
                           bool pebbling_read_order, SimulatedDisk* disk,
-                          EvalStats* stats) {
+                          EvalStats* stats,
+                          const ChunkPipelineOptions* pipeline) {
   TraceSpan span("whatif.merge_scan");
   const Dimension& dim = cube.schema().dimension(varying_dim);
   std::unordered_set<MemberId> in_scope(scope.begin(), scope.end());
@@ -140,9 +158,7 @@ void ChargeRelocationScan(const Cube& cube, int varying_dim,
   }
   ++stats->passes;
   stats->chunk_reads += static_cast<int64_t>(schedule.size());
-  if (disk != nullptr) {
-    for (ChunkId id : schedule) disk->ReadChunk(id);
-  }
+  ChargeReadPass(schedule, disk, pipeline, stats->peak_merge_chunks);
 }
 
 // For MultipleMdx post-processing: the index of the single-perspective run
@@ -232,7 +248,8 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
                                                EvalStrategy strategy,
                                                SimulatedDisk* disk,
                                                EvalStats* stats,
-                                               int eval_threads) {
+                                               int eval_threads,
+                                               const ChunkPipelineOptions* pipeline) {
   TraceSpan span("whatif.compute_perspective_cube");
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -260,7 +277,7 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
   if (!spec.changes.empty()) {
     std::vector<MemberId> changed;
     for (const ChangeTuple& tuple : spec.changes) changed.push_back(tuple.member);
-    ChargeScan(in, spec.varying_dim, changed, disk, stats);
+    ChargeScan(in, spec.varying_dim, changed, disk, stats, pipeline);
     Result<Cube> split = Split(in, spec.varying_dim, spec.changes, eval_threads);
     if (!split.ok()) return fail(split.status());
     stats->cells_moved += split->CountNonNullCells();
@@ -299,7 +316,7 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
     std::vector<DynamicBitset> vs_out =
         TransformValiditySets(dim, spec.perspectives, spec.semantics);
     ChargeRelocationScan(*base, spec.varying_dim, vs_out, scan_scope,
-                         spec.pebbling_read_order, disk, stats);
+                         spec.pebbling_read_order, disk, stats, pipeline);
     Cube out = Relocate(*base, spec.varying_dim, vs_out, relocate_scope,
                         /*copy_out_of_scope=*/!scoped, &stats->cells_moved,
                         eval_threads);
@@ -321,7 +338,7 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
     std::vector<DynamicBitset> vs =
         TransformValiditySets(dim, single, spec.semantics);
     ChargeRelocationScan(*base, spec.varying_dim, vs, scan_scope,
-                         spec.pebbling_read_order, disk, stats);
+                         spec.pebbling_read_order, disk, stats, pipeline);
     runs.push_back(Relocate(*base, spec.varying_dim, vs, relocate_scope,
                             /*copy_out_of_scope=*/!scoped, &stats->cells_moved,
                             eval_threads));

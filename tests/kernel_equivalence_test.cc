@@ -3,14 +3,20 @@
 // cubes and specs, at every thread count, and the parallel ChunkAggregator
 // must reproduce its serial results exactly.
 
+#include <cstdio>
 #include <cstring>
 #include <map>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "agg/chunk_aggregator.h"
 #include "common/rng.h"
+#include "storage/chunk_pipeline.h"
+#include "storage/cube_io.h"
+#include "storage/env.h"
+#include "storage/simulated_disk.h"
 #include "whatif/operators.h"
 #include "whatif/perspective.h"
 #include "whatif/perspective_cube.h"
@@ -305,6 +311,86 @@ TEST(KernelEquivalenceTest, PerspectiveCubeIsThreadCountInvariant) {
                          "seed " + std::to_string(seed) + " threads " +
                              std::to_string(threads));
     }
+  }
+}
+
+// Out-of-core streaming: the async ChunkPipeline must deliver fuzz cubes'
+// chunks bit-identically to a synchronous FetchChunk loop over the same
+// schedule, at every io_threads setting, whatever the (random) tiling and
+// sparsity of the stored chunk set.
+TEST(KernelEquivalenceTest, PipelineStreamsFuzzCubesBitIdentically) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    FuzzWorld world = BuildFuzzWorld(seed + 5000);
+    const std::string path = ::testing::TempDir() + "/kernel_equiv_pipe_" +
+                             std::to_string(seed) + ".olap";
+    ASSERT_TRUE(SaveCube(world.cube, path).ok());
+
+    std::vector<ChunkId> stored;
+    world.cube.ForEachChunk(
+        [&](ChunkId id, const Chunk&) { stored.push_back(id); });
+    if (stored.empty()) {
+      std::remove(path.c_str());
+      continue;
+    }
+
+    // Interleave the two halves of the stored-id list (the Fig. 12 access
+    // shape) and append random revisits so cached re-reads are exercised.
+    Rng rng(seed * 2654435761u + 11);
+    std::vector<ChunkId> schedule;
+    const size_t half = stored.size() / 2;
+    for (size_t i = 0; i < half; ++i) {
+      schedule.push_back(stored[i]);
+      schedule.push_back(stored[half + i]);
+    }
+    if (stored.size() % 2 != 0) schedule.push_back(stored.back());
+    const int revisits = 1 + static_cast<int>(rng.NextBelow(6));
+    for (int i = 0; i < revisits; ++i) {
+      schedule.push_back(stored[rng.NextBelow(stored.size())]);
+    }
+
+    DiskModel model;
+    model.seek_seconds_per_chunk = 1e-6;
+    model.max_seek_seconds = 1e-3;
+    model.transfer_seconds = 1e-4;
+
+    // Synchronous oracle: per-schedule-entry FetchChunk.
+    std::vector<Chunk> expected;
+    {
+      SimulatedDisk disk(model, /*cache_capacity_chunks=*/0);
+      ASSERT_TRUE(disk.AttachBackingFile(Env::Default(), path).ok());
+      for (ChunkId id : schedule) {
+        Result<Chunk> chunk = disk.FetchChunk(id);
+        ASSERT_TRUE(chunk.ok()) << chunk.status().ToString();
+        expected.push_back(std::move(*chunk));
+      }
+    }
+
+    for (int threads : kThreadCounts) {
+      SimulatedDisk disk(model, /*cache_capacity_chunks=*/0);
+      ASSERT_TRUE(disk.AttachBackingFile(Env::Default(), path).ok());
+      ChunkPipelineOptions options;
+      options.lookahead = 8;
+      options.io_threads = threads;
+      ChunkPipeline pipeline(&disk, schedule, options);
+      for (size_t i = 0; i < schedule.size(); ++i) {
+        Result<ChunkPipeline::Pin> pin = pipeline.Next();
+        ASSERT_TRUE(pin.ok()) << pin.status().ToString();
+        ASSERT_EQ(pin->id(), schedule[i])
+            << "seed " << seed << " threads " << threads << " entry " << i;
+        const Chunk& got = pin->chunk();
+        ASSERT_EQ(expected[i].size(), got.size());
+        for (int64_t off = 0; off < got.size(); ++off) {
+          ASSERT_EQ(BitsOf(expected[i].Get(off)), BitsOf(got.Get(off)))
+              << "seed " << seed << " threads " << threads << " entry " << i
+              << " offset " << off;
+        }
+      }
+      EXPECT_TRUE(pipeline.Done());
+      EXPECT_EQ(pipeline.Next().status().code(), StatusCode::kOutOfRange);
+      EXPECT_EQ(pipeline.stats().chunks_delivered,
+                static_cast<int64_t>(schedule.size()));
+    }
+    std::remove(path.c_str());
   }
 }
 

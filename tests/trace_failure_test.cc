@@ -7,8 +7,11 @@
 #include <cstdio>
 #include <string>
 
+#include <vector>
+
 #include "common/trace.h"
 #include "engine/executor.h"
+#include "storage/chunk_pipeline.h"
 #include "storage/cube_io.h"
 #include "storage/fault_env.h"
 #include "storage/simulated_disk.h"
@@ -120,6 +123,48 @@ TEST_F(TraceFailureTest, FailedQueryClosesTheWholeTree) {
   EXPECT_EQ(data.CountOf("query.bind"), 1);
   // Phases after the failure never ran — and left no dangling spans.
   EXPECT_EQ(data.CountOf("query.evaluate"), 0);
+}
+
+TEST_F(TraceFailureTest, FaultMidPrefetchClosesFetchBatchSpansWithError) {
+  PaperExample ex = BuildPaperExample();
+  const std::string path = TempPath("trace_failure_prefetch.olap");
+  ASSERT_TRUE(SaveCube(ex.cube, path).ok());
+
+  FaultInjectingEnv env(Env::Default());
+  SimulatedDisk disk(DiskModel{}, 0);
+  // Attach through the healthy env (indexing must succeed), then make every
+  // subsequent data read fail: the fault lands mid-prefetch, on a pool
+  // worker inside a pipeline.fetch_batch span.
+  ASSERT_TRUE(disk.AttachBackingFile(&env, path).ok());
+  env.InjectError(FaultOp::kRead, /*skip=*/0, StatusCode::kUnavailable,
+                  FaultInjectingEnv::kForever);
+
+  std::vector<ChunkId> schedule;
+  ex.cube.ForEachChunk([&](ChunkId id, const Chunk&) { schedule.push_back(id); });
+  ASSERT_FALSE(schedule.empty());
+
+  ChunkPipelineOptions options;
+  options.lookahead = 4;
+  // FaultInjectingEnv's fault table is not thread-safe; one batch in flight
+  // keeps all env access sequential.
+  options.io_threads = 1;
+
+  ASSERT_TRUE(TraceCollector::Enable());
+  Status failure = Status::Ok();
+  {
+    ChunkPipeline pipeline(&disk, schedule, options);
+    for (size_t i = 0; i < schedule.size(); ++i) {
+      Result<ChunkPipeline::Pin> pin = pipeline.Next();
+      if (!pin.ok()) {
+        failure = pin.status();
+        break;
+      }
+    }
+  }  // Destructor drains outstanding batches before the trace is read.
+  EXPECT_EQ(failure.code(), StatusCode::kUnavailable) << failure.ToString();
+  ExpectClosedErrorTree(TraceCollector::DisableAndDrain(),
+                        "pipeline.fetch_batch", "");
+  std::remove(path.c_str());
 }
 
 TEST_F(TraceFailureTest, RejectedWhatIfSpecClosesComputeSpanWithError) {
