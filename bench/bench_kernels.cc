@@ -13,8 +13,10 @@
 //   --smoke   scaled-down workloads + fewer repetitions (CI-sized)
 //   --out     write the JSON report to <path> (default: stdout only)
 //   --check   exit non-zero if the 1-thread kernel path is more than 1.5x
-//             slower than the per-cell reference on any workload, or if any
-//             result mismatches the reference (the CI regression gate)
+//             slower than the per-cell reference on any workload, if any
+//             result mismatches the reference, or if an enabled-but-idle
+//             query governor costs more than 5% on the Fig. 12 query
+//             (the CI regression gate)
 //   --profile       also time the Fig. 12 Relocate with tracing enabled vs
 //                   disabled (serial and 4-thread) and emit the per-span
 //                   breakdown + metrics delta as a second JSON report; with
@@ -540,8 +542,65 @@ void WriteProfileJson(FILE* f, const ProfileReport& r, bool smoke) {
   fprintf(f, "}\n");
 }
 
+// Governor overhead: the Fig. 12 what-if query end-to-end with the
+// governor off vs enabled-but-idle (a QueryContext is created and polled
+// at every phase boundary, but no limit ever trips). The ratio is the
+// whole cost of governance plumbing on an unpressured query; CI gates it
+// at kGovernorOverheadLimit under --check.
+struct GovernorReport {
+  int reps = 0;
+  std::map<int, double> off_ms;  // governor absent, best-of-reps.
+  std::map<int, double> on_ms;   // governor enabled-but-idle.
+
+  double OverheadRatio(int threads) const {
+    double off = off_ms.at(threads);
+    return off > 0 ? on_ms.at(threads) / off : 1.0;
+  }
+};
+
+constexpr double kGovernorOverheadLimit = 1.05;
+// Same reasoning as kProfileGraceMs: millisecond-scale smoke queries
+// jitter by more than 5% on a loaded machine.
+constexpr double kGovernorGraceMs = 0.25;
+
+GovernorReport RunGovernorOverhead(bool smoke) {
+  ProductCubeConfig config;
+  config.separation_chunks = smoke ? 40 : 200;
+  config.chunk_products = 4;
+  config.move_moment = 6;
+  ProductCube pc = BuildProductCube(config);
+  Database db;
+  if (!db.AddCube("Products", pc.cube).ok()) abort();
+  Executor exec(&db);
+  const char* query =
+      "WITH PERSPECTIVE {(Jan), (Jul)} FOR Product DYNAMIC FORWARD "
+      "SELECT {Time.[Jan], Time.[Jul]} ON COLUMNS, "
+      "{Product.[1001]} ON ROWS FROM Products "
+      "WHERE (Measures.[Sales])";
+
+  GovernorReport report;
+  report.reps = smoke ? 5 : 7;
+  for (int threads : {1, 4}) {
+    QueryOptions off;
+    off.eval_threads = threads;
+    report.off_ms[threads] = BestOfMs(report.reps, [&] {
+      Result<QueryResult> r = exec.Execute(query, off);
+      if (!r.ok()) abort();
+    });
+    QueryOptions on = off;
+    on.governor.enabled = true;
+    report.on_ms[threads] = BestOfMs(report.reps, [&] {
+      Result<QueryResult> r = exec.Execute(query, on);
+      // Idle means idle: an unpressured query must not degrade.
+      if (!r.ok() || !r->governor_steps.empty()) abort();
+    });
+  }
+  return report;
+}
+
 void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports,
-               const MemoReport& memo, bool smoke) {
+               const MemoReport& memo, const GovernorReport& governor,
+               bool smoke) {
   fprintf(f, "{\n");
   fprintf(f, "  \"bench\": \"bench_kernels\",\n");
   fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
@@ -557,6 +616,28 @@ void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports,
           "\"speedup\": %.2f},\n",
           memo.uncached_ms, memo.memo_ms,
           memo.memo_ms > 0 ? memo.uncached_ms / memo.memo_ms : 0.0);
+  fprintf(f, "  \"governor_overhead\": {\"limit\": %.2f, ",
+          kGovernorOverheadLimit);
+  for (const char* key : {"off_ms", "on_ms"}) {
+    const std::map<int, double>& ms =
+        std::strcmp(key, "off_ms") == 0 ? governor.off_ms : governor.on_ms;
+    fprintf(f, "\"%s\": {", key);
+    bool first_entry = true;
+    for (const auto& [threads, v] : ms) {
+      fprintf(f, "%s\"%d\": %.4f", first_entry ? "" : ", ", threads, v);
+      first_entry = false;
+    }
+    fprintf(f, "}, ");
+  }
+  fprintf(f, "\"ratio\": {");
+  bool first_ratio = true;
+  for (const auto& [threads, v] : governor.off_ms) {
+    (void)v;
+    fprintf(f, "%s\"%d\": %.4f", first_ratio ? "" : ", ", threads,
+            governor.OverheadRatio(threads));
+    first_ratio = false;
+  }
+  fprintf(f, "}},\n");
   fprintf(f, "  \"workloads\": [\n");
   for (size_t i = 0; i < reports.size(); ++i) {
     const WorkloadReport& r = reports[i];
@@ -627,19 +708,34 @@ int Main(int argc, char** argv) {
   reports.push_back(RunSplit(smoke));
   reports.push_back(RunRollup(smoke));
   MemoReport memo = RunGetCellMemo(smoke);
+  GovernorReport governor = RunGovernorOverhead(smoke);
 
-  WriteJson(stdout, reports, memo, smoke);
+  WriteJson(stdout, reports, memo, governor, smoke);
   if (!out_path.empty()) {
     FILE* f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
       fprintf(stderr, "cannot open %s\n", out_path.c_str());
       return 2;
     }
-    WriteJson(f, reports, memo, smoke);
+    WriteJson(f, reports, memo, governor, smoke);
     std::fclose(f);
   }
 
   int failures = 0;
+  if (check) {
+    for (int threads : {1, 4}) {
+      const double off = governor.off_ms.at(threads);
+      const double on = governor.on_ms.at(threads);
+      if (on > off * kGovernorOverheadLimit + kGovernorGraceMs) {
+        fprintf(stderr,
+                "FAIL fig12 governor (%d thread%s): enabled-but-idle %.3f ms "
+                "vs off %.3f ms (limit %.0f%% + %.2f ms)\n",
+                threads, threads == 1 ? "" : "s", on, off,
+                (kGovernorOverheadLimit - 1.0) * 100, kGovernorGraceMs);
+        ++failures;
+      }
+    }
+  }
   if (profile) {
     ProfileReport prof = RunProfile(smoke);
     WriteProfileJson(stdout, prof, smoke);

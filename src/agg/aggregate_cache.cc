@@ -48,12 +48,12 @@ bool RootScopeIsUnitCover(const Cube& cube, int dim) {
 
 AggregateCache::AggregateCache(const Cube& cube,
                                const std::vector<GroupByMask>& masks,
-                               int threads)
+                               int threads, const CancellationToken& cancel)
     : masks_(masks) {
   ChunkAggregator aggregator(cube);
   std::vector<int> order(cube.num_dims());
   std::iota(order.begin(), order.end(), 0);
-  views_ = aggregator.Compute(masks_, order, /*disk=*/nullptr, threads);
+  views_ = aggregator.Compute(masks_, order, /*disk=*/nullptr, threads, cancel);
   root_droppable_.resize(cube.num_dims());
   for (int d = 0; d < cube.num_dims(); ++d) {
     root_droppable_[d] = RootScopeIsUnitCover(cube, d) ? 1 : 0;
@@ -76,9 +76,14 @@ AggregateCache::AggregateCache(const Cube& cube,
                 Status(StatusCode::kFailedPrecondition, "no disk"));
   if (streamed.ok()) {
     views_ = *std::move(streamed);
+  } else if (streamed.status().code() == StatusCode::kCancelled ||
+             streamed.status().code() == StatusCode::kDeadlineExceeded) {
+    // The query is being torn down; a full in-memory scan now would be
+    // wasted work. Leave the cache empty — the owner must discard it.
   } else {
     // The in-memory pass is always available and value-equivalent.
-    views_ = aggregator.Compute(masks_, order, /*disk=*/nullptr, threads);
+    views_ = aggregator.Compute(masks_, order, /*disk=*/nullptr, threads,
+                                options.cancel);
   }
   root_droppable_.resize(cube.num_dims());
   for (int d = 0; d < cube.num_dims(); ++d) {

@@ -31,15 +31,21 @@ class AggregateCache {
   // Materializes the given group-bys of `cube` in one chunk pass.
   // `threads` parallelises the materialization pass (results are
   // bit-identical at every thread count; see ChunkAggregator).
+  //
+  // `cancel`: a build that observes a stop request abandons the pass; the
+  // resulting cache holds garbage partials and must be discarded by the
+  // caller (BatchCellEvaluator drops its scratch in exactly this case).
   AggregateCache(const Cube& cube, const std::vector<GroupByMask>& masks,
-                 int threads = 1);
+                 int threads = 1, const CancellationToken& cancel = {});
 
   // Out-of-core materialization: streams the chunk data from `disk`'s
   // backing file (which must store `cube`) through
   // ChunkAggregator::ComputeOutOfCore — synchronous fetches or the async
   // prefetch pipeline per `options`. Falls back to the in-memory pass when
   // streaming is unavailable (no backing file) or fails; either way the
-  // views are value-equivalent.
+  // views are value-equivalent. Exception: a stream abandoned by
+  // options.cancel does NOT fall back (no wasted full scan after a
+  // cancelled query) — the cache is left empty and must be discarded.
   AggregateCache(const Cube& cube, const std::vector<GroupByMask>& masks,
                  SimulatedDisk* disk,
                  const ChunkAggregator::OutOfCoreOptions& options,

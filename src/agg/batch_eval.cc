@@ -112,6 +112,12 @@ BatchCellEvaluator::BatchCellEvaluator(const Cube& data,
   scopes_.resize(data_.num_dims());
 }
 
+BatchCellEvaluator::~BatchCellEvaluator() {
+  if (reserved_cells_ > 0 && options_.release_cells) {
+    options_.release_cells(reserved_cells_);
+  }
+}
+
 const BatchCellEvaluator::ScopeEntry& BatchCellEvaluator::ScopeOf(
     int dim, const AxisRef& ref) {
   auto [it, inserted] = scopes_[dim].try_emplace(ScopeKey(ref));
@@ -271,16 +277,43 @@ void BatchCellEvaluator::PlanAndMaterialize(
     masks.push_back(c.mask);
     total_cells += c.cells;
   }
+  // Governor budget gate: scratch views are the evaluator's one large
+  // optional allocation, so the whole plan is reserved up front. A denial
+  // is the first degradation rung — every ref falls back to the per-cell
+  // path, which needs no scratch memory at all.
+  if (options_.try_reserve_cells && !options_.try_reserve_cells(total_cells)) {
+    static Counter* denied =
+        MetricsRegistry::Global().counter("agg.batch.budget_denied");
+    denied->Increment();
+    if (options_.on_degrade) options_.on_degrade("batched_eval_off");
+    span.SetDetail("views=0 budget_denied");
+    return;
+  }
+  reserved_cells_ = total_cells;
+
   // Deterministic view order regardless of ref-count ranking.
   std::sort(masks.begin(), masks.end());
   if (options_.out_of_core_disk != nullptr) {
     ChunkAggregator::OutOfCoreOptions ooc;
     ooc.pipelined = options_.pipelined_io;
     ooc.pipeline = options_.pipeline;
+    ooc.cancel = options_.cancel;
+    ooc.on_degrade = options_.on_degrade;
     scratch_.emplace(data_, masks, options_.out_of_core_disk, ooc,
                      options_.threads);
   } else {
-    scratch_.emplace(data_, masks, options_.threads);
+    scratch_.emplace(data_, masks, options_.threads, options_.cancel);
+  }
+  // Never publish a partially-materialized cache: a pass interrupted by
+  // cancellation is dropped whole, and the budget reservation returned —
+  // the evaluator remains valid (per-cell path) for any caller that
+  // chooses to keep going.
+  if (options_.cancel.ShouldStop()) {
+    scratch_.reset();
+    if (options_.release_cells) options_.release_cells(reserved_cells_);
+    reserved_cells_ = 0;
+    span.SetDetail("views=0 cancelled");
+    return;
   }
   bm.views_materialized->Increment(static_cast<int64_t>(masks.size()));
   bm.view_cells->Increment(total_cells);

@@ -2,6 +2,7 @@
 #define OLAP_AGG_BATCH_EVAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -61,6 +62,20 @@ struct BatchEvalOptions {
   // reads) instead of synchronous per-chunk fetches.
   bool pipelined_io = false;
   ChunkPipelineOptions pipeline;
+  // Cooperative cancellation, threaded into the materialization pass and
+  // its pipeline. A Prepare* that observes a stop request publishes NO
+  // scratch views (the cache is never left partially materialized); the
+  // evaluator itself stays usable on the per-cell path.
+  CancellationToken cancel;
+  // Memory-accountant hooks, wired by the engine to the query's governor
+  // (all may be empty). try_reserve_cells(total_view_cells) is asked
+  // before scratch materialization; a denial skips the whole scratch plan
+  // — refs fall back to per-cell evaluation — and is reported through
+  // on_degrade("batched_eval_off"). The reservation is returned via
+  // release_cells when the evaluator dies.
+  std::function<bool(int64_t)> try_reserve_cells;
+  std::function<void(int64_t)> release_cells;
+  std::function<void(const char*)> on_degrade;
 };
 
 class BatchCellEvaluator {
@@ -70,6 +85,9 @@ class BatchCellEvaluator {
   // references must outlive the evaluator.
   BatchCellEvaluator(const Cube& data, const AggregateCache* persistent,
                      const BatchEvalOptions& options = BatchEvalOptions());
+  // Returns any scratch-view budget reservation through
+  // options.release_cells.
+  ~BatchCellEvaluator();
 
   // Plans and materializes cover views for a result grid: every cell ref is
   // `base` with one row tuple's (dimension, coordinate) overrides applied,
@@ -120,6 +138,7 @@ class BatchCellEvaluator {
   // during Prepare*, read-only afterwards.
   std::vector<std::unordered_map<uint64_t, ScopeEntry>> scopes_;
   std::optional<AggregateCache> scratch_;
+  int64_t reserved_cells_ = 0;  // Outstanding governor reservation.
 };
 
 }  // namespace olap

@@ -112,7 +112,7 @@ std::vector<GroupByResult> NaiveAggregator::Compute(
 
 std::vector<GroupByResult> ChunkAggregator::Compute(
     const std::vector<GroupByMask>& masks, const std::vector<int>& order,
-    SimulatedDisk* disk, int threads) {
+    SimulatedDisk* disk, int threads, const CancellationToken& cancel) {
   TraceSpan span("agg.rollup");
   stats_ = AggStats{};
   std::vector<GroupByResult> out;
@@ -187,6 +187,7 @@ std::vector<GroupByResult> ChunkAggregator::Compute(
 
   if (num_partitions <= 1) {
     for (const auto& [id, chunk] : visit) {
+      if (cancel.ShouldStop()) break;  // Caller discards the partial result.
       AccumulateChunkIntoGroupBys(layout, id, *chunk, &out);
     }
   } else {
@@ -198,6 +199,7 @@ std::vector<GroupByResult> ChunkAggregator::Compute(
       const int64_t begin = p * num_visited / num_partitions;
       const int64_t end = (p + 1) * num_visited / num_partitions;
       for (int64_t i = begin; i < end; ++i) {
+        if (cancel.ShouldStop()) return;  // Partition stays partial; see below.
         AccumulateChunkIntoGroupBys(layout, visit[i].first, *visit[i].second,
                                     &mine);
       }
@@ -205,8 +207,11 @@ std::vector<GroupByResult> ChunkAggregator::Compute(
     ThreadPool::Shared().ParallelFor(
         num_partitions, threads,
         stats_.cells_scanned * static_cast<int64_t>(masks.size()),
-        run_partition);
+        run_partition, cancel);
     for (int64_t p = 0; p < num_partitions; ++p) {
+      // A cancelled run may have skipped partitions outright, leaving
+      // their shell vectors unbuilt — skip them; the result is discarded.
+      if (partials[p].size() != out.size()) continue;
       for (size_t m = 0; m < out.size(); ++m) out[m].MergeFrom(partials[p][m]);
     }
   }
@@ -293,45 +298,85 @@ Result<std::vector<GroupByResult>> ChunkAggregator::ComputeOutOfCore(
                                       by_mem, by_merge_cost, kMaxPartitions}));
 
   std::vector<std::vector<GroupByResult>> partials;
-  std::vector<GroupByResult>* sink = &out;
-  if (num_partitions > 1) {
-    partials.resize(num_partitions);
-    for (int64_t p = 0; p < num_partitions; ++p) {
-      partials[p].reserve(masks.size());
-      for (GroupByMask mask : masks) {
-        partials[p].push_back(MakeGroupByShell(cube_, mask));
+  // A degraded retry restarts the stream, so accumulation state must be
+  // rebuilt from shells before every attempt — the delivered numbers are
+  // exactly one successful pass's, bit-identical to an undegraded run.
+  auto reset_accumulators = [&] {
+    stats_.cells_scanned = 0;
+    out.clear();
+    for (GroupByMask mask : masks) out.push_back(MakeGroupByShell(cube_, mask));
+    partials.clear();
+    if (num_partitions > 1) {
+      partials.resize(num_partitions);
+      for (int64_t p = 0; p < num_partitions; ++p) {
+        partials[p].reserve(masks.size());
+        for (GroupByMask mask : masks) {
+          partials[p].push_back(MakeGroupByShell(cube_, mask));
+        }
       }
     }
-  }
+  };
   // Streams chunks in visit order into the partition that owns each visit
   // index; identical accumulation and merge order in both modes.
   auto partition_of = [&](int64_t i) {
     return num_partitions <= 1 ? int64_t{0} : i * num_partitions / num_visited;
   };
-  auto accumulate = [&](int64_t i, ChunkId id, const Chunk& chunk) {
-    stats_.cells_scanned += chunk.CountNonNull();
-    if (num_partitions > 1) sink = &partials[partition_of(i)];
-    AccumulateChunkIntoGroupBys(layout, id, chunk, sink);
+  auto run_stream = [&](bool pipelined,
+                        const ChunkPipelineOptions& popts) -> Status {
+    reset_accumulators();
+    std::vector<GroupByResult>* sink = &out;
+    auto accumulate = [&](int64_t i, ChunkId id, const Chunk& chunk) {
+      stats_.cells_scanned += chunk.CountNonNull();
+      if (num_partitions > 1) sink = &partials[partition_of(i)];
+      AccumulateChunkIntoGroupBys(layout, id, chunk, sink);
+    };
+    if (!pipelined) {
+      for (int64_t i = 0; i < num_visited; ++i) {
+        OLAP_RETURN_IF_ERROR(options.cancel.Poll("rollup stream"));
+        Result<Chunk> chunk = disk->FetchChunk(visit[i]);
+        if (!chunk.ok()) return chunk.status();
+        accumulate(i, visit[i], *chunk);
+      }
+    } else {
+      ChunkPipeline pipeline(disk, visit, popts);
+      for (int64_t i = 0; i < num_visited; ++i) {
+        Result<ChunkPipeline::Pin> pin = pipeline.Next();
+        if (!pin.ok()) return pin.status();
+        accumulate(i, pin->id(), pin->chunk());
+      }
+    }
+    return Status::Ok();
   };
-  if (!options.pipelined) {
-    for (int64_t i = 0; i < num_visited; ++i) {
-      Result<Chunk> chunk = disk->FetchChunk(visit[i]);
-      if (!chunk.ok()) {
-        span.SetError(chunk.status());
-        return chunk.status();
-      }
-      accumulate(i, visit[i], *chunk);
+
+  static Counter* lookahead_retries =
+      MetricsRegistry::Global().counter("agg.outofcore.lookahead_retries");
+  static Counter* sync_fallbacks =
+      MetricsRegistry::Global().counter("agg.outofcore.sync_fallbacks");
+
+  ChunkPipelineOptions popts = options.pipeline;
+  popts.cancel = options.cancel;
+  bool pipelined = options.pipelined;
+  Status stream_status = run_stream(pipelined, popts);
+  // Degradation ladder (DESIGN.md §11): a kResourceExhausted pipelined
+  // stream — pin budget wedged by the consumer, or the device out of
+  // quota — retries with the lookahead window halved (shrinking the
+  // derived pin budget with it), then falls back to the synchronous
+  // per-chunk loop; only a sync pass that still fails surfaces the error.
+  while (stream_status.code() == StatusCode::kResourceExhausted && pipelined) {
+    if (popts.lookahead > 1) {
+      popts.lookahead = std::max(1, popts.lookahead / 2);
+      lookahead_retries->Increment();
+      if (options.on_degrade) options.on_degrade("lookahead_halved");
+    } else {
+      pipelined = false;
+      sync_fallbacks->Increment();
+      if (options.on_degrade) options.on_degrade("sync_io");
     }
-  } else {
-    ChunkPipeline pipeline(disk, visit, options.pipeline);
-    for (int64_t i = 0; i < num_visited; ++i) {
-      Result<ChunkPipeline::Pin> pin = pipeline.Next();
-      if (!pin.ok()) {
-        span.SetError(pin.status());
-        return pin.status();
-      }
-      accumulate(i, pin->id(), pin->chunk());
-    }
+    stream_status = run_stream(pipelined, popts);
+  }
+  if (!stream_status.ok()) {
+    span.SetError(stream_status);
+    return stream_status;
   }
   if (num_partitions > 1) {
     for (int64_t p = 0; p < num_partitions; ++p) {

@@ -2,10 +2,12 @@
 #define OLAP_AGG_CHUNK_AGGREGATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "agg/group_by.h"
 #include "agg/lattice.h"
+#include "common/cancellation.h"
 #include "cube/cube.h"
 #include "storage/chunk_pipeline.h"
 #include "storage/simulated_disk.h"
@@ -54,10 +56,16 @@ class ChunkAggregator {
   // plan and the merge order are thread-independent, the results are
   // bit-identical at every thread count. Stats and disk charging come from
   // a serial traversal pre-pass and are likewise unchanged.
+  //
+  // `cancel` is polled at chunk/partition granularity. A pass that
+  // observes a stop request returns early with *incomplete* partials — the
+  // caller owns checking the token afterwards and must discard the result
+  // (never publish it into a cache).
   std::vector<GroupByResult> Compute(const std::vector<GroupByMask>& masks,
                                      const std::vector<int>& order,
                                      SimulatedDisk* disk = nullptr,
-                                     int threads = 1);
+                                     int threads = 1,
+                                     const CancellationToken& cancel = {});
 
   // Out-of-core variant: reads the chunk data from `disk`'s backing file
   // (which must store this aggregator's cube) instead of the in-memory
@@ -69,10 +77,25 @@ class ChunkAggregator {
   //     oracle — compute stalls on every virtual+real read);
   //   * pipelined=true:  chunks stream through a ChunkPipeline (prefetch,
   //     coalesced ranged reads, bounded pin table), one pin held at a time.
-  // kFailedPrecondition without a backing file; read errors propagate.
+  // kFailedPrecondition without a backing file; read errors propagate —
+  // except kResourceExhausted from the pipelined mode, which walks a
+  // degradation ladder first: the stream is retried with the lookahead
+  // window halved (repeatedly, down to 1), then falls back to the
+  // synchronous per-chunk loop, and only a still-failing sync pass
+  // surfaces the error. Each retry restarts accumulation from scratch, so
+  // the delivered numbers are exactly the successful pass's (bit-identical
+  // to an undegraded run). Rungs taken are reported through `on_degrade`
+  // and the agg.outofcore.* counters.
   struct OutOfCoreOptions {
     bool pipelined = false;
     ChunkPipelineOptions pipeline;
+    // Polled per streamed chunk; also threaded into the pipeline. On a
+    // stop request ComputeOutOfCore returns kCancelled/kDeadlineExceeded
+    // (cancellation is terminal: the ladder does not retry it).
+    CancellationToken cancel;
+    // Ladder-step callback ("lookahead_halved", "sync_io"); the engine
+    // wires this to QueryContext::RecordDegradation. May be empty.
+    std::function<void(const char*)> on_degrade;
   };
   Result<std::vector<GroupByResult>> ComputeOutOfCore(
       const std::vector<GroupByMask>& masks, const std::vector<int>& order,

@@ -1,0 +1,158 @@
+#include "common/cancellation.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace olap {
+namespace cancel_internal {
+
+namespace {
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+struct CancelState {
+  std::atomic<int> reason{0};
+  std::atomic<int64_t> deadline_ns{0};     // 0 = no deadline armed.
+  std::atomic<int64_t> deadline_start{0};  // When the deadline was armed.
+  std::atomic<int64_t> polls{0};
+  std::atomic<int64_t> cancel_after_polls{-1};  // -1 = hook disarmed.
+  std::shared_ptr<CancelState> parent;          // Set once, before sharing.
+
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // First reason wins; waiters are woken exactly once.
+  void Latch(CancelReason r) {
+    int expected = 0;
+    if (reason.compare_exchange_strong(expected, static_cast<int>(r),
+                                       std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> lock(mu);
+      cv.notify_all();
+    }
+  }
+
+  // The poll: counts (when `count`), fires the poll hook, latches an
+  // expired deadline, consults the parent. Returns true once stopped.
+  bool Check(bool count) {
+    if (count) {
+      const int64_t p = polls.fetch_add(1, std::memory_order_relaxed) + 1;
+      const int64_t trip = cancel_after_polls.load(std::memory_order_relaxed);
+      if (trip >= 0 && p >= trip) Latch(CancelReason::kCancelled);
+    }
+    if (reason.load(std::memory_order_acquire) != 0) return true;
+    const int64_t d = deadline_ns.load(std::memory_order_relaxed);
+    if (d != 0 && NowNanos() >= d) {
+      Latch(CancelReason::kDeadlineExceeded);
+      return true;
+    }
+    // Propagate the count so a CancelAfterPolls hook armed on an ancestor
+    // observes polls made through chained children (e.g. a query's own
+    // context chained under an external source).
+    if (parent != nullptr && parent->Check(count)) {
+      Latch(static_cast<CancelReason>(
+          parent->reason.load(std::memory_order_acquire)));
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace cancel_internal
+
+using cancel_internal::CancelState;
+
+bool CancellationToken::ShouldStop() const {
+  return state_ != nullptr && state_->Check(/*count=*/true);
+}
+
+Status CancellationToken::Poll(const char* what) const {
+  if (!ShouldStop()) return Status::Ok();
+  std::string msg = what != nullptr ? what : "query";
+  switch (reason()) {
+    case CancelReason::kDeadlineExceeded:
+      return Status::DeadlineExceeded(msg + ": deadline exceeded");
+    default:
+      return Status::Cancelled(msg + ": cancelled");
+  }
+}
+
+CancelReason CancellationToken::reason() const {
+  if (state_ == nullptr) return CancelReason::kNone;
+  return static_cast<CancelReason>(
+      state_->reason.load(std::memory_order_acquire));
+}
+
+bool CancellationToken::WaitFor(double seconds) const {
+  const auto duration = std::chrono::duration<double>(std::max(0.0, seconds));
+  if (state_ == nullptr) {
+    std::this_thread::sleep_for(duration);
+    return false;
+  }
+  const auto end =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(duration);
+  // Slice the wait so a chained parent tripping (which signals the
+  // parent's cv, not ours) is still observed promptly — the slice bounds
+  // cancellation latency for sleepers at ~2ms.
+  constexpr auto kSlice = std::chrono::milliseconds(2);
+  while (true) {
+    if (state_->Check(/*count=*/true)) return true;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= end) return false;
+    std::unique_lock<std::mutex> lock(state_->mu);
+    if (state_->reason.load(std::memory_order_acquire) != 0) return true;
+    state_->cv.wait_for(lock, std::min<std::chrono::steady_clock::duration>(
+                                  kSlice, end - now));
+  }
+}
+
+int64_t CancellationToken::polls() const {
+  return state_ == nullptr ? 0
+                           : state_->polls.load(std::memory_order_relaxed);
+}
+
+CancellationSource::CancellationSource()
+    : state_(std::make_shared<CancelState>()), token_(state_) {}
+
+CancellationSource::CancellationSource(const CancellationToken& parent)
+    : state_(std::make_shared<CancelState>()) {
+  state_->parent = parent.state_;
+  token_ = CancellationToken(state_);
+}
+
+void CancellationSource::RequestCancel() {
+  state_->Latch(CancelReason::kCancelled);
+}
+
+void CancellationSource::SetDeadlineAfter(double seconds) {
+  const int64_t now = cancel_internal::NowNanos();
+  state_->deadline_start.store(now, std::memory_order_relaxed);
+  state_->deadline_ns.store(
+      now + static_cast<int64_t>(std::max(0.0, seconds) * 1e9),
+      std::memory_order_relaxed);
+}
+
+double CancellationSource::DeadlineFractionElapsed() const {
+  const int64_t d = state_->deadline_ns.load(std::memory_order_relaxed);
+  if (d == 0) return 0.0;
+  const int64_t start = state_->deadline_start.load(std::memory_order_relaxed);
+  if (d <= start) return 1.0;
+  const double f = static_cast<double>(cancel_internal::NowNanos() - start) /
+                   static_cast<double>(d - start);
+  return std::max(0.0, f);
+}
+
+void CancellationSource::CancelAfterPolls(int64_t n) {
+  const int64_t now = state_->polls.load(std::memory_order_relaxed);
+  state_->cancel_after_polls.store(now + std::max<int64_t>(1, n),
+                                   std::memory_order_relaxed);
+}
+
+}  // namespace olap

@@ -22,6 +22,8 @@ enum class StatusCode {
   kDataLoss,          // Unrecoverable corruption (bad CRC, torn write).
   kUnavailable,       // Transient fault; safe to retry with backoff.
   kResourceExhausted, // Out of quota/space; may clear up, retryable.
+  kCancelled,         // Caller requested cancellation; work was abandoned.
+  kDeadlineExceeded,  // Query deadline expired before completion.
 
   // Not a real code — one past the last. Keep it last so tests can
   // enumerate every code and assert each has a StatusCodeName entry.
@@ -73,6 +75,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -48,6 +48,7 @@ struct LoopState {
   std::atomic<int64_t> done{0};
   int64_t n = 0;
   const std::function<void(int64_t)>* fn = nullptr;
+  CancellationToken cancel;  // Copied in: helpers may outlive the call site.
 
   std::mutex mu;
   std::condition_variable all_done;
@@ -56,7 +57,10 @@ struct LoopState {
     while (true) {
       int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
-      (*fn)(i);
+      // Poll per claimed index: once stopped, the rest of the range is
+      // claimed-and-skipped so `done` still reaches n and the caller's
+      // wait below terminates (no orphaned tasks, no deadlock).
+      if (!cancel.ShouldStop()) (*fn)(i);
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
         std::lock_guard<std::mutex> lock(mu);
         all_done.notify_all();
@@ -109,7 +113,8 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::ParallelFor(int64_t n, int parallelism,
-                             const std::function<void(int64_t)>& fn) {
+                             const std::function<void(int64_t)>& fn,
+                             const CancellationToken& cancel) {
   if (n <= 0) return;
   static Counter* parallel_for_calls =
       MetricsRegistry::Global().counter("threadpool.parallel_for.calls");
@@ -118,13 +123,17 @@ void ThreadPool::ParallelFor(int64_t n, int parallelism,
       {static_cast<int64_t>(std::max(0, parallelism - 1)), n - 1,
        static_cast<int64_t>(num_threads())});
   if (helpers <= 0) {
-    for (int64_t i = 0; i < n; ++i) fn(i);
+    for (int64_t i = 0; i < n; ++i) {
+      if (cancel.ShouldStop()) return;
+      fn(i);
+    }
     return;
   }
 
   auto state = std::make_shared<LoopState>();
   state->n = n;
   state->fn = &fn;
+  state->cancel = cancel;
   for (int h = 0; h < helpers; ++h) {
     Schedule([state] { state->Drain(); });
   }
@@ -136,7 +145,8 @@ void ThreadPool::ParallelFor(int64_t n, int parallelism,
 }
 
 void ThreadPool::ParallelFor(int64_t n, int parallelism, int64_t work_units,
-                             const std::function<void(int64_t)>& fn) {
+                             const std::function<void(int64_t)>& fn,
+                             const CancellationToken& cancel) {
   static Counter* work_cutoffs =
       MetricsRegistry::Global().counter("threadpool.parallel_for.work_cutoff");
   const int64_t requested = std::max(1, parallelism);
@@ -144,7 +154,7 @@ void ThreadPool::ParallelFor(int64_t n, int parallelism, int64_t work_units,
       std::max<int64_t>(1, work_units / kMinWorkUnitsPerExecutor);
   const int executors = ClampedExecutors(parallelism, work_units);
   if (executors < requested && by_work < requested) work_cutoffs->Increment();
-  ParallelFor(n, executors, fn);
+  ParallelFor(n, executors, fn, cancel);
 }
 
 int ThreadPool::ClampedExecutors(int parallelism, int64_t work_units) {

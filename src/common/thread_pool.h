@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
+
 namespace olap {
 
 // A fixed-size work-queue thread pool shared by every parallel evaluation
@@ -45,8 +47,17 @@ class ThreadPool {
   // index is nondeterministic — callers must write to disjoint, index-owned
   // output slots to keep results deterministic. parallelism <= 1 runs the
   // whole loop inline on the caller.
+  //
+  // `cancel` is polled once per claimed index (work-unit granularity):
+  // after a stop request the remaining indices are claimed but fn is no
+  // longer invoked, so the loop drains fast and the call still returns
+  // only after every executor is done with the range. The caller owns the
+  // follow-up — check cancel.Poll() after the loop; ParallelFor itself
+  // never fails. Skipped indices leave their output slots untouched, so
+  // cancelled results must be discarded, never published.
   void ParallelFor(int64_t n, int parallelism,
-                   const std::function<void(int64_t)>& fn);
+                   const std::function<void(int64_t)>& fn,
+                   const CancellationToken& cancel = {});
 
   // Below this many work units per executor, fan-out costs more than it
   // saves (queue wakeups + cache misses dwarf sub-millisecond kernels).
@@ -60,7 +71,8 @@ class ThreadPool {
   // `work_units` is the caller's estimate of total cheap inner operations
   // (e.g. cells touched) across the whole index range.
   void ParallelFor(int64_t n, int parallelism, int64_t work_units,
-                   const std::function<void(int64_t)>& fn);
+                   const std::function<void(int64_t)>& fn,
+                   const CancellationToken& cancel = {});
 
   // The executor count the work-hinted ParallelFor would actually use:
   // `parallelism` capped by HardwareCores() and by

@@ -124,10 +124,28 @@ void ApplyAutoScope(const BoundQuery& bound, const Cube& cube,
   }
 }
 
+// Maps the degradation names reported by the lower layers (batch_eval /
+// chunk_aggregator on_degrade callbacks) onto governor ladder rungs.
+void RecordNamedDegradation(QueryContext* ctx, const char* name) {
+  if (ctx == nullptr || name == nullptr) return;
+  const std::string_view step(name);
+  if (step == "batched_eval_off") {
+    ctx->RecordDegradation(DegradeStep::kBatchedEvalOff);
+  } else if (step == "lookahead_halved") {
+    ctx->RecordDegradation(DegradeStep::kLookaheadHalved);
+  } else if (step == "sync_io") {
+    ctx->RecordDegradation(DegradeStep::kSyncIo);
+  }
+}
+
 }  // namespace
 
 Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
-                                          const QueryOptions& options) const {
+                                          const QueryOptions& options,
+                                          QueryContext* ctx) const {
+  // The query's cancellation token: default (never trips) when ungoverned.
+  const CancellationToken cancel =
+      ctx != nullptr ? ctx->cancel() : CancellationToken();
   Result<mdx::ParsedQuery> parsed = [&] {
     TraceSpan span("query.parse");
     Result<mdx::ParsedQuery> r = mdx::Parse(mdx_text);
@@ -148,6 +166,9 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
     return r;
   }();
   if (!bound.ok()) return bound.status();
+  if (ctx != nullptr) {
+    if (Status s = ctx->CheckInterrupted("query.bind"); !s.ok()) return s;
+  }
 
   // Axis layout: ordinal 0 = columns, 1 = rows, 2 = pages. Pages are
   // rendered by folding them into the rows (one row block per page tuple).
@@ -205,9 +226,22 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
   pipeline_options.lookahead = std::max(1, options.pipeline_lookahead);
   pipeline_options.pin_budget = options.chunk_memory_budget;
   pipeline_options.io_threads = std::max(1, options.eval_threads);
+  pipeline_options.cancel = cancel;
   const ChunkPipelineOptions* pipeline =
       options.pipelined_io && options.disk != nullptr ? &pipeline_options
                                                       : nullptr;
+  // Ladder at pipeline setup: under pressure the prefetch window is halved
+  // (sheds pinned-chunk budget); under *memory* pressure pipelined I/O is
+  // dropped entirely for the synchronous per-chunk loop. Results are
+  // bit-identical either way — only I/O shape changes.
+  if (ctx != nullptr && pipeline != nullptr && ctx->UnderPressure()) {
+    pipeline_options.lookahead = std::max(1, pipeline_options.lookahead / 2);
+    ctx->RecordDegradation(DegradeStep::kLookaheadHalved);
+    if (ctx->UnderMemoryPressure()) {
+      pipeline = nullptr;
+      ctx->RecordDegradation(DegradeStep::kSyncIo);
+    }
+  }
 
   if (!specs.empty()) {
     // Single-what-if queries can confine the instance merge (Sec. 6.3).
@@ -218,7 +252,7 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
     if (specs.size() == 1) {
       Result<PerspectiveCube> computed = ComputePerspectiveCube(
           *active, specs[0], options.strategy, options.disk,
-          &result.whatif_stats, options.eval_threads, pipeline);
+          &result.whatif_stats, options.eval_threads, pipeline, cancel);
       if (!computed.ok()) return whatif_fail(computed.status());
       pc.emplace(*std::move(computed));
     } else {
@@ -234,7 +268,7 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
         EvalStats stage_stats;
         Result<PerspectiveCube> stage = ComputePerspectiveCube(
             current, spec, options.strategy, options.disk, &stage_stats,
-            options.eval_threads, pipeline);
+            options.eval_threads, pipeline, cancel);
         if (!stage.ok()) return whatif_fail(stage.status());
         result.whatif_stats.passes += stage_stats.passes;
         result.whatif_stats.chunk_reads += stage_stats.chunk_reads;
@@ -335,10 +369,27 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
   // materialize the covering subtotal views in one chunk pass, and serve
   // cells from the smallest covering view.
   std::optional<BatchCellEvaluator> batch;
-  if (options.batched_eval) {
+  if (options.batched_eval && ctx != nullptr && ctx->UnderPressure()) {
+    // First ladder rung: under pressure the scratch-view materialization
+    // (the largest optional allocation of the query) is shed up front and
+    // derived cells take the per-cell path.
+    ctx->RecordDegradation(DegradeStep::kBatchedEvalOff);
+  } else if (options.batched_eval) {
     TraceSpan prepare_span("query.batch_prepare");
     BatchEvalOptions batch_options;
     batch_options.threads = options.eval_threads;
+    batch_options.cancel = cancel;
+    if (ctx != nullptr) {
+      batch_options.try_reserve_cells = [ctx](int64_t cells) {
+        return ctx->TryReserveCells(cells);
+      };
+      batch_options.release_cells = [ctx](int64_t cells) {
+        ctx->ReleaseCells(cells);
+      };
+      batch_options.on_degrade = [ctx](const char* name) {
+        RecordNamedDegradation(ctx, name);
+      };
+    }
     // Out-of-core scratch materialization is only sound when the backing
     // file stores the evaluation cube itself (a what-if transform lives in
     // memory only, never on the simulated device).
@@ -355,11 +406,17 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
     col_over.reserve(col_tuples.size());
     for (const BoundTuple& t : col_tuples) col_over.push_back(t.refs);
     batch->PrepareGrid(base, row_over, col_over);
+    if (ctx != nullptr) {
+      if (Status s = ctx->CheckInterrupted("query.batch_prepare"); !s.ok()) {
+        return s;  // PrepareGrid published no scratch on a cancelled pass.
+      }
+    }
   }
   const BatchCellEvaluator* batch_ptr = batch.has_value() ? &*batch : nullptr;
 
   auto evaluate_rows = [&](int row_begin, int row_end) {
     for (int r = row_begin; r < row_end; ++r) {
+      if (cancel.ShouldStop()) return;  // Partial grid discarded below.
       CellRef row_ref = base;
       for (const auto& [dim, ref] : row_tuples[r].refs) row_ref[dim] = ref;
       for (int c = 0; c < static_cast<int>(col_tuples.size()); ++c) {
@@ -375,7 +432,13 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
   };
 
   const int num_rows = static_cast<int>(row_tuples.size());
-  const int threads = std::clamp(options.eval_threads, 1, std::max(1, num_rows));
+  int threads = std::clamp(options.eval_threads, 1, std::max(1, num_rows));
+  if (ctx != nullptr && threads > 1 && ctx->UnderPressure()) {
+    // Last ladder rung: the parallel evaluation falls back to serial,
+    // returning the pool slots to other tenants (bit-identical results).
+    threads = 1;
+    ctx->RecordDegradation(DegradeStep::kSerialRollup);
+  }
   std::optional<TraceSpan> eval_span(std::in_place, "query.evaluate");
   eval_span->SetDetail("cells=" +
                        std::to_string(static_cast<int64_t>(num_rows) *
@@ -399,13 +462,20 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
     const int64_t grid_work = static_cast<int64_t>(num_rows) *
                               static_cast<int64_t>(col_tuples.size()) * 32;
     ThreadPool::Shared().ParallelFor(
-        num_blocks, threads, grid_work, [&](int64_t block) {
+        num_blocks, threads, grid_work,
+        [&](int64_t block) {
           const int begin = static_cast<int>(block) * per_thread;
           const int end = std::min(num_rows, begin + per_thread);
           evaluate_rows(begin, end);
-        });
+        },
+        cancel);
   }
   eval_span.reset();
+  if (ctx != nullptr) {
+    // A cancelled evaluation leaves skipped rows null in the grid — the
+    // partial result is discarded here, never returned.
+    if (Status s = ctx->CheckInterrupted("query.evaluate"); !s.ok()) return s;
+  }
   {
     // Raw computed-cell volume, before NON EMPTY drops anything. The
     // QueryResult field (cells_evaluated) reports the *returned* grid.
@@ -462,6 +532,7 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
     cells_returned->Increment(result.cells_evaluated);
   }
   result.grid = std::move(grid);
+  if (ctx != nullptr) result.governor_steps = ctx->degradation_steps();
   return result;
 }
 
@@ -475,7 +546,16 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
   auto run = [&]() -> Result<QueryResult> {
     TraceSpan span("query.execute");
     const auto start = std::chrono::steady_clock::now();
-    Result<QueryResult> r = ExecuteImpl(mdx_text, options);
+    // Governed queries get a QueryContext for the span of the execution:
+    // its destructor returns any unreleased budget reservation, so even an
+    // error unwind leaves the governor's global gauge clean.
+    std::optional<QueryContext> ctx;
+    if (options.governor.active()) ctx.emplace(options.governor);
+    Result<QueryResult> r =
+        ExecuteImpl(mdx_text, options, ctx.has_value() ? &*ctx : nullptr);
+    if (ctx.has_value()) {
+      ctx->NoteTerminalStatus(r.ok() ? Status() : r.status());
+    }
     seconds->RecordNanos(std::chrono::duration_cast<std::chrono::nanoseconds>(
                              std::chrono::steady_clock::now() - start)
                              .count());
@@ -626,6 +706,12 @@ Result<std::string> Executor::ExplainAnalyze(std::string_view mdx_text,
            " chunk_reads=" + std::to_string(executed->whatif_stats.chunk_reads) +
            " cells_moved=" + std::to_string(executed->whatif_stats.cells_moved) +
            "\n";
+  }
+  if (!executed->governor_steps.empty()) {
+    out += "governor: degraded [" + Join(executed->governor_steps, " -> ") +
+           "]\n";
+  } else if (options.governor.active()) {
+    out += "governor: active, no degradation\n";
   }
   out += executed->profile.ToText();
   return out;

@@ -4,10 +4,14 @@
 #include <cstdint>
 #include <string_view>
 
+#include <string>
+#include <vector>
+
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/trace.h"
 #include "engine/database.h"
+#include "engine/governor.h"
 #include "engine/result_grid.h"
 #include "storage/simulated_disk.h"
 #include "whatif/perspective_cube.h"
@@ -53,6 +57,12 @@ struct QueryOptions {
   // Pinned-chunk memory budget (chunks). <= 0 resolves per pass to
   // max(peak_pebbles, lookahead) — the Sec. 5.2 pebble count.
   int64_t chunk_memory_budget = 0;
+  // Query governance: deadline, cooperative cancellation and memory budget
+  // (see engine/governor.h). Inactive by default — governed queries create
+  // a QueryContext whose token is threaded through every phase and whose
+  // pressure signals walk the degradation ladder before the query fails
+  // with kDeadlineExceeded / kCancelled.
+  GovernorOptions governor;
 };
 
 // Where one query's time went: the query's span tree (executor phases,
@@ -83,6 +93,10 @@ struct QueryResult {
   // later dropped — is the "query.cells_computed" registry counter.
   int64_t cells_evaluated = 0;
   QueryProfile profile;  // Collected when options.collect_profile.
+  // Degradation-ladder steps the governor took for this query, in the
+  // order taken (DegradeStepName strings). Empty when ungoverned or when
+  // the query ran at full plan. Rendered by EXPLAIN ANALYZE.
+  std::vector<std::string> governor_steps;
 };
 
 // Parses, binds and evaluates extended-MDX queries against a Database.
@@ -118,8 +132,10 @@ class Executor {
       const QueryOptions& options = QueryOptions()) const;
 
  private:
+  // `ctx` is the query's governor context, or nullptr when ungoverned.
   Result<QueryResult> ExecuteImpl(std::string_view mdx_text,
-                                  const QueryOptions& options) const;
+                                  const QueryOptions& options,
+                                  QueryContext* ctx) const;
 
   const Database* db_;
 };

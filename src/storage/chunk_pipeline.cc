@@ -104,6 +104,7 @@ ChunkPipeline::ChunkPipeline(SimulatedDisk* disk, std::vector<ChunkId> schedule,
                              const ChunkPipelineOptions& options)
     : disk_(disk),
       schedule_(std::move(schedule)),
+      cancel_(options.cancel),
       lookahead_(std::max(1, options.lookahead)),
       pin_budget_(ResolvePinBudget(options)),
       io_threads_(std::max(1, options.io_threads)),
@@ -151,6 +152,9 @@ void ChunkPipeline::ReleaseOne() {
 // need reproducible virtual seconds use ChargeSchedule.
 void ChunkPipeline::MaybeIssueLocked() {
   const PipelineMetrics& metrics = PipelineMetrics::Get();
+  // A tripped token stops new I/O at the source; slots already in flight
+  // finish or abandon on their own worker.
+  if (cancel_.ShouldStop()) return;
   const int64_t n = static_cast<int64_t>(schedule_.size());
   // Head-of-line rescue: a tight budget can fill entirely with prefetched
   // chunks scheduled AFTER a still-unissued head (run formation follows id
@@ -250,7 +254,16 @@ void ChunkPipeline::RunBatch(Batch batch) {
     TraceSpan span("pipeline.fetch_batch");
     span.SetDetail("begin=" + std::to_string(batch.begin) +
                    " count=" + std::to_string(batch.count));
-    data = disk_->ReadBackingRun(batch.begin, batch.count);
+    // Abandon cleanly when the query stopped while this batch sat on the
+    // pool queue: skip the read, fail the slots with the stop status, and
+    // fall through to the normal publication path (in_flight accounting,
+    // cv wakeup) so the consumer and destructor see a consistent table.
+    const Status stop = cancel_.Poll("pipeline fetch");
+    if (stop.ok()) {
+      data = disk_->ReadBackingRun(batch.begin, batch.count);
+    } else {
+      data = stop;
+    }
     if (!data.ok()) span.SetError(data.status());
   }
   {
@@ -281,6 +294,14 @@ Result<ChunkPipeline::Pin> ChunkPipeline::Next() {
   if (next_deliver_ >= n) {
     return Status::OutOfRange("chunk pipeline schedule drained");
   }
+  {
+    Status stop = cancel_.Poll("pipeline");
+    if (!stop.ok()) {
+      next_deliver_ = n;  // Close: a cancelled schedule never resumes.
+      cv_.notify_all();
+      return stop;
+    }
+  }
   MaybeIssueLocked();
   bool stalled = false;
   std::chrono::steady_clock::time_point wait_start;
@@ -288,6 +309,12 @@ Result<ChunkPipeline::Pin> ChunkPipeline::Next() {
          slots_[next_deliver_].state == SlotState::kInFlight) {
     if (slots_[next_deliver_].state == SlotState::kPending &&
         in_flight_batches_ == 0) {
+      Status stop = cancel_.Poll("pipeline");
+      if (!stop.ok()) {  // Cancellation closed the issue path, not pins.
+        next_deliver_ = n;
+        cv_.notify_all();
+        return stop;
+      }
       // Nothing in flight and the head of the schedule cannot be issued:
       // every budget slot is held by a live Pin. Waiting would deadlock a
       // single-threaded consumer, so surface the exhaustion instead.
@@ -300,7 +327,15 @@ Result<ChunkPipeline::Pin> ChunkPipeline::Next() {
       stalled = true;
       wait_start = std::chrono::steady_clock::now();
     }
-    cv_.wait(lock);
+    // A sliced wait keeps cancellation latency bounded (~2ms) even when
+    // the signal arrives with no fetch completion to ring cv_.
+    cv_.wait_for(lock, std::chrono::milliseconds(2));
+    Status stop = cancel_.Poll("pipeline");
+    if (!stop.ok()) {
+      next_deliver_ = n;
+      cv_.notify_all();
+      return stop;
+    }
     MaybeIssueLocked();
   }
   if (stalled) {

@@ -13,6 +13,11 @@ class RealClock : public Clock {
     if (seconds <= 0) return;
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
   }
+  bool SleepInterruptible(double seconds,
+                          const CancellationToken& cancel) override {
+    if (seconds <= 0) return cancel.ShouldStop();
+    return cancel.WaitFor(seconds);
+  }
 };
 
 }  // namespace

@@ -93,7 +93,7 @@ struct DestTable {
 // partitioning — outputs are bit-identical at every thread count.
 Cube ApplyDestTable(const Cube& in, Schema schema_out, int varying_dim,
                     int param_dim, const DestTable& table, int threads,
-                    int64_t* cells_moved) {
+                    int64_t* cells_moved, const CancellationToken& cancel) {
   Cube out(std::move(schema_out), OptionsOf(in));
   const ChunkLayout& lin = in.layout();
   const ChunkLayout& lout = out.layout();
@@ -313,6 +313,9 @@ Cube ApplyDestTable(const Cube& in, Schema schema_out, int varying_dim,
     const size_t begin = stored.size() * task / num_tasks;
     const size_t end = stored.size() * (task + 1) / num_tasks;
     for (size_t i = begin; i < end; ++i) {
+      // Chunk-granular poll: a cancelled pass leaves the output cube
+      // partially filled — the caller must check the token and discard it.
+      if (cancel.ShouldStop()) return;
       process_chunk(stored[i].first, *stored[i].second, &partial[task],
                     &moved_per_task[task], scratch);
     }
@@ -322,7 +325,8 @@ Cube ApplyDestTable(const Cube& in, Schema schema_out, int varying_dim,
   } else {
     // Work-hinted: small relocations (few chunks) run inline instead of
     // paying pool fan-out latency, and executors never exceed the cores.
-    ThreadPool::Shared().ParallelFor(num_tasks, threads, work_units, run_task);
+    ThreadPool::Shared().ParallelFor(num_tasks, threads, work_units, run_task,
+                                     cancel);
   }
 
   int64_t moved = 0;
@@ -504,7 +508,8 @@ std::vector<bool> KeepWhereAnyValue(const Cube& in, int dim,
 Cube Relocate(const Cube& in, int varying_dim,
               const std::vector<DynamicBitset>& vs_out,
               const std::vector<MemberId>& scope_members,
-              bool copy_out_of_scope, int64_t* cells_moved, int threads) {
+              bool copy_out_of_scope, int64_t* cells_moved, int threads,
+              const CancellationToken& cancel) {
   OLAP_OPERATOR_SCOPE("relocate");
   const Dimension& d_in = in.schema().dimension(varying_dim);
   assert(d_in.is_varying());
@@ -559,7 +564,7 @@ Cube Relocate(const Cube& in, int varying_dim,
   }
   table.Classify();
   return ApplyDestTable(in, std::move(schema_out), varying_dim, param_dim,
-                        table, threads, cells_moved);
+                        table, threads, cells_moved, cancel);
 }
 
 Cube RelocateReference(const Cube& in, int varying_dim,
@@ -636,7 +641,7 @@ Cube RelocateReference(const Cube& in, int varying_dim,
 }
 
 Result<Cube> Split(const Cube& in, int varying_dim, const ChangeRelation& r,
-                   int threads) {
+                   int threads, const CancellationToken& cancel) {
   OLAP_OPERATOR_SCOPE("split");
   std::unordered_set<MemberId> touched;
   Result<Schema> schema_out = SplitSchema(in, varying_dim, r, &touched);
@@ -671,7 +676,7 @@ Result<Cube> Split(const Cube& in, int varying_dim, const ChangeRelation& r,
   }
   table.Classify();
   return ApplyDestTable(in, *std::move(schema_out), varying_dim, param_dim,
-                        table, threads, nullptr);
+                        table, threads, nullptr, cancel);
 }
 
 Result<Cube> SplitReference(const Cube& in, int varying_dim,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/cancellation.h"
 #include "common/status.h"
 #include "cube/cube.h"
 #include "rules/rule.h"
@@ -66,11 +67,15 @@ std::vector<bool> KeepWhereAnyValue(const Cube& in, int dim,
 // `threads` pool workers by source-chunk range with per-task outputs merged
 // deterministically. The result is bit-identical to RelocateReference at
 // every thread count.
+//
+// `cancel` is polled at source-chunk granularity; a pass that observes a
+// stop request returns a partially-filled output cube that the caller must
+// check the token for and discard.
 Cube Relocate(const Cube& in, int varying_dim,
               const std::vector<DynamicBitset>& vs_out,
               const std::vector<MemberId>& scope_members = {},
               bool copy_out_of_scope = true, int64_t* cells_moved = nullptr,
-              int threads = 1);
+              int threads = 1, const CancellationToken& cancel = {});
 
 // The serial cell-at-a-time implementation of Relocate (ForEachCell +
 // SetCell per cell). Kept as the oracle for the randomized equivalence
@@ -101,9 +106,10 @@ using ChangeRelation = std::vector<ChangeTuple>;
 // actually m's parent over the reassigned moments.
 //
 // Uses the same chunk-native run-copy kernel as Relocate; `threads`
-// parallelises the data movement with bit-identical results.
+// parallelises the data movement with bit-identical results. `cancel` as
+// in Relocate: a cancelled pass's output must be discarded.
 Result<Cube> Split(const Cube& in, int varying_dim, const ChangeRelation& r,
-                   int threads = 1);
+                   int threads = 1, const CancellationToken& cancel = {});
 
 // Serial cell-at-a-time Split, the oracle for equivalence tests/bench.
 Result<Cube> SplitReference(const Cube& in, int varying_dim,

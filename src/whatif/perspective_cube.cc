@@ -249,7 +249,8 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
                                                SimulatedDisk* disk,
                                                EvalStats* stats,
                                                int eval_threads,
-                                               const ChunkPipelineOptions* pipeline) {
+                                               const ChunkPipelineOptions* pipeline,
+                                               const CancellationToken& cancel) {
   TraceSpan span("whatif.compute_perspective_cube");
   EvalStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -261,6 +262,12 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
     span.SetError(status);
     return status;
   };
+  // Pass-boundary poll: runs again after the Split and between Relocate
+  // passes so a stop request never leaves this function mid-transformation.
+  auto interrupted = [&cancel]() -> Status {
+    return cancel.Poll("what-if compute");
+  };
+  if (Status s = interrupted(); !s.ok()) return fail(s);
   if (spec.varying_dim < 0 || spec.varying_dim >= in.num_dims()) {
     return fail(Status::InvalidArgument("what-if spec names no varying dimension"));
   }
@@ -278,8 +285,10 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
     std::vector<MemberId> changed;
     for (const ChangeTuple& tuple : spec.changes) changed.push_back(tuple.member);
     ChargeScan(in, spec.varying_dim, changed, disk, stats, pipeline);
-    Result<Cube> split = Split(in, spec.varying_dim, spec.changes, eval_threads);
+    Result<Cube> split =
+        Split(in, spec.varying_dim, spec.changes, eval_threads, cancel);
     if (!split.ok()) return fail(split.status());
+    if (Status s = interrupted(); !s.ok()) return fail(s);
     stats->cells_moved += split->CountNonNullCells();
     split_cube = *std::move(split);
     base = &*split_cube;
@@ -319,7 +328,8 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
                          spec.pebbling_read_order, disk, stats, pipeline);
     Cube out = Relocate(*base, spec.varying_dim, vs_out, relocate_scope,
                         /*copy_out_of_scope=*/!scoped, &stats->cells_moved,
-                        eval_threads);
+                        eval_threads, cancel);
+    if (Status s = interrupted(); !s.ok()) return fail(s);
     if (disk != nullptr) {
       stats->virtual_io_seconds = disk->stats().virtual_seconds - io_before;
     }
@@ -334,6 +344,7 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
   std::vector<std::vector<DynamicBitset>> run_vs;
   runs.reserve(spec.perspectives.size());
   for (int p : spec.perspectives.moments()) {
+    if (Status s = interrupted(); !s.ok()) return fail(s);
     Perspectives single({p});
     std::vector<DynamicBitset> vs =
         TransformValiditySets(dim, single, spec.semantics);
@@ -341,9 +352,10 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
                          spec.pebbling_read_order, disk, stats, pipeline);
     runs.push_back(Relocate(*base, spec.varying_dim, vs, relocate_scope,
                             /*copy_out_of_scope=*/!scoped, &stats->cells_moved,
-                            eval_threads));
+                            eval_threads, cancel));
     run_vs.push_back(std::move(vs));
   }
+  if (Status s = interrupted(); !s.ok()) return fail(s);
 
   // Post-processing pass: merge metadata and cells.
   std::vector<DynamicBitset> merged_vs(dim.num_instances(),
@@ -373,6 +385,7 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
   }
   Cube merged(merged_schema, OptionsOf(*base));
   for (int r = 0; r < static_cast<int>(runs.size()); ++r) {
+    if (Status s = interrupted(); !s.ok()) return fail(s);
     runs[r].ForEachChunkCell([&](const std::vector<int>& coords, CellValue v) {
       int governing = GoverningRun(spec.perspectives, spec.semantics,
                                    coords[param_dim]);

@@ -126,11 +126,16 @@ class PerspectiveCube {
 // charged as single ranged reads. A non-positive pin_budget resolves to
 // max(peak_pebbles, lookahead) per merge pass — the Sec. 5.2 pebble count
 // as a memory budget. Charging only; the computed cube is identical.
+//
+// `cancel` is polled at pass boundaries and threaded into the Split /
+// Relocate data movement (chunk granularity); a stop request returns
+// kCancelled / kDeadlineExceeded with no partially-built cube escaping.
 Result<PerspectiveCube> ComputePerspectiveCube(
     const Cube& in, const WhatIfSpec& spec,
     EvalStrategy strategy = EvalStrategy::kDirect,
     SimulatedDisk* disk = nullptr, EvalStats* stats = nullptr,
-    int eval_threads = 1, const ChunkPipelineOptions* pipeline = nullptr);
+    int eval_threads = 1, const ChunkPipelineOptions* pipeline = nullptr,
+    const CancellationToken& cancel = {});
 
 // --- Lemma 5.1 / Sec. 5.2 planning helpers --------------------------------
 

@@ -1,0 +1,234 @@
+// Cancellation fuzz: inject cancellation at deterministic-but-scattered
+// poll counts (phase boundaries, ParallelFor work units, pipeline fetches)
+// across 1/2/4/8 evaluation threads and both I/O modes, and assert the
+// engine's invariants hold on every exit path — each run either completes
+// bit-identical to the oracle or returns kCancelled; afterwards no pinned
+// chunk or reserved budget cell leaks, the shared thread pool still works,
+// and a profiled query still produces a well-formed span tree.
+//
+// CancelAfterPolls makes the schedule reproducible without timers: the
+// token trips on the nth ShouldStop/Poll observation, wherever in the
+// engine that poll happens to be.
+
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "engine/executor.h"
+#include "storage/cube_io.h"
+#include "storage/simulated_disk.h"
+#include "workload/product.h"
+
+namespace olap {
+namespace {
+
+uint64_t BitsOf(CellValue v) {
+  double raw = CellValue::ToStorage(v);
+  uint64_t bits;
+  std::memcpy(&bits, &raw, sizeof(bits));
+  return bits;
+}
+
+DiskModel TestModel() {
+  DiskModel m;
+  m.seek_seconds_per_chunk = 1e-6;
+  m.max_seek_seconds = 1e-3;
+  m.transfer_seconds = 1e-4;
+  return m;
+}
+
+// The Fig. 12 colocation workload: a what-if query whose evaluation
+// crosses every cancellable subsystem (bind, Split/Relocate, batched
+// eval, parallel rollup, and — with a disk — the prefetch pipeline).
+const char kFig12Query[] =
+    "WITH PERSPECTIVE {(Jan), (Jul)} FOR Product DYNAMIC FORWARD "
+    "SELECT {Time.[Jan], Time.[Jul]} ON COLUMNS, "
+    "{Product.[1001]} ON ROWS FROM Products "
+    "WHERE (Measures.[Sales])";
+
+class CancellationFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ProductCubeConfig config;
+    config.separation_chunks = 40;
+    config.chunk_products = 4;
+    config.move_moment = 6;
+    pc_ = BuildProductCube(config);
+    ASSERT_TRUE(db_.AddCube("Products", pc_.cube).ok());
+    exec_ = std::make_unique<Executor>(&db_);
+    path_ = ::testing::TempDir() + "/cancellation_fuzz_cube.olap";
+    ASSERT_TRUE(SaveCube(pc_.cube, path_).ok());
+
+    QueryOptions plain;
+    Result<QueryResult> oracle = exec_->Execute(kFig12Query, plain);
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    oracle_ = *std::move(oracle);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void ExpectMatchesOracle(const QueryResult& r, const std::string& what) {
+    ASSERT_EQ(oracle_.grid.num_rows(), r.grid.num_rows()) << what;
+    ASSERT_EQ(oracle_.grid.num_columns(), r.grid.num_columns()) << what;
+    for (int row = 0; row < oracle_.grid.num_rows(); ++row) {
+      for (int col = 0; col < oracle_.grid.num_columns(); ++col) {
+        EXPECT_EQ(BitsOf(oracle_.grid.at(row, col)), BitsOf(r.grid.at(row, col)))
+            << what << " cell (" << row << ", " << col << ")";
+      }
+    }
+  }
+
+  // One governed run with cancellation injected at the trip-th poll.
+  // Returns true if the run completed (trip never reached).
+  bool RunOnce(int64_t trip, int threads, bool pipelined,
+               const std::string& what) {
+    SimulatedDisk disk(TestModel(), 0);
+    QueryOptions options;
+    options.eval_threads = threads;
+    if (pipelined) {
+      EXPECT_TRUE(disk.AttachBackingFile(Env::Default(), path_).ok());
+      options.disk = &disk;
+      options.pipelined_io = true;
+      options.pipeline_lookahead = 8;
+    }
+    CancellationSource source;
+    source.CancelAfterPolls(trip);
+    options.governor.cancel = source.token();
+    Result<QueryResult> r = exec_->Execute(kFig12Query, options);
+    if (r.ok()) {
+      ExpectMatchesOracle(*r, what);
+      return true;
+    }
+    // The only acceptable failure is the injected cancellation.
+    EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+        << what << ": " << r.status().ToString();
+    return false;
+  }
+
+  ProductCube pc_;
+  Database db_;
+  std::unique_ptr<Executor> exec_;
+  std::string path_;
+  QueryResult oracle_;
+};
+
+TEST_F(CancellationFuzzTest, RandomCancellationPointsLeaveNoResidue) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Gauge* pinned = reg.gauge("pipeline.pinned_chunks");
+  Gauge* reserved = reg.gauge("governor.mem.reserved_cells");
+  const int64_t pinned_before = pinned->value();
+  const int64_t reserved_before = reserved->value();
+
+  // Scattered low counts (phase boundaries trip), mid counts (work-unit
+  // polls trip) and one count no query reaches (the run must complete).
+  const int64_t kTrips[] = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144,
+                            int64_t{1} << 40};
+  int completed = 0;
+  int cancelled = 0;
+  int run = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    for (int64_t trip : kTrips) {
+      const bool pipelined = (run++ % 2) == 1;
+      const std::string what = "threads=" + std::to_string(threads) +
+                               " trip=" + std::to_string(trip) +
+                               (pipelined ? " pipelined" : " in-memory");
+      if (RunOnce(trip, threads, pipelined, what)) {
+        ++completed;
+      } else {
+        ++cancelled;
+      }
+      // No run may leak a pin or a budget reservation, whichever way it
+      // ended.
+      ASSERT_EQ(pinned->value(), pinned_before) << what;
+      ASSERT_EQ(reserved->value(), reserved_before) << what;
+    }
+  }
+  // The unreachable trip completes at every thread count; the poll-1 trip
+  // always cancels. (Counts in between vary with thread timing.)
+  EXPECT_GE(completed, 4);
+  EXPECT_GE(cancelled, 4);
+
+  // The shared pool survived every abandoned fan-out: a fresh ParallelFor
+  // still visits each index exactly once.
+  std::vector<int> hits(512, 0);
+  ThreadPool::Shared().ParallelFor(
+      static_cast<int64_t>(hits.size()), 8,
+      [&hits](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 512);
+  for (int h : hits) EXPECT_EQ(h, 1);
+
+  // And the tracer is intact: a profiled run still yields a well-formed
+  // span tree with every span closed.
+  QueryOptions profiled;
+  profiled.collect_profile = true;
+  profiled.eval_threads = 4;
+  Result<QueryResult> r = exec_->Execute(kFig12Query, profiled);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->profile.collected);
+  std::string why;
+  EXPECT_TRUE(r->profile.trace.WellFormed(&why)) << why;
+  for (const SpanRecord& s : r->profile.trace.spans) EXPECT_TRUE(s.ok) << s.name;
+  ExpectMatchesOracle(*r, "post-fuzz profiled run");
+}
+
+TEST_F(CancellationFuzzTest, CancelledProfiledRunsDoNotWedgeTheTracer) {
+  // Profiled + cancelled at assorted points: the global tracing session
+  // must be released on the error path, or the next profiled query would
+  // hang/misbehave.
+  for (int64_t trip : {int64_t{1}, int64_t{4}, int64_t{16}, int64_t{64}}) {
+    CancellationSource source;
+    source.CancelAfterPolls(trip);
+    QueryOptions options;
+    options.collect_profile = true;
+    options.eval_threads = 2;
+    options.governor.cancel = source.token();
+    Result<QueryResult> r = exec_->Execute(kFig12Query, options);
+    if (r.ok()) {
+      ExpectMatchesOracle(*r, "trip=" + std::to_string(trip));
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+          << r.status().ToString();
+    }
+  }
+  QueryOptions profiled;
+  profiled.collect_profile = true;
+  Result<QueryResult> r = exec_->Execute(kFig12Query, profiled);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string why;
+  EXPECT_TRUE(r->profile.trace.WellFormed(&why)) << why;
+}
+
+TEST_F(CancellationFuzzTest, DeadlineFuzzReturnsOnlyTheTwoGovernorCodes) {
+  // Tiny real deadlines race the query for real: whichever phase notices
+  // first must surface kDeadlineExceeded, never a partial result or any
+  // other error.
+  for (double deadline : {1e-9, 1e-6, 1e-4, 1e-3}) {
+    for (int threads : {1, 4}) {
+      QueryOptions options;
+      options.eval_threads = threads;
+      options.governor.deadline_seconds = deadline;
+      Result<QueryResult> r = exec_->Execute(kFig12Query, options);
+      if (r.ok()) {
+        ExpectMatchesOracle(*r, "deadline=" + std::to_string(deadline));
+      } else {
+        EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+            << r.status().ToString();
+      }
+    }
+  }
+  // The executor is unharmed: a final ungoverned run matches the oracle.
+  Result<QueryResult> r = exec_->Execute(kFig12Query, QueryOptions());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ExpectMatchesOracle(*r, "post-deadline-fuzz run");
+}
+
+}  // namespace
+}  // namespace olap

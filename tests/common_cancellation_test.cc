@@ -1,0 +1,161 @@
+// CancellationSource / CancellationToken contract: null-token fast path,
+// sticky first-reason-wins latching, deadline arming, parent chaining, the
+// CancelAfterPolls determinism hook, and interruptible waits.
+
+#include "common/cancellation.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace olap {
+namespace {
+
+TEST(CancellationTokenTest, DefaultTokenNeverStops) {
+  CancellationToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.ShouldStop());
+  EXPECT_TRUE(token.Poll("work").ok());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+  EXPECT_EQ(token.polls(), 0);
+}
+
+TEST(CancellationTokenTest, RequestCancelTripsWithCancelled) {
+  CancellationSource source;
+  const CancellationToken& token = source.token();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.ShouldStop());
+  source.RequestCancel();
+  EXPECT_TRUE(token.ShouldStop());
+  Status s = token.Poll("rollup");
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_NE(s.message().find("rollup"), std::string::npos);
+  EXPECT_EQ(token.reason(), CancelReason::kCancelled);
+}
+
+TEST(CancellationTokenTest, ExpiredDeadlineTripsWithDeadlineExceeded) {
+  CancellationSource source;
+  source.SetDeadlineAfter(0.0);
+  EXPECT_TRUE(source.token().ShouldStop());
+  EXPECT_EQ(source.token().Poll().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(source.token().reason(), CancelReason::kDeadlineExceeded);
+}
+
+TEST(CancellationTokenTest, FirstReasonWinsAndIsSticky) {
+  CancellationSource source;
+  source.RequestCancel();
+  ASSERT_TRUE(source.token().ShouldStop());
+  // A later deadline expiry cannot overwrite the latched reason.
+  source.SetDeadlineAfter(0.0);
+  EXPECT_TRUE(source.token().ShouldStop());
+  EXPECT_EQ(source.token().reason(), CancelReason::kCancelled);
+}
+
+TEST(CancellationTokenTest, DeadlineFractionElapsedGrows) {
+  CancellationSource source;
+  EXPECT_DOUBLE_EQ(source.DeadlineFractionElapsed(), 0.0);  // Unarmed.
+  source.SetDeadlineAfter(3600.0);
+  const double f = source.DeadlineFractionElapsed();
+  EXPECT_GE(f, 0.0);
+  EXPECT_LT(f, 0.5);
+  EXPECT_FALSE(source.token().ShouldStop());
+}
+
+TEST(CancellationTokenTest, ChildStopsWhenParentTrips) {
+  CancellationSource parent;
+  CancellationSource child(parent.token());
+  EXPECT_FALSE(child.token().ShouldStop());
+  parent.RequestCancel();
+  EXPECT_TRUE(child.token().ShouldStop());
+  EXPECT_EQ(child.token().reason(), CancelReason::kCancelled);
+  // The parent's reason propagates, including a deadline.
+  CancellationSource parent2;
+  CancellationSource child2(parent2.token());
+  parent2.SetDeadlineAfter(0.0);
+  EXPECT_TRUE(child2.token().ShouldStop());
+  EXPECT_EQ(child2.token().reason(), CancelReason::kDeadlineExceeded);
+}
+
+TEST(CancellationTokenTest, ChildCancelDoesNotTouchParent) {
+  CancellationSource parent;
+  CancellationSource child(parent.token());
+  child.RequestCancel();
+  EXPECT_TRUE(child.token().ShouldStop());
+  EXPECT_FALSE(parent.token().ShouldStop());
+}
+
+TEST(CancellationTokenTest, CancelAfterPollsTripsOnTheNthPoll) {
+  CancellationSource source;
+  source.CancelAfterPolls(3);
+  EXPECT_FALSE(source.token().ShouldStop());  // Poll 1.
+  EXPECT_FALSE(source.token().ShouldStop());  // Poll 2.
+  EXPECT_TRUE(source.token().ShouldStop());   // Poll 3 trips.
+  EXPECT_EQ(source.token().reason(), CancelReason::kCancelled);
+  EXPECT_EQ(source.token().polls(), 3);
+}
+
+TEST(CancellationTokenTest, ChildPollsCountTowardParentPollHook) {
+  // The governor chains a per-query source under the caller's token; a
+  // poll hook armed on the caller must still trip even though only the
+  // child is ever polled.
+  CancellationSource parent;
+  CancellationSource child(parent.token());
+  parent.CancelAfterPolls(2);
+  EXPECT_FALSE(child.token().ShouldStop());  // Parent poll 1.
+  EXPECT_TRUE(child.token().ShouldStop());   // Parent poll 2 trips.
+  EXPECT_EQ(child.token().reason(), CancelReason::kCancelled);
+  EXPECT_TRUE(parent.token().ShouldStop());
+}
+
+TEST(CancellationTokenTest, CancelAfterZeroPollsTripsOnNextPoll) {
+  CancellationSource source;
+  source.CancelAfterPolls(0);
+  EXPECT_TRUE(source.token().ShouldStop());
+}
+
+TEST(CancellationTokenTest, WaitForReturnsFalseOnTimeout) {
+  CancellationSource source;
+  EXPECT_FALSE(source.token().WaitFor(0.001));
+  EXPECT_FALSE(source.token().ShouldStop());
+}
+
+TEST(CancellationTokenTest, WaitForWakesEarlyOnCancel) {
+  CancellationSource source;
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    source.RequestCancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const bool interrupted = source.token().WaitFor(10.0);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  canceller.join();
+  EXPECT_TRUE(interrupted);
+  // Far below the requested 10s; generous bound for loaded CI machines.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            5000);
+}
+
+TEST(CancellationTokenTest, WaitForWakesWhenChainedParentTrips) {
+  CancellationSource parent;
+  CancellationSource child(parent.token());
+  std::thread canceller([&parent] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    parent.RequestCancel();
+  });
+  // The parent signals its own cv, not the child's — the sliced wait must
+  // still observe the trip promptly.
+  EXPECT_TRUE(child.token().WaitFor(10.0));
+  canceller.join();
+}
+
+TEST(CancellationTokenTest, TokensShareStateByCopy) {
+  CancellationSource source;
+  CancellationToken copy = source.token();
+  source.RequestCancel();
+  EXPECT_TRUE(copy.ShouldStop());
+}
+
+}  // namespace
+}  // namespace olap

@@ -28,6 +28,9 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
 }
 
@@ -36,6 +39,12 @@ TEST(StatusTest, StorageCodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
   EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
                "RESOURCE_EXHAUSTED");
+}
+
+TEST(StatusTest, GovernorCodeNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
 }
 
 // Every real code (everything before the kStatusCodeCount sentinel) must

@@ -185,6 +185,7 @@ TEST_F(FaultInjectionTest, RetryAbsorbsTwoTransientFaults) {
   load.env = &env;
   RetryPolicy policy;
   policy.max_attempts = 3;
+  policy.decorrelated_jitter = false;  // Assert the deterministic schedule.
   FakeClock clock;
   Result<Cube> loaded = LoadCubeWithRetry(path_, load, policy, &clock);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();

@@ -22,6 +22,7 @@ TEST(RetryTest, TransientFaultsAreRetriedWithExponentialBackoff) {
   policy.max_attempts = 5;
   policy.initial_backoff_seconds = 0.01;
   policy.backoff_multiplier = 2.0;
+  policy.decorrelated_jitter = false;  // Assert the deterministic schedule.
   FakeClock clock;
   int calls = 0;
   Status s = CallWithRetry(policy, &clock, [&] {
@@ -41,6 +42,7 @@ TEST(RetryTest, BackoffIsCapped) {
   policy.initial_backoff_seconds = 0.5;
   policy.backoff_multiplier = 10.0;
   policy.max_backoff_seconds = 1.0;
+  policy.decorrelated_jitter = false;
   FakeClock clock;
   Status s = CallWithRetry(policy, &clock,
                            [] { return Status::ResourceExhausted("full"); });
@@ -112,6 +114,94 @@ TEST(RetryTest, MaxAttemptsBelowOneStillRunsOnce) {
   });
   EXPECT_EQ(calls, 1);
   EXPECT_FALSE(s.ok());
+}
+
+// ---- decorrelated jitter --------------------------------------------------
+
+std::vector<double> JitteredSchedule(uint64_t seed, int attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.initial_backoff_seconds = 0.01;
+  policy.max_backoff_seconds = 1.0;
+  policy.jitter_seed = seed;
+  FakeClock clock;
+  Status s = CallWithRetry(policy, &clock,
+                           [] { return Status::Unavailable("down"); });
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  return clock.sleeps();
+}
+
+TEST(RetryJitterTest, SleepsStayWithinDecorrelatedBounds) {
+  // sleep_i in [initial, min(cap, 3 * sleep_{i-1})], sleep_0's upper bound
+  // being 3 * initial.
+  const std::vector<double> sleeps = JitteredSchedule(/*seed=*/7, 12);
+  ASSERT_EQ(sleeps.size(), 11u);
+  double prev = 0.01;
+  for (double s : sleeps) {
+    EXPECT_GE(s, 0.01);
+    EXPECT_LE(s, std::min(1.0, 3.0 * prev) + 1e-12);
+    prev = s;
+  }
+}
+
+TEST(RetryJitterTest, SameSeedReproducesTheSchedule) {
+  EXPECT_EQ(JitteredSchedule(42, 8), JitteredSchedule(42, 8));
+}
+
+TEST(RetryJitterTest, DifferentSeedsDecorrelate) {
+  EXPECT_NE(JitteredSchedule(1, 8), JitteredSchedule(2, 8));
+}
+
+TEST(RetryJitterTest, AutoSeedsGiveDistinctSchedules) {
+  // jitter_seed = 0: each call draws a fresh seed from the process-wide
+  // sequence, so two concurrent retriers do not sleep in lockstep.
+  EXPECT_NE(JitteredSchedule(0, 8), JitteredSchedule(0, 8));
+}
+
+// ---- cancellation ---------------------------------------------------------
+
+TEST(RetryCancelTest, CancelledDuringBackoffStopsRetrying) {
+  CancellationSource source;
+  source.RequestCancel();
+  FakeClock clock;
+  int calls = 0;
+  Status s = CallWithRetry(
+      RetryPolicy{}, &clock,
+      [&] {
+        ++calls;
+        return Status::Unavailable("blip");
+      },
+      source.token());
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(calls, 1);  // Remaining attempts are not burned.
+  EXPECT_EQ(clock.sleeps().size(), 1u);  // The interrupted sleep.
+}
+
+TEST(RetryCancelTest, DeadlineSurfacesAsDeadlineExceeded) {
+  CancellationSource source;
+  source.SetDeadlineAfter(0.0);
+  FakeClock clock;
+  Result<int> r = CallWithRetry(
+      RetryPolicy{}, &clock,
+      [&]() -> Result<int> { return Status::Unavailable("blip"); },
+      source.token());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(RetryCancelTest, UncancelledTokenChangesNothing) {
+  CancellationSource source;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.decorrelated_jitter = false;
+  FakeClock clock;
+  int calls = 0;
+  Status s = CallWithRetry(
+      policy, &clock,
+      [&] { return ++calls < 3 ? Status::Unavailable("blip") : Status::Ok(); },
+      source.token());
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(clock.sleeps().size(), 2u);
 }
 
 }  // namespace
