@@ -47,16 +47,25 @@ inline const BenchWorkforce& GetBenchWorkforce() {
   return *instance;
 }
 
-// The perspective list "{(Jan), (Apr), ...}" for the first k of the given
-// stride over 12 months.
-inline std::string PerspectiveList(int k, int stride = 1) {
+// Month name for ordinal i under the workforce naming scheme: Jan..Dec for
+// the first year, then "Jan2", "Feb2", ... (see workforce.cc).
+inline std::string BenchMonthName(int i) {
   static const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
                                     "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  std::string name = kMonths[i % 12];
+  if (i >= 12) name += std::to_string(i / 12 + 1);
+  return name;
+}
+
+// The perspective list "{(Jan), (Apr), ...}" for the first k of the given
+// stride over `num_months` months.
+inline std::string PerspectiveList(int k, int stride = 1,
+                                   int num_months = 12) {
   std::string out = "{";
   for (int i = 0; i < k; ++i) {
     if (i) out += ", ";
     out += "(";
-    out += kMonths[(i * stride) % 12];
+    out += BenchMonthName((i * stride) % num_months);
     out += ")";
   }
   out += "}";

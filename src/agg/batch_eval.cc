@@ -121,7 +121,19 @@ BatchCellEvaluator::~BatchCellEvaluator() {
 const BatchCellEvaluator::ScopeEntry& BatchCellEvaluator::ScopeOf(
     int dim, const AxisRef& ref) {
   auto [it, inserted] = scopes_[dim].try_emplace(ScopeKey(ref));
-  if (inserted) it->second.positions = data_.PositionsUnderWeighted(dim, ref);
+  if (inserted) {
+    // A ref from a wider (what-if augmented) schema — e.g. an introduced
+    // member evaluated non-visually against the input cube — is unknown
+    // here. Leave its scope empty: the perspective cube evaluates such
+    // refs on its output cube and never serves them from this evaluator.
+    const Dimension& d = data_.schema().dimension(dim);
+    const bool in_schema =
+        ref.member >= 0 && ref.member < d.num_members() &&
+        (ref.instance == kInvalidInstance || ref.instance < d.num_instances());
+    if (in_schema) {
+      it->second.positions = data_.PositionsUnderWeighted(dim, ref);
+    }
+  }
   return it->second;
 }
 
@@ -176,6 +188,16 @@ void BatchCellEvaluator::PrepareRefs(const std::vector<CellRef>& refs) {
   std::unordered_map<GroupByMask, int64_t> mask_counts;
   std::vector<int> leaf_coords;
   for (const CellRef& ref : refs) {
+    // Refs from a wider (augmented) schema are not servable here; see
+    // ScopeOf. Skipping them keeps IsLeafRef within bounds.
+    bool in_schema = true;
+    for (int d = 0; d < data_.num_dims() && in_schema; ++d) {
+      const Dimension& dim = data_.schema().dimension(d);
+      in_schema = ref[d].member >= 0 && ref[d].member < dim.num_members() &&
+                  (ref[d].instance == kInvalidInstance ||
+                   ref[d].instance < dim.num_instances());
+    }
+    if (!in_schema) continue;
     GroupByMask mask = 0;
     for (int d = 0; d < data_.num_dims(); ++d) {
       if (NeedsBit(d, ref[d])) mask |= GroupByMask{1} << d;

@@ -110,6 +110,12 @@ class BatchCellEvaluator {
     return scratch_.has_value() ? &*scratch_ : nullptr;
   }
 
+  // Scratch views materialized by Prepare*. Scenario comparison reports
+  // this as the number of cover views shared across the compared scenarios.
+  int num_scratch_views() const {
+    return scratch_.has_value() ? scratch_->num_views() : 0;
+  }
+
   // Thread-safe; value-equivalent to EvaluateCell(data(), ref).
   CellValue Evaluate(const CellRef& ref) const;
 

@@ -70,6 +70,27 @@ Result<MemberId> Dimension::AddChildOfRoot(std::string name, double weight) {
   return AddMember(std::move(name), root(), weight);
 }
 
+Result<MemberId> Dimension::AddInnerMember(std::string name, MemberId parent,
+                                           double weight) {
+  if (parent < 0 || parent >= num_members()) {
+    return Status::InvalidArgument("bad parent id for member '" + name + "'");
+  }
+  if (by_lower_name_.count(ToLower(name)) > 0) {
+    return Status::AlreadyExists("member '" + name + "' already exists in dimension '" +
+                                 name_ + "'");
+  }
+  if (is_varying()) {
+    for (const MemberInstance& inst : instances_) {
+      if (inst.member == parent) {
+        return Status::FailedPrecondition(
+            "cannot turn instanced leaf '" + members_[parent].name +
+            "' into an inner member of varying dimension '" + name_ + "'");
+      }
+    }
+  }
+  return AddMemberInternal(std::move(name), parent, weight);
+}
+
 double Dimension::PathWeight(MemberId m, MemberId ancestor) const {
   double weight = 1.0;
   for (MemberId cur = m; cur != ancestor && cur != kInvalidMember;

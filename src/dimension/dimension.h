@@ -89,6 +89,13 @@ class Dimension {
                              double weight = 1.0);
   Result<MemberId> AddChildOfRoot(std::string name, double weight = 1.0);
 
+  // Adds a member that is *meant to become inner* (a new department, not a
+  // new employee): in a varying dimension no instance is created for it, so
+  // it contributes no axis positions until leaves are added beneath it.
+  // Identical to AddMember for non-varying dimensions.
+  Result<MemberId> AddInnerMember(std::string name, MemberId parent,
+                                  double weight = 1.0);
+
   // The product of consolidation weights along the path from `ancestor`
   // (exclusive) down to `m` (inclusive): how one unit at `m` shows up in
   // `ancestor`'s roll-up. 1.0 when m == ancestor.

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "mdx/parser.h"
 #include "rules/evaluator.h"
+#include "whatif/scenario_algebra.h"
 
 namespace olap {
 
@@ -153,6 +154,9 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
     return r;
   }();
   if (!parsed.ok()) return parsed.status();
+  if (parsed->compare_to != nullptr) {
+    return ExecuteCompare(*parsed, options, ctx);
+  }
 
   std::string cube_name = Join(parsed->cube_name, ".");
   Result<const Cube*> cube = db_->FindCube(cube_name);
@@ -249,35 +253,27 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
       ApplyAutoScope(*bound, **cube, &specs[0]);
     }
 
-    if (specs.size() == 1) {
-      Result<PerspectiveCube> computed = ComputePerspectiveCube(
-          *active, specs[0], options.strategy, options.disk,
-          &result.whatif_stats, options.eval_threads, pipeline, cancel);
-      if (!computed.ok()) return whatif_fail(computed.status());
-      pc.emplace(*std::move(computed));
-    } else {
-      // Several varying dimensions: apply the specs as a pipeline, each
-      // stage transforming the previous stage's output cube. Derived cells
-      // of the final result follow the combined mode (visual wins).
-      EvalMode combined_mode = EvalMode::kNonVisual;
-      for (const WhatIfSpec& spec : specs) {
-        if (spec.mode == EvalMode::kVisual) combined_mode = EvalMode::kVisual;
-      }
-      Cube current = *active;
-      for (const WhatIfSpec& spec : specs) {
-        EvalStats stage_stats;
-        Result<PerspectiveCube> stage = ComputePerspectiveCube(
-            current, spec, options.strategy, options.disk, &stage_stats,
-            options.eval_threads, pipeline, cancel);
-        if (!stage.ok()) return whatif_fail(stage.status());
-        result.whatif_stats.passes += stage_stats.passes;
-        result.whatif_stats.chunk_reads += stage_stats.chunk_reads;
-        result.whatif_stats.cells_moved += stage_stats.cells_moved;
-        result.whatif_stats.virtual_io_seconds += stage_stats.virtual_io_seconds;
-        current = stage->output();
-      }
-      pc.emplace(active, std::move(current), combined_mode);
+    // The structural pipeline is one scenario composition: each spec (one
+    // per varying dimension) becomes a canonical ScenarioSpec and the
+    // algebra applies them in clause order — the single-pass route for one
+    // spec, the stage pipeline (visual wins for the combined mode) for
+    // several. Bit-identical to calling the operators directly.
+    std::vector<ScenarioSpec> scenarios;
+    scenarios.reserve(specs.size());
+    for (const WhatIfSpec& spec : specs) {
+      scenarios.push_back(ScenarioSpec::FromWhatIf(spec));
     }
+    ScenarioEvalOptions scenario_options;
+    scenario_options.strategy = options.strategy;
+    scenario_options.disk = options.disk;
+    scenario_options.stats = &result.whatif_stats;
+    scenario_options.eval_threads = options.eval_threads;
+    scenario_options.pipeline = pipeline;
+    scenario_options.cancel = cancel;
+    Result<PerspectiveCube> computed =
+        ComposeScenarios(*active, scenarios, scenario_options);
+    if (!computed.ok()) return whatif_fail(computed.status());
+    pc.emplace(*std::move(computed));
     result.used_whatif = true;
   }
   whatif_span.reset();
@@ -536,6 +532,203 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
   return result;
 }
 
+Result<QueryResult> Executor::ExecuteCompare(const mdx::ParsedQuery& parsed,
+                                             const QueryOptions& options,
+                                             QueryContext* ctx) const {
+  const CancellationToken cancel =
+      ctx != nullptr ? ctx->cancel() : CancellationToken();
+  const mdx::ParsedQuery& qa = parsed;
+  const mdx::ParsedQuery& qb = *parsed.compare_to;
+
+  std::string cube_name = Join(qa.cube_name, ".");
+  if (Join(qb.cube_name, ".") != cube_name) {
+    return Status::InvalidArgument("COMPARE sides must query the same cube");
+  }
+  Result<const Cube*> cube = db_->FindCube(cube_name);
+  if (!cube.ok()) return cube.status();
+  const RuleSet* rules = db_->rules(cube_name);
+
+  auto bind_side = [&](const mdx::ParsedQuery& q) {
+    TraceSpan span("query.bind");
+    Result<BoundQuery> r = mdx::Bind(q, (*cube)->schema(), db_, *cube);
+    if (!r.ok()) span.SetError(r.status());
+    return r;
+  };
+  Result<BoundQuery> ba = bind_side(qa);
+  if (!ba.ok()) return ba.status();
+  Result<BoundQuery> bb = bind_side(qb);
+  if (!bb.ok()) return bb.status();
+  if (ctx != nullptr) {
+    if (Status s = ctx->CheckInterrupted("query.bind"); !s.ok()) return s;
+  }
+
+  if (!ba->allocations.empty() || !bb->allocations.empty()) {
+    return Status::Unimplemented(
+        "COMPARE does not support ALLOCATION clauses");
+  }
+
+  // The delta grid needs one common coordinate set: both sides must bind
+  // the same axes and slicer — the scenario clauses are where they differ.
+  if (ba->axes.size() != bb->axes.size()) {
+    return Status::InvalidArgument("COMPARE sides must select the same axes");
+  }
+  for (size_t i = 0; i < ba->axes.size(); ++i) {
+    if (ba->axes[i].ordinal != bb->axes[i].ordinal ||
+        !(ba->axes[i].tuples == bb->axes[i].tuples)) {
+      return Status::InvalidArgument(
+          "COMPARE sides must select the same axes");
+    }
+  }
+  if (!(ba->slicer == bb->slicer)) {
+    return Status::InvalidArgument("COMPARE sides must share the WHERE slicer");
+  }
+
+  const BoundAxis* columns = nullptr;
+  const BoundAxis* rows = nullptr;
+  for (const BoundAxis& axis : ba->axes) {
+    if (axis.ordinal == 0) {
+      columns = &axis;
+    } else if (axis.ordinal == 1) {
+      rows = &axis;
+    } else {
+      return Status::Unimplemented("COMPARE supports COLUMNS and ROWS only");
+    }
+  }
+  if (columns == nullptr) {
+    return Status::InvalidArgument("query has no COLUMNS axis");
+  }
+
+  // Axis labels render through the base schema, so the common coordinates
+  // must predate any INTRODUCE augmentation; comparing cells *of* the
+  // introduced members goes through the algebra API (CompareScenarios)
+  // directly, which handles augmented refs.
+  const Schema& schema = (*cube)->schema();
+  auto in_schema = [&](const BoundTuple& t) {
+    for (const auto& [dim, ref] : t.refs) {
+      const Dimension& d = schema.dimension(dim);
+      if (ref.member >= d.num_members() ||
+          (ref.instance != kInvalidInstance &&
+           ref.instance >= d.num_instances())) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (const BoundAxis& axis : ba->axes) {
+    for (const BoundTuple& t : axis.tuples) {
+      if (!in_schema(t)) {
+        return Status::Unimplemented(
+            "COMPARE axes cannot name introduced members");
+      }
+    }
+  }
+  if (!in_schema(ba->slicer)) {
+    return Status::Unimplemented(
+        "COMPARE slicer cannot name introduced members");
+  }
+
+  auto scenarios_of = [&](BoundQuery& q) {
+    if (q.specs.size() == 1 && options.auto_scope) {
+      ApplyAutoScope(q, **cube, &q.specs[0]);
+    }
+    std::vector<ScenarioSpec> out;
+    out.reserve(q.specs.size());
+    for (const WhatIfSpec& spec : q.specs) {
+      out.push_back(ScenarioSpec::FromWhatIf(spec));
+    }
+    return out;
+  };
+  std::vector<ScenarioSpec> sa = scenarios_of(*ba);
+  std::vector<ScenarioSpec> sb = scenarios_of(*bb);
+
+  // The compared coordinates: the grid, row-major, at *member* level (no
+  // instance expansion — the two scenarios need not agree on instances).
+  CellRef base(schema.num_dimensions());
+  for (int d = 0; d < schema.num_dimensions(); ++d) {
+    base[d] = AxisRef::OfMember(schema.dimension(d).root());
+  }
+  for (const auto& [dim, ref] : ba->slicer.refs) base[dim] = ref;
+  const std::vector<BoundTuple>& col_tuples = columns->tuples;
+  std::vector<BoundTuple> row_tuples =
+      rows != nullptr ? rows->tuples : std::vector<BoundTuple>{BoundTuple{}};
+  std::vector<CellRef> refs;
+  refs.reserve(row_tuples.size() * col_tuples.size());
+  for (const BoundTuple& row : row_tuples) {
+    CellRef row_ref = base;
+    for (const auto& [dim, ref] : row.refs) row_ref[dim] = ref;
+    for (const BoundTuple& col : col_tuples) {
+      CellRef cell_ref = row_ref;
+      for (const auto& [dim, ref] : col.refs) cell_ref[dim] = ref;
+      refs.push_back(std::move(cell_ref));
+    }
+  }
+
+  QueryResult result;
+  ScenarioCompareOptions copts;
+  copts.eval.strategy = options.strategy;
+  copts.eval.disk = options.disk;
+  copts.eval.stats = &result.whatif_stats;
+  copts.eval.eval_threads = options.eval_threads;
+  copts.eval.cancel = cancel;
+  ChunkPipelineOptions pipeline_options;
+  pipeline_options.lookahead = std::max(1, options.pipeline_lookahead);
+  pipeline_options.pin_budget = options.chunk_memory_budget;
+  pipeline_options.io_threads = std::max(1, options.eval_threads);
+  pipeline_options.cancel = cancel;
+  if (options.pipelined_io && options.disk != nullptr) {
+    copts.eval.pipeline = &pipeline_options;
+  }
+  copts.batched_eval = options.batched_eval;
+  if (copts.batched_eval && ctx != nullptr && ctx->UnderPressure()) {
+    // Same first ladder rung as ordinary queries: the shared scratch views
+    // are the largest optional allocation, shed up front under pressure.
+    copts.batched_eval = false;
+    ctx->RecordDegradation(DegradeStep::kBatchedEvalOff);
+  }
+  copts.batch.threads = options.eval_threads;
+
+  Result<ScenarioComparison> cmp =
+      CompareScenarios(**cube, sa, sb, refs, rules, copts);
+  if (!cmp.ok()) return cmp.status();
+
+  std::vector<std::string> col_labels, row_labels;
+  col_labels.reserve(col_tuples.size());
+  for (const BoundTuple& t : col_tuples) {
+    col_labels.push_back(TupleLabel(t, schema));
+  }
+  row_labels.reserve(row_tuples.size());
+  for (const BoundTuple& t : row_tuples) {
+    std::string label = TupleLabel(t, schema);
+    row_labels.push_back(label.empty() ? "(all)" : label);
+  }
+  ResultGrid grid(std::move(col_labels), std::move(row_labels));
+  for (size_t i = 0; i < refs.size(); ++i) {
+    const CellValue& va = cmp->values_a[i];
+    const CellValue& vb = cmp->values_b[i];
+    if (va.is_null() && vb.is_null()) continue;  // Grid cells start ⊥.
+    grid.set(static_cast<int>(i / col_tuples.size()),
+             static_cast<int>(i % col_tuples.size()),
+             CellValue(va.value_or(0.0) - vb.value_or(0.0)));
+  }
+
+  {
+    static Counter* cells_computed =
+        MetricsRegistry::Global().counter("query.cells_computed");
+    static Counter* cells_returned =
+        MetricsRegistry::Global().counter("query.cells_returned");
+    cells_computed->Increment(static_cast<int64_t>(refs.size()));
+    cells_returned->Increment(static_cast<int64_t>(refs.size()));
+  }
+  result.cells_evaluated = static_cast<int64_t>(grid.num_rows()) *
+                           static_cast<int64_t>(grid.num_columns());
+  result.grid = std::move(grid);
+  result.used_whatif = true;
+  result.compared = true;
+  result.comparison = *std::move(cmp);
+  if (ctx != nullptr) result.governor_steps = ctx->degradation_steps();
+  return result;
+}
+
 Result<QueryResult> Executor::Execute(std::string_view mdx_text,
                                       const QueryOptions& options) const {
   MetricsRegistry& reg = MetricsRegistry::Global();
@@ -589,14 +782,14 @@ Result<QueryResult> Executor::Execute(std::string_view mdx_text,
   return r;
 }
 
-Result<std::string> Executor::Explain(std::string_view mdx_text,
-                                      const QueryOptions& options) const {
-  Result<mdx::ParsedQuery> parsed = mdx::Parse(mdx_text);
-  if (!parsed.ok()) return parsed.status();
-  std::string cube_name = Join(parsed->cube_name, ".");
-  Result<const Cube*> cube = db_->FindCube(cube_name);
+// Plan text for one (sub-)query; COMPARE queries render one block per side.
+static Result<std::string> ExplainOne(const Database* db,
+                                      const mdx::ParsedQuery& parsed,
+                                      const QueryOptions& options) {
+  std::string cube_name = Join(parsed.cube_name, ".");
+  Result<const Cube*> cube = db->FindCube(cube_name);
   if (!cube.ok()) return cube.status();
-  Result<BoundQuery> bound = mdx::Bind(*parsed, (*cube)->schema(), db_, *cube);
+  Result<BoundQuery> bound = mdx::Bind(parsed, (*cube)->schema(), db, *cube);
   if (!bound.ok()) return bound.status();
 
   std::string out;
@@ -627,6 +820,15 @@ Result<std::string> Executor::Explain(std::string_view mdx_text,
     out += "what-if: dimension '" +
            (*cube)->schema().dimension(spec.varying_dim).name() + "', " +
            SemanticsName(spec.semantics) + ", " + EvalModeName(spec.mode);
+    if (!spec.introductions.empty()) {
+      int seeded = 0;
+      for (const NewMemberSpec& m : spec.introductions) {
+        if (m.seed != NewMemberSpec::Seed::kNone) ++seeded;
+      }
+      out += ", " + std::to_string(spec.introductions.size()) +
+             " introduced member(s)" +
+             (seeded > 0 ? " (" + std::to_string(seeded) + " seeded)" : "");
+    }
     if (!spec.perspectives.empty()) {
       out += ", " + std::to_string(spec.perspectives.size()) +
              " perspective(s) " + spec.perspectives.ToString();
@@ -644,7 +846,7 @@ Result<std::string> Executor::Explain(std::string_view mdx_text,
                 : "multiple-MDX simulation") +
            "\n";
   }
-  const AggregateCache* cache = db_->aggregates(cube_name);
+  const AggregateCache* cache = db->aggregates(cube_name);
   if (cache != nullptr) {
     // Persistent views serve whenever derived cells evaluate on the stored
     // cube: plain queries and non-visual what-if. Visual mode and
@@ -660,6 +862,22 @@ Result<std::string> Executor::Explain(std::string_view mdx_text,
            "\n";
   }
   return out;
+}
+
+Result<std::string> Executor::Explain(std::string_view mdx_text,
+                                      const QueryOptions& options) const {
+  Result<mdx::ParsedQuery> parsed = mdx::Parse(mdx_text);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->compare_to != nullptr) {
+    Result<std::string> a = ExplainOne(db_, *parsed, options);
+    if (!a.ok()) return a.status();
+    Result<std::string> b = ExplainOne(db_, *parsed->compare_to, options);
+    if (!b.ok()) return b.status();
+    return "compare: delta grid (scenario A - scenario B), shared cover "
+           "views over common refs\n-- scenario A --\n" +
+           *a + "-- scenario B --\n" + *b;
+  }
+  return ExplainOne(db_, *parsed, options);
 }
 
 std::string QueryProfile::ToText() const {
@@ -706,6 +924,21 @@ Result<std::string> Executor::ExplainAnalyze(std::string_view mdx_text,
            " chunk_reads=" + std::to_string(executed->whatif_stats.chunk_reads) +
            " cells_moved=" + std::to_string(executed->whatif_stats.cells_moved) +
            "\n";
+  }
+  if (executed->compared) {
+    const ScenarioComparison& c = executed->comparison;
+    char dist[96];
+    std::snprintf(dist, sizeof(dist), "l1=%.3f l2=%.3f linf=%.3f jaccard=%.3f",
+                  c.l1, c.l2, c.linf, c.jaccard);
+    out += "comparison: cells=" + std::to_string(c.cells_compared) +
+           " active_a=" + std::to_string(c.active_a) +
+           " active_b=" + std::to_string(c.active_b) +
+           " overlap=" + std::to_string(c.overlap) + " containment=" +
+           (c.a_contains_b && c.b_contains_a ? "equal"
+            : c.a_contains_b                 ? "A>=B"
+            : c.b_contains_a                 ? "B>=A"
+                                             : "none") +
+           " " + dist + "\n";
   }
   if (!executed->governor_steps.empty()) {
     out += "governor: degraded [" + Join(executed->governor_steps, " -> ") +

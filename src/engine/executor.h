@@ -15,8 +15,13 @@
 #include "engine/result_grid.h"
 #include "storage/simulated_disk.h"
 #include "whatif/perspective_cube.h"
+#include "whatif/scenario_algebra.h"
 
 namespace olap {
+
+namespace mdx {
+struct ParsedQuery;
+}  // namespace mdx
 
 // Knobs for one query execution.
 struct QueryOptions {
@@ -97,6 +102,12 @@ struct QueryResult {
   // order taken (DegradeStepName strings). Empty when ungoverned or when
   // the query ran at full plan. Rendered by EXPLAIN ANALYZE.
   std::vector<std::string> governor_steps;
+  // COMPARE <query> VERSUS <query>: the grid holds the per-cell delta
+  // (scenario A − scenario B, ⊥ only where both sides are ⊥) and
+  // `comparison` the containment / overlap / distance metrics. `compared`
+  // is false for ordinary queries.
+  bool compared = false;
+  ScenarioComparison comparison;
 };
 
 // Parses, binds and evaluates extended-MDX queries against a Database.
@@ -136,6 +147,14 @@ class Executor {
   Result<QueryResult> ExecuteImpl(std::string_view mdx_text,
                                   const QueryOptions& options,
                                   QueryContext* ctx) const;
+
+  // COMPARE <A> VERSUS <B>: binds both sides (same cube, identical bound
+  // axes and slicer required), evaluates both scenario stacks through the
+  // scenario algebra with a shared batched evaluator, and returns the
+  // delta grid plus ScenarioComparison metrics.
+  Result<QueryResult> ExecuteCompare(const mdx::ParsedQuery& parsed,
+                                     const QueryOptions& options,
+                                     QueryContext* ctx) const;
 
   const Database* db_;
 };

@@ -83,6 +83,27 @@ struct ChangesClause {
   std::string mode;
 };
 
+// One item of a WITH INTRODUCE clause: a hypothetical new dimension value.
+//   (<name>, <parent>)                        new inner member (department)
+//   (<name>, <parent>, <moment>)              new leaf valid from <moment> on
+//   (<name>, <parent>, <moment>, CLONE <source> <factor>)     seeded cells
+//   (<name>, <parent>, <moment>, TRANSFER <source> <factor>)  moved cells
+struct IntroduceSpec {
+  std::string name;
+  std::string parent;
+  std::string moment;  // Empty => inner member (no instance, no epoch).
+  std::string seed;    // "", "CLONE", or "TRANSFER".
+  std::string source;  // Seed source leaf.
+  double factor = 0.0;
+};
+
+// WITH INTRODUCE clause (positive schema-delta scenarios).
+struct IntroduceClause {
+  std::vector<IntroduceSpec> members;
+  std::string varying_dim;  // FOR <dim> (required).
+  std::string mode;
+};
+
 // WITH ALLOCATION clause — a data-driven scenario (structure unchanged,
 // data moved): "assume 10% of PTEs' salary during the first quarter in NY
 // was instead given to PTEs in MA" becomes
@@ -102,13 +123,19 @@ struct AllocationClause {
 struct ParsedQuery {
   std::vector<PerspectiveClause> perspectives;
   std::vector<ChangesClause> changes;
+  std::vector<IntroduceClause> introduces;
   std::vector<AllocationClause> allocations;
   std::vector<AxisSpec> axes;
   std::vector<std::string> cube_name;          // FROM [App].[Db] components.
   std::unique_ptr<SetExpr> where_tuple;        // Optional slicer.
 
+  // COMPARE <query> VERSUS <query>: this query is scenario A, `compare_to`
+  // is scenario B over the same cube and axes. Null for ordinary queries.
+  std::unique_ptr<ParsedQuery> compare_to;
+
   bool has_whatif() const {
-    return !perspectives.empty() || !changes.empty() || !allocations.empty();
+    return !perspectives.empty() || !changes.empty() || !introduces.empty() ||
+           !allocations.empty();
   }
 };
 

@@ -5,6 +5,7 @@
 #include "agg/batch_eval.h"
 #include "agg/rollup.h"
 #include "common/strings.h"
+#include "whatif/operators.h"
 
 namespace olap::mdx {
 
@@ -345,6 +346,7 @@ class Binder {
       ref[condition->first] = condition->second;
       refs.push_back(std::move(ref));
     }
+    if (Status in_data = CheckRefsInData(refs); !in_data.ok()) return in_data;
     BatchCellEvaluator batch(*data_, nullptr);
     batch.PrepareRefs(refs);
     std::vector<BoundTuple> out;
@@ -390,6 +392,7 @@ class Binder {
       ref[condition->first] = condition->second;
       refs.push_back(std::move(ref));
     }
+    if (Status in_data = CheckRefsInData(refs); !in_data.ok()) return in_data;
     BatchCellEvaluator batch(*data_, nullptr);
     batch.PrepareRefs(refs);
     std::vector<std::pair<CellValue, BoundTuple>> keyed;
@@ -414,6 +417,25 @@ class Binder {
                        : std::min<size_t>(keyed.size(), expr.number);
     for (size_t i = 0; i < limit; ++i) out.push_back(std::move(keyed[i].second));
     return out;
+  }
+
+  // Filter/Order evaluate against the *base* cube, which predates any
+  // INTRODUCE augmentation of the bind schema — a ref naming an introduced
+  // member has no data there and cannot drive a value predicate.
+  Status CheckRefsInData(const std::vector<CellRef>& refs) const {
+    const Schema& ds = data_->schema();
+    for (const CellRef& ref : refs) {
+      for (int d = 0; d < ds.num_dimensions(); ++d) {
+        const Dimension& dim = ds.dimension(d);
+        if (ref[d].member >= dim.num_members() ||
+            (ref[d].instance != kInvalidInstance &&
+             ref[d].instance >= dim.num_instances())) {
+          return Status::FailedPrecondition(
+              "Filter/Order/TopCount cannot reference introduced members");
+        }
+      }
+    }
+    return Status::Ok();
   }
 
   Result<std::vector<BoundTuple>> BindExceptIntersect(SetExpr::Kind kind,
@@ -480,11 +502,69 @@ Result<std::vector<BoundTuple>> BindSet(const SetExpr& expr, const Schema& schem
   return Binder(schema, resolver, data).BindSet(expr);
 }
 
-Result<BoundQuery> Bind(const ParsedQuery& query, const Schema& schema,
+Result<BoundQuery> Bind(const ParsedQuery& query, const Schema& base_schema,
                         const NameResolver* resolver, const Cube* data) {
-  Binder binder(schema, resolver, data);
   BoundQuery out;
   out.cube_name = query.cube_name;
+
+  // INTRODUCE clauses bind first and extend a *copy* of the schema: axis
+  // sets may then name the hypothetical members, and the augmented member
+  // and instance ids line up with the what-if operator's output cube
+  // because the identical mutations run in the identical order (both sides
+  // go through ApplyIntroductions).
+  std::optional<Schema> augmented;
+  for (const IntroduceClause& c : query.introduces) {
+    Result<int> vdim = base_schema.FindDimension(c.varying_dim);
+    if (!vdim.ok()) return vdim.status();
+    if (!base_schema.is_varying(*vdim)) {
+      return Status::FailedPrecondition("dimension '" + c.varying_dim +
+                                        "' is not varying");
+    }
+    WhatIfSpec* spec = nullptr;
+    for (WhatIfSpec& s : out.specs) {
+      if (s.varying_dim == *vdim) spec = &s;
+    }
+    if (spec == nullptr) {
+      out.specs.emplace_back();
+      out.specs.back().varying_dim = *vdim;
+      spec = &out.specs.back();
+    }
+    const Dimension& param =
+        base_schema.dimension(base_schema.parameter_of(*vdim));
+    for (const IntroduceSpec& m : c.members) {
+      NewMemberSpec n;
+      n.name = m.name;
+      n.parent = m.parent;
+      n.inner = m.moment.empty();
+      if (!n.inner) {
+        Result<MemberId> mm = param.FindMember(m.moment);
+        if (!mm.ok()) return mm.status();
+        int ordinal = param.LeafOrdinal(*mm);
+        if (ordinal < 0) {
+          return Status::InvalidArgument("introduce moment '" + m.moment +
+                                         "' is not a leaf of '" +
+                                         param.name() + "'");
+        }
+        n.from_moment = ordinal;
+      }
+      if (m.seed == "CLONE") n.seed = NewMemberSpec::Seed::kClone;
+      if (m.seed == "TRANSFER") n.seed = NewMemberSpec::Seed::kTransfer;
+      n.source = m.source;
+      n.factor = m.factor;
+      spec->introductions.push_back(std::move(n));
+    }
+    if (!c.mode.empty()) spec->mode = BindMode(c.mode);
+  }
+  for (const WhatIfSpec& s : out.specs) {
+    if (s.introductions.empty()) continue;
+    if (!augmented.has_value()) augmented.emplace(base_schema);
+    Status applied =
+        ApplyIntroductions(&*augmented, s.varying_dim, s.introductions);
+    if (!applied.ok()) return applied;
+  }
+  const Schema& schema = augmented.has_value() ? *augmented : base_schema;
+
+  Binder binder(schema, resolver, data);
 
   for (const AxisSpec& axis : query.axes) {
     BoundAxis bound;

@@ -15,6 +15,33 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<ParsedQuery> Parse() {
+    if (TakeKeyword("COMPARE")) {
+      // COMPARE <query> VERSUS <query>: scenario-vs-scenario comparison.
+      Result<ParsedQuery> a = ParseOne();
+      if (!a.ok()) return a.status();
+      if (!TakeKeyword("VERSUS")) {
+        return Error("expected VERSUS between compared queries");
+      }
+      Result<ParsedQuery> b = ParseOne();
+      if (!b.ok()) return b.status();
+      if (peek().kind != Token::kEnd) {
+        return Error("unexpected trailing input: '" + peek().text + "'");
+      }
+      a->compare_to = std::make_unique<ParsedQuery>(*std::move(b));
+      return a;
+    }
+    Result<ParsedQuery> q = ParseOne();
+    if (!q.ok()) return q.status();
+    if (peek().kind != Token::kEnd) {
+      return Error("unexpected trailing input: '" + peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  // One full query, stopping before any trailing token the caller owns
+  // (the end of input, or VERSUS in a COMPARE).
+  Result<ParsedQuery> ParseOne() {
     ParsedQuery q;
     if (TakeKeyword("WITH")) {
       OLAP_RETURN_IF_ERROR(ParseWithItems(&q));
@@ -62,13 +89,9 @@ class Parser {
       if (!tuple.ok()) return tuple.status();
       q.where_tuple = std::move(*tuple);
     }
-    if (peek().kind != Token::kEnd) {
-      return Error("unexpected trailing input: '" + peek().text + "'");
-    }
     return q;
   }
 
- private:
   // --- token helpers -------------------------------------------------------
 
   const Token& peek(int ahead = 0) const {
@@ -119,6 +142,10 @@ class Parser {
         ChangesClause clause;
         OLAP_RETURN_IF_ERROR(ParseChanges(&clause));
         q->changes.push_back(std::move(clause));
+      } else if (TakeKeyword("INTRODUCE")) {
+        IntroduceClause clause;
+        OLAP_RETURN_IF_ERROR(ParseIntroduce(&clause));
+        q->introduces.push_back(std::move(clause));
       } else if (TakeKeyword("ALLOCATION")) {
         OLAP_RETURN_IF_ERROR(ParseAllocations(q));
       } else {
@@ -220,6 +247,57 @@ class Parser {
       return;
     }
     out->clear();  // Default: non-visual (Sec. 6.1).
+  }
+
+  // INTRODUCE {(<name>, <parent> [, <moment>] [, CLONE|TRANSFER <source>
+  // <factor>])}, ... FOR <dim> [<mode>]. Without a moment the member is a
+  // new *inner* member (a department); with one it is a new leaf whose
+  // instance is valid from that moment on.
+  Status ParseIntroduce(IntroduceClause* c) {
+    if (!TakeSymbol('{')) return Error("expected '{' after INTRODUCE");
+    while (true) {
+      if (!TakeSymbol('(')) return Error("expected '(' starting introduction");
+      IntroduceSpec spec;
+      Result<std::string> name = TakeName("introduced member name");
+      if (!name.ok()) return name.status();
+      spec.name = *name;
+      if (!TakeSymbol(',')) return Error("expected ',' after introduced member");
+      Result<std::string> parent = TakeName("introduction parent");
+      if (!parent.ok()) return parent.status();
+      spec.parent = *parent;
+      if (TakeSymbol(',') && !PeekKeyword("CLONE") && !PeekKeyword("TRANSFER")) {
+        Result<std::string> moment = TakeName("introduction moment");
+        if (!moment.ok()) return moment.status();
+        spec.moment = *moment;
+        if (TakeSymbol(',') && !PeekKeyword("CLONE") && !PeekKeyword("TRANSFER")) {
+          return Error("expected CLONE or TRANSFER seeding rule");
+        }
+      }
+      if (TakeKeyword("CLONE")) {
+        spec.seed = "CLONE";
+      } else if (TakeKeyword("TRANSFER")) {
+        spec.seed = "TRANSFER";
+      }
+      if (!spec.seed.empty()) {
+        Result<std::string> source = TakeName("seed source member");
+        if (!source.ok()) return source.status();
+        spec.source = *source;
+        if (peek().kind != Token::kNumber) {
+          return Error("expected seed factor");
+        }
+        spec.factor = Take().number;
+      }
+      if (!TakeSymbol(')')) return Error("expected ')' closing introduction");
+      c->members.push_back(std::move(spec));
+      if (!TakeSymbol(',')) break;
+    }
+    if (!TakeSymbol('}')) return Error("expected '}' after introductions");
+    if (!TakeKeyword("FOR")) return Error("expected FOR <dimension> after INTRODUCE");
+    Result<std::string> dim = TakeName("varying dimension name");
+    if (!dim.ok()) return dim.status();
+    c->varying_dim = *dim;
+    ParseMode(&c->mode);
+    return Status::Ok();
   }
 
   Status ParseChanges(ChangesClause* c) {

@@ -711,6 +711,170 @@ Result<Cube> SplitReference(const Cube& in, int varying_dim,
   return out;
 }
 
+Status ApplyIntroductions(Schema* schema, int varying_dim,
+                          const std::vector<NewMemberSpec>& specs) {
+  if (varying_dim < 0 || varying_dim >= schema->num_dimensions()) {
+    return Status::InvalidArgument("introduce dimension out of range");
+  }
+  Dimension* d = schema->mutable_dimension(varying_dim);
+  if (!d->is_varying()) {
+    return Status::FailedPrecondition(
+        "Introduce requires a varying dimension");
+  }
+  const int universe = d->parameter_leaf_count();
+  for (const NewMemberSpec& spec : specs) {
+    Result<MemberId> parent = d->FindMember(spec.parent);
+    if (!parent.ok()) {
+      return Status::NotFound("introduce parent '" + spec.parent +
+                              "' not found in dimension '" + d->name() + "'");
+    }
+    if (spec.inner) {
+      if (spec.seed != NewMemberSpec::Seed::kNone) {
+        return Status::InvalidArgument(
+            "only introduced leaves can carry a seeding rule");
+      }
+      Result<MemberId> added = d->AddInnerMember(spec.name, *parent);
+      if (!added.ok()) return added.status();
+      continue;
+    }
+    if (spec.from_moment < 0 || spec.from_moment >= universe) {
+      return Status::OutOfRange("introduce epoch start out of range");
+    }
+    Result<MemberId> added = d->AddMember(spec.name, *parent);
+    if (!added.ok()) return added.status();
+    // AddMember created one all-moments instance; restrict it to the
+    // member's epoch [from_moment, universe).
+    InstanceId inst = d->FindInstance(*added, *parent);
+    assert(inst != kInvalidInstance);
+    DynamicBitset epoch(universe);
+    for (int t = spec.from_moment; t < universe; ++t) epoch.Set(t);
+    d->SetInstanceValidity(inst, std::move(epoch));
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// The seeding half of Introduce, applied to the already-widened cube.
+// Strictly serial and ordered (specs in order; cells in coordinate order),
+// so the kernel path and the reference path share it verbatim.
+Status SeedIntroducedCells(Cube* out, int varying_dim,
+                           const std::vector<NewMemberSpec>& specs,
+                           int64_t* cells_seeded) {
+  const Schema& schema = out->schema();
+  const Dimension& d = schema.dimension(varying_dim);
+  const int param_dim = schema.parameter_of(varying_dim);
+  for (const NewMemberSpec& spec : specs) {
+    if (spec.inner || spec.seed == NewMemberSpec::Seed::kNone) continue;
+    const bool transfer = spec.seed == NewMemberSpec::Seed::kTransfer;
+    if (spec.factor < 0.0 || (transfer && spec.factor > 1.0)) {
+      return Status::InvalidArgument(
+          transfer ? "introduce transfer fraction must be in [0, 1]"
+                   : "introduce clone factor must be >= 0");
+    }
+    Result<MemberId> source = d.FindMember(spec.source);
+    if (!source.ok()) {
+      return Status::NotFound("introduce seed source '" + spec.source +
+                              "' not found in dimension '" + d.name() + "'");
+    }
+    if (!d.member(*source).is_leaf()) {
+      return Status::InvalidArgument(
+          "introduce seed source must be a leaf member");
+    }
+    Result<MemberId> target = d.FindMember(spec.name);
+    Result<MemberId> parent = d.FindMember(spec.parent);
+    assert(target.ok() && parent.ok());  // Just introduced above.
+    if (*source == *target) {
+      return Status::InvalidArgument("introduced member cannot seed itself");
+    }
+    const InstanceId dst = d.FindInstance(*target, *parent);
+    assert(dst != kInvalidInstance);
+    if (spec.factor == 0.0) continue;  // Zero delta: introduced empty.
+
+    // Collect first (mutating while iterating is unsound), then apply in
+    // coordinate order so the result is independent of chunk-map order.
+    std::vector<std::pair<std::vector<int>, double>> moves;
+    out->ForEachChunkCell([&](const std::vector<int>& coords, CellValue v) {
+      const MemberInstance& inst = d.instance(coords[varying_dim]);
+      if (inst.member != *source) return;
+      const int t = coords[param_dim];
+      if (t < spec.from_moment) return;     // Outside the epoch.
+      if (!inst.validity.Test(t)) return;   // Data at an invalid instance.
+      moves.emplace_back(coords, v.value());
+    });
+    std::sort(moves.begin(), moves.end());
+    int64_t seeded = 0;
+    std::vector<int> dst_coords;
+    for (const auto& [coords, value] : moves) {
+      if (transfer) {
+        out->SetCell(coords, CellValue(value * (1.0 - spec.factor)));
+        ++seeded;
+      }
+      dst_coords = coords;
+      dst_coords[varying_dim] = dst;
+      out->SetCell(dst_coords, CellValue(value * spec.factor));
+      ++seeded;
+    }
+    if (cells_seeded) *cells_seeded += seeded;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<Cube> IntroduceMembers(const Cube& in, int varying_dim,
+                              const std::vector<NewMemberSpec>& specs,
+                              int threads, const CancellationToken& cancel,
+                              int64_t* cells_seeded) {
+  OLAP_OPERATOR_SCOPE("introduce");
+  Schema schema_out = in.schema();
+  Status applied = ApplyIntroductions(&schema_out, varying_dim, specs);
+  if (!applied.ok()) {
+    op_span.SetError(applied);
+    return applied;
+  }
+  const Dimension& d_in = in.schema().dimension(varying_dim);
+  const int param_dim = in.schema().parameter_of(varying_dim);
+  const int universe = d_in.parameter_leaf_count();
+
+  // Existing cells copy through unchanged: an identity destination table
+  // over the input positions. The output grid is wider (new instances
+  // append positions); the kernel handles the differing chunk grids.
+  DestTable table;
+  table.Init(d_in.num_positions(), universe);
+  for (int p = 0; p < d_in.num_positions(); ++p) {
+    int32_t* row = table.dest.data() + static_cast<size_t>(p) * universe;
+    for (int t = 0; t < universe; ++t) row[t] = p;
+  }
+  table.Classify();
+  Cube out = ApplyDestTable(in, std::move(schema_out), varying_dim, param_dim,
+                            table, threads, nullptr, cancel);
+  if (Status s = cancel.Poll("whatif.introduce"); !s.ok()) {
+    op_span.SetError(s);
+    return s;
+  }
+  Status seeded = SeedIntroducedCells(&out, varying_dim, specs, cells_seeded);
+  if (!seeded.ok()) {
+    op_span.SetError(seeded);
+    return seeded;
+  }
+  return out;
+}
+
+Result<Cube> IntroduceMembersReference(const Cube& in, int varying_dim,
+                                       const std::vector<NewMemberSpec>& specs,
+                                       int64_t* cells_seeded) {
+  Schema schema_out = in.schema();
+  Status applied = ApplyIntroductions(&schema_out, varying_dim, specs);
+  if (!applied.ok()) return applied;
+  Cube out(schema_out, OptionsOf(in));
+  in.ForEachCell(
+      [&](const std::vector<int>& coords, CellValue v) { out.SetCell(coords, v); });
+  Status seeded = SeedIntroducedCells(&out, varying_dim, specs, cells_seeded);
+  if (!seeded.ok()) return seeded;
+  return out;
+}
+
 Result<Cube> Allocate(const Cube& in, const AllocationSpec& spec) {
   OLAP_OPERATOR_SCOPE("allocate");
   if (spec.dim < 0 || spec.dim >= in.num_dims()) {

@@ -116,6 +116,63 @@ Result<Cube> SplitReference(const Cube& in, int varying_dim,
                             const ChangeRelation& r);
 
 // ---------------------------------------------------------------------------
+// Introduce — hypothetical new dimension values (positive schema delta)
+// ---------------------------------------------------------------------------
+//
+// The relocate/split pair can only rearrange members that already exist.
+// New-member introduction adds hypothetical dimension values — a new hire,
+// a new department — as a positive delta over the validity-set epochs: a new
+// leaf of a varying dimension receives one instance valid from `from_moment`
+// onward (its epoch), and an optional allocation rule seeds its cells from
+// an existing member's data.
+
+struct NewMemberSpec {
+  std::string name;    // Must not already exist in the dimension.
+  std::string parent;  // Resolved by name at apply time (may itself have
+                       // been introduced by an earlier spec in the batch).
+  // True for a structural member (new department): no instance, no
+  // positions until leaves are introduced beneath it. False for a new leaf
+  // (new hire) with a single instance valid over its epoch.
+  bool inner = false;
+  int from_moment = 0;  // Epoch start: instance valid [from_moment, universe).
+
+  // How the new leaf's cells are seeded (leaves only).
+  enum class Seed {
+    kNone,      // Introduced empty; every cell starts at ⊥.
+    kClone,     // new(t, e) = factor * source(t, e) over the epoch.
+    kTransfer,  // Moves factor of source's value: source keeps (1-factor).
+  };
+  Seed seed = Seed::kNone;
+  std::string source;    // Existing leaf whose cells seed the new member.
+  double factor = 0.0;   // Clone scale / transfer fraction. 0 => no delta.
+};
+
+// Applies the schema half of an introduction batch to `schema` in spec
+// order: AddInnerMember for inner specs, AddMember + epoch validity for
+// leaves. Shared by the operator below and by the MDX binder (which must
+// bind axis references against the augmented schema with identical member
+// and instance ids).
+Status ApplyIntroductions(Schema* schema, int varying_dim,
+                          const std::vector<NewMemberSpec>& specs);
+
+// I(Cin, specs): the output cube over the augmented schema. Existing cells
+// copy through unchanged (same chunk-native run-copy kernel as Relocate;
+// bit-identical at every thread count); seeding rules are then applied
+// serially in spec order, so chained introductions (a clone of a clone)
+// are deterministic. `cells_seeded`, when non-null, receives the number of
+// cells written (or rewritten, for kTransfer sources) by seeding rules.
+Result<Cube> IntroduceMembers(const Cube& in, int varying_dim,
+                              const std::vector<NewMemberSpec>& specs,
+                              int threads = 1,
+                              const CancellationToken& cancel = {},
+                              int64_t* cells_seeded = nullptr);
+
+// Serial cell-at-a-time Introduce, the oracle for equivalence tests.
+Result<Cube> IntroduceMembersReference(const Cube& in, int varying_dim,
+                                       const std::vector<NewMemberSpec>& specs,
+                                       int64_t* cells_seeded = nullptr);
+
+// ---------------------------------------------------------------------------
 // Allocate — data-driven hypothetical scenarios
 // ---------------------------------------------------------------------------
 //

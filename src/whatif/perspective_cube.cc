@@ -211,12 +211,15 @@ CellValue PerspectiveCube::Evaluate(const CellRef& ref, const RuleSet* rules,
         .Evaluate(ref);
   }
   // Non-visual: derived values are retained from the input cube. Refs that
-  // pin instances created by a Split do not exist in the input; evaluate
-  // those on the output instead.
+  // pin instances created by a Split, or that name members introduced into
+  // the output schema, do not exist in the input; evaluate those on the
+  // output instead.
   if (varying_dim_ >= 0) {
     const Dimension& d_in = input_->schema().dimension(varying_dim_);
     const AxisRef& r = ref[varying_dim_];
-    if (r.instance != kInvalidInstance && r.instance >= d_in.num_instances()) {
+    if ((r.instance != kInvalidInstance &&
+         r.instance >= d_in.num_instances()) ||
+        r.member >= d_in.num_members()) {
       return CellEvaluator(output_, rules).Evaluate(ref);
     }
   }
@@ -235,9 +238,11 @@ struct EvalStatsFlush {
     static Counter* passes = reg.counter("whatif.passes");
     static Counter* chunk_reads = reg.counter("whatif.chunk_reads");
     static Counter* cells_moved = reg.counter("whatif.cells_moved");
+    static Counter* cells_seeded = reg.counter("whatif.cells_seeded");
     passes->Increment(stats->passes);
     chunk_reads->Increment(stats->chunk_reads);
     cells_moved->Increment(stats->cells_moved);
+    cells_seeded->Increment(stats->cells_seeded);
   }
 };
 
@@ -277,16 +282,29 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
         "' is not varying"));
   }
 
-  // Positive scenario first: hypothetical changes are imposed, then any
-  // perspectives are applied to the changed cube.
+  // Positive scenarios first: hypothetical new members are introduced,
+  // then hypothetical changes are imposed (which may reference the new
+  // members), then any perspectives are applied to the changed cube.
   const Cube* base = &in;
+  std::optional<Cube> intro_cube;
+  if (!spec.introductions.empty()) {
+    ChargeScan(in, spec.varying_dim, {}, disk, stats, pipeline);
+    Result<Cube> intro =
+        IntroduceMembers(in, spec.varying_dim, spec.introductions,
+                         eval_threads, cancel, &stats->cells_seeded);
+    if (!intro.ok()) return fail(intro.status());
+    if (Status s = interrupted(); !s.ok()) return fail(s);
+    stats->cells_moved += intro->CountNonNullCells();
+    intro_cube = *std::move(intro);
+    base = &*intro_cube;
+  }
   std::optional<Cube> split_cube;
   if (!spec.changes.empty()) {
     std::vector<MemberId> changed;
     for (const ChangeTuple& tuple : spec.changes) changed.push_back(tuple.member);
-    ChargeScan(in, spec.varying_dim, changed, disk, stats, pipeline);
+    ChargeScan(*base, spec.varying_dim, changed, disk, stats, pipeline);
     Result<Cube> split =
-        Split(in, spec.varying_dim, spec.changes, eval_threads, cancel);
+        Split(*base, spec.varying_dim, spec.changes, eval_threads, cancel);
     if (!split.ok()) return fail(split.status());
     if (Status s = interrupted(); !s.ok()) return fail(s);
     stats->cells_moved += split->CountNonNullCells();
@@ -298,7 +316,9 @@ Result<PerspectiveCube> ComputePerspectiveCube(const Cube& in,
     // Positive-only query (or the identity when there are no changes
     // either): Split's non-leaf evaluation defaults to non-visual unless
     // the query says otherwise.
-    Cube out = split_cube.has_value() ? *std::move(split_cube) : in;
+    Cube out = split_cube.has_value()
+                   ? *std::move(split_cube)
+                   : intro_cube.has_value() ? *std::move(intro_cube) : in;
     if (disk != nullptr) {
       stats->virtual_io_seconds = disk->stats().virtual_seconds - io_before;
     }

@@ -22,15 +22,19 @@ namespace olap {
 //
 //   WITH PERSPECTIVE {p1,...,pk} FOR <dim> <semantics> <mode>    (negative)
 //   WITH CHANGES R(m,o,n,t) <mode>                               (positive)
+//   WITH INTRODUCE {(name, parent, ...)} FOR <dim> <mode>        (positive)
 //
-// A query may carry both (positive changes applied first, then
-// perspectives).
+// A query may carry all three (introductions applied first, then positive
+// changes, then perspectives).
 struct WhatIfSpec {
   int varying_dim = -1;
   Perspectives perspectives;  // Empty => no negative scenario.
   Semantics semantics = Semantics::kStatic;
   EvalMode mode = EvalMode::kNonVisual;
   ChangeRelation changes;  // Empty => no positive scenario.
+  // Hypothetical new members, applied before `changes` (a change may then
+  // reference an introduced member). Empty => no introduction.
+  std::vector<NewMemberSpec> introductions;
   // Optional Sec. 6.3 optimisation: restrict instance merging to these
   // members (the varying members actually in the query's scope). Empty =>
   // every member.
@@ -57,6 +61,7 @@ struct EvalStats {
   int64_t passes = 0;          // Scans over the relevant chunks.
   int64_t chunk_reads = 0;     // Chunks fetched (before cache).
   int64_t cells_moved = 0;     // Leaf cells written into the output.
+  int64_t cells_seeded = 0;    // Cells written by introduction seeding rules.
   double virtual_io_seconds = 0.0;  // From the SimulatedDisk, if any.
   // Peak chunks that had to stay co-resident for instance merging, under
   // the read order actually used (Sec. 5.2's pebble count).

@@ -48,10 +48,17 @@ WorkforceCube BuildWorkforceCube(const WorkforceConfig& config) {
   Dimension period("Period", DimensionKind::kParameter);
   static const char* kMonths[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
                                     "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
-  assert(config.num_months <= 12 && config.num_months % 3 == 0);
+  // Any multiple of 3 works; months past the first year get a year suffix
+  // ("Jan2", "Feb2", ...) so the Fig. 11 sweep can exceed 12 perspectives.
+  assert(config.num_months % 3 == 0);
   for (int q = 0; q * 3 < config.num_months; ++q) {
     MemberId quarter = Add(&period, "Q" + std::to_string(q + 1), period.root());
-    for (int m = 0; m < 3; ++m) Add(&period, kMonths[q * 3 + m], quarter);
+    for (int m = 0; m < 3; ++m) {
+      const int idx = q * 3 + m;
+      std::string name = kMonths[idx % 12];
+      if (idx >= 12) name += std::to_string(idx / 12 + 1);
+      Add(&period, std::move(name), quarter);
+    }
   }
 
   // Account: flat list of measures ("salary, grade etc").
@@ -114,11 +121,21 @@ WorkforceCube BuildWorkforceCube(const WorkforceConfig& config) {
       chosen.Set(moment);
     }
     MemberId current = schema.dimension(wf.dept_dim).member(emp).parent;
+    std::vector<char> visited(departments.size(), 0);
+    if (config.distinct_move_targets) {
+      assert(static_cast<size_t>(config.max_moves + 1) < departments.size());
+      for (size_t d = 0; d < departments.size(); ++d) {
+        if (departments[d] == current) visited[d] = 1;
+      }
+    }
     for (int t = chosen.FindFirst(); t >= 0; t = chosen.FindNext(t + 1)) {
       MemberId target;
+      size_t pick;
       do {
-        target = departments[rng.NextBelow(departments.size())];
-      } while (target == current);
+        pick = rng.NextBelow(departments.size());
+        target = departments[pick];
+      } while (target == current || visited[pick]);
+      if (config.distinct_move_targets) visited[pick] = 1;
       Status s = dept_mut->ApplyChange(emp, target, t);
       assert(s.ok());
       (void)s;

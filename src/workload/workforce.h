@@ -27,6 +27,13 @@ struct WorkforceConfig {
   int num_changing = 250;  // Employees whose reporting structure changes.
   int min_moves = 1;
   int max_moves = 11;
+  // Never move an employee back to a department they already reported to.
+  // Revisits reuse the existing (employee, department) instance and OR the
+  // validity sets together; with distinct targets every move creates a
+  // fresh single-epoch instance, which the Fig. 11 bench needs so that k
+  // perspectives activate exactly k instances per changing employee
+  // (linear sweep). Requires num_departments > max_moves + 1.
+  bool distinct_move_targets = false;
   int num_months = 12;
   int num_measures = 10;
   int num_scenarios = 5;

@@ -179,6 +179,100 @@ TEST_F(CancellationFuzzTest, RandomCancellationPointsLeaveNoResidue) {
   ExpectMatchesOracle(*r, "post-fuzz profiled run");
 }
 
+TEST_F(CancellationFuzzTest, ComposedScenarioAndCompareCancelCleanly) {
+  // The scenario-algebra paths: a composed stack (INTRODUCE + CHANGES +
+  // PERSPECTIVE through one spec) and a COMPARE ... VERSUS query. Both
+  // must honor injected cancellation at any poll without leaking pins or
+  // budget reservations, and complete bit-identical when never tripped.
+  const std::string kComposed =
+      "WITH INTRODUCE {([1002], [100], [Feb], CLONE [1001] 0.5)} "
+      "FOR Product "
+      "CHANGES {([100].[1001], [100], [200], [Mar])} "
+      "PERSPECTIVE {(Jan), (Jul)} FOR Product DYNAMIC FORWARD VISUAL "
+      "SELECT {Time.[Jan], Time.[Jul]} ON COLUMNS, "
+      "{Product.[1001], Product.[1002]} ON ROWS FROM Products "
+      "WHERE (Measures.[Sales])";
+  const std::string kCompare =
+      "COMPARE "
+      "WITH CHANGES {([100].[1001], [100], [200], [Mar])} VISUAL "
+      "SELECT {Time.[Jan], Time.[Jul]} ON COLUMNS, {[100], [200]} ON ROWS "
+      "FROM Products WHERE (Measures.[Sales]) "
+      "VERSUS "
+      "SELECT {Time.[Jan], Time.[Jul]} ON COLUMNS, {[100], [200]} ON ROWS "
+      "FROM Products WHERE (Measures.[Sales])";
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Gauge* pinned = reg.gauge("pipeline.pinned_chunks");
+  Gauge* reserved = reg.gauge("governor.mem.reserved_cells");
+  const int64_t pinned_before = pinned->value();
+  const int64_t reserved_before = reserved->value();
+
+  const int64_t kTrips[] = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144,
+                            int64_t{1} << 40};
+  for (const std::string& query : {kComposed, kCompare}) {
+    Result<QueryResult> oracle = exec_->Execute(query, QueryOptions());
+    ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+    int completed = 0, cancelled = 0, run = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      for (int64_t trip : kTrips) {
+        const bool pipelined = (run++ % 2) == 1;
+        const std::string what = "threads=" + std::to_string(threads) +
+                                 " trip=" + std::to_string(trip) +
+                                 (pipelined ? " pipelined" : " in-memory");
+        SimulatedDisk disk(TestModel(), 0);
+        QueryOptions options;
+        options.eval_threads = threads;
+        if (pipelined) {
+          EXPECT_TRUE(disk.AttachBackingFile(Env::Default(), path_).ok());
+          options.disk = &disk;
+          options.pipelined_io = true;
+          options.pipeline_lookahead = 8;
+        }
+        CancellationSource source;
+        source.CancelAfterPolls(trip);
+        options.governor.cancel = source.token();
+        Result<QueryResult> r = exec_->Execute(query, options);
+        if (r.ok()) {
+          ++completed;
+          ASSERT_EQ(oracle->grid.num_rows(), r->grid.num_rows()) << what;
+          ASSERT_EQ(oracle->grid.num_columns(), r->grid.num_columns())
+              << what;
+          for (int row = 0; row < oracle->grid.num_rows(); ++row) {
+            for (int col = 0; col < oracle->grid.num_columns(); ++col) {
+              EXPECT_EQ(BitsOf(oracle->grid.at(row, col)),
+                        BitsOf(r->grid.at(row, col)))
+                  << what << " cell (" << row << ", " << col << ")";
+            }
+          }
+          EXPECT_EQ(oracle->compared, r->compared) << what;
+          if (oracle->compared) {
+            EXPECT_EQ(BitsOf(CellValue(oracle->comparison.l1)),
+                      BitsOf(CellValue(r->comparison.l1)))
+                << what;
+            EXPECT_EQ(oracle->comparison.overlap, r->comparison.overlap)
+                << what;
+          }
+        } else {
+          ++cancelled;
+          EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
+              << what << ": " << r.status().ToString();
+        }
+        ASSERT_EQ(pinned->value(), pinned_before) << what;
+        ASSERT_EQ(reserved->value(), reserved_before) << what;
+      }
+    }
+    EXPECT_GE(completed, 4) << query;
+    EXPECT_GE(cancelled, 4) << query;
+  }
+
+  // The shared pool survived every abandoned fan-out.
+  std::vector<int> hits(256, 0);
+  ThreadPool::Shared().ParallelFor(
+      static_cast<int64_t>(hits.size()), 8,
+      [&hits](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 256);
+}
+
 TEST_F(CancellationFuzzTest, CancelledProfiledRunsDoNotWedgeTheTracer) {
   // Profiled + cancelled at assorted points: the global tracing session
   // must be released on the error path, or the next profiled query would

@@ -95,6 +95,51 @@ TEST_F(ExplainTest, AllocationReported) {
             std::string::npos);
 }
 
+TEST_F(ExplainTest, IntroduceReported) {
+  std::string plan = MustExplain(
+      "WITH INTRODUCE {([Consulting], [Organization]), "
+      "([Newbie], [FTE], [Mar], CLONE [Lisa] 0.5)} FOR Organization "
+      "SELECT {Time.[Jan]} ON COLUMNS, {[FTE]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  EXPECT_NE(plan.find("2 introduced member(s) (1 seeded)"), std::string::npos)
+      << plan;
+}
+
+TEST_F(ExplainTest, CompareShowsBothScenarioPlans) {
+  std::string plan = MustExplain(
+      "COMPARE "
+      "WITH CHANGES {([Contractor].[Joe], [Contractor], [FTE], [Apr])} "
+      "VISUAL "
+      "SELECT {Time.[Apr]} ON COLUMNS, {[FTE]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary]) "
+      "VERSUS "
+      "SELECT {Time.[Apr]} ON COLUMNS, {[FTE]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  EXPECT_NE(plan.find("compare: delta grid"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("-- scenario A --"), std::string::npos);
+  EXPECT_NE(plan.find("-- scenario B --"), std::string::npos);
+  // Side A's what-if clause renders inside its block; side B is plain.
+  EXPECT_NE(plan.find("1 positive change(s)"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainAnalyzeRendersComparisonAndComposeSpan) {
+  Result<std::string> r = exec_->ExplainAnalyze(
+      "COMPARE "
+      "WITH CHANGES {([Contractor].[Joe], [Contractor], [FTE], [Apr])} "
+      "VISUAL "
+      "SELECT {Time.[Apr]} ON COLUMNS, {[FTE], [Contractor]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary]) "
+      "VERSUS "
+      "SELECT {Time.[Apr]} ON COLUMNS, {[FTE], [Contractor]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("comparison: cells=2"), std::string::npos) << *r;
+  EXPECT_NE(r->find("containment=equal"), std::string::npos);
+  // The profiled span tree includes the scenario algebra's spans.
+  EXPECT_NE(r->find("scenario.compare"), std::string::npos);
+  EXPECT_NE(r->find("scenario.compose"), std::string::npos);
+}
+
 TEST_F(ExplainTest, ErrorsPropagate) {
   EXPECT_FALSE(exec_->Explain("garbage").ok());
   EXPECT_FALSE(exec_->Explain("SELECT {x} ON COLUMNS FROM Nowhere").ok());

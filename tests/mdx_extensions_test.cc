@@ -258,5 +258,154 @@ TEST_F(MdxExtensionsTest, NonEmptyWithPerspective) {
   EXPECT_TRUE(has_pte_joe);
 }
 
+// ---------------------------------------------------------------------------
+// INTRODUCE: hypothetical new members end-to-end through the MDX surface.
+// ---------------------------------------------------------------------------
+
+TEST_F(MdxExtensionsTest, IntroduceCloneSeedsTheNewMember) {
+  // Newbie joins FTE in Mar, seeded as half of Lisa. Lisa is 10 at
+  // (NY, Salary) every month, so Newbie is 5 from Mar onward and ⊥ before.
+  QueryResult r = MustExecute(
+      "WITH INTRODUCE {([Newbie], [FTE], [Mar], CLONE [Lisa] 0.5)} "
+      "FOR Organization "
+      "SELECT {Time.[Feb], Time.[Mar], Time.[Apr]} ON COLUMNS, "
+      "{[FTE].[Newbie], [FTE].[Lisa]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_EQ(r.grid.num_rows(), 2);
+  ASSERT_EQ(r.grid.num_columns(), 3);
+  EXPECT_TRUE(r.grid.at(0, 0).is_null());  // Newbie before its epoch.
+  EXPECT_EQ(r.grid.at(0, 1), CellValue(5.0));
+  EXPECT_EQ(r.grid.at(0, 2), CellValue(5.0));
+  // Cloning leaves the source untouched.
+  EXPECT_EQ(r.grid.at(1, 0), CellValue(10.0));
+  EXPECT_EQ(r.grid.at(1, 1), CellValue(10.0));
+  EXPECT_EQ(r.grid.at(1, 2), CellValue(10.0));
+  EXPECT_TRUE(r.used_whatif);
+  EXPECT_GT(r.whatif_stats.cells_seeded, 0);
+}
+
+TEST_F(MdxExtensionsTest, IntroduceTransferMovesTheSourceData) {
+  // TRANSFER at factor 1.0 moves Jane's workload to the new hire from Apr
+  // on: Jane's Apr cell becomes an explicit 0 (the cell still exists, its
+  // value moved), Phil picks up the 10. VISUAL so Jane's row reads the
+  // transformed cube (non-visual retains stored values for members that
+  // exist in the stored schema).
+  QueryResult r = MustExecute(
+      "WITH INTRODUCE {([Phil], [Contractor], [Apr], TRANSFER [Jane] 1.0)} "
+      "FOR Organization VISUAL "
+      "SELECT {Time.[Mar], Time.[Apr]} ON COLUMNS, "
+      "{[Contractor].[Phil], [Contractor].[Jane]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_EQ(r.grid.num_rows(), 2);
+  ASSERT_EQ(r.grid.num_columns(), 2);
+  EXPECT_TRUE(r.grid.at(0, 0).is_null());       // Phil before the epoch.
+  EXPECT_EQ(r.grid.at(0, 1), CellValue(10.0));  // Phil inherits Apr.
+  EXPECT_EQ(r.grid.at(1, 0), CellValue(10.0));  // Jane keeps Mar.
+  EXPECT_EQ(r.grid.at(1, 1), CellValue(0.0));   // Jane's Apr moved away.
+}
+
+TEST_F(MdxExtensionsTest, IntroduceInnerMemberWithLeafUnderIt) {
+  // A new department (moment omitted => inner member) plus a hire under it
+  // in the same clause: later specs may name earlier hypothetical members
+  // as parents. The derived [Consulting] cell rolls up its new leaf.
+  QueryResult r = MustExecute(
+      "WITH INTRODUCE {([Consulting], [Organization]), "
+      "([Ann], [Consulting], [Mar], CLONE [Lisa] 1.0)} FOR Organization "
+      "SELECT {Time.[Feb], Time.[Mar]} ON COLUMNS, "
+      "{[Consulting], [FTE]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_EQ(r.grid.num_rows(), 2);
+  ASSERT_EQ(r.grid.num_columns(), 2);
+  EXPECT_TRUE(r.grid.at(0, 0).is_null());       // Before Ann's epoch.
+  EXPECT_EQ(r.grid.at(0, 1), CellValue(10.0));  // Ann's cloned Mar.
+  EXPECT_EQ(r.grid.at(1, 0), CellValue(10.0));  // FTE = Lisa, untouched.
+  EXPECT_EQ(r.grid.at(1, 1), CellValue(10.0));
+}
+
+TEST_F(MdxExtensionsTest, FilterCannotReferenceIntroducedMembers) {
+  // Filter/Order predicates evaluate against the stored cube, which does
+  // not contain the hypothetical member — the binder must reject this
+  // rather than read out of bounds.
+  Result<QueryResult> r = exec_->Execute(
+      "WITH INTRODUCE {([Newbie], [FTE], [Mar], CLONE [Lisa] 0.5)} "
+      "FOR Organization "
+      "SELECT Filter({Time.[Mar]}, [Newbie] > 0) ON COLUMNS, "
+      "{[FTE]} ON ROWS FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("introduced"), std::string::npos)
+      << r.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// COMPARE <query> VERSUS <query>: delta grid + comparison metrics.
+// ---------------------------------------------------------------------------
+
+TEST_F(MdxExtensionsTest, CompareVersusProducesDeltaGridAndMetrics) {
+  // Scenario A reassigns Contractor/Joe to FTE from Apr (visual); scenario
+  // B is the unmodified cube. At (NY, Salary, Apr): A has FTE = Lisa 10 +
+  // Joe 10 = 20, Contractor = Jane 10; B has FTE = 10, Contractor = 20.
+  Result<QueryResult> res = exec_->Execute(
+      "COMPARE "
+      "WITH CHANGES {([Contractor].[Joe], [Contractor], [FTE], [Apr])} "
+      "VISUAL "
+      "SELECT {Time.[Apr]} ON COLUMNS, {[FTE], [Contractor]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary]) "
+      "VERSUS "
+      "SELECT {Time.[Apr]} ON COLUMNS, {[FTE], [Contractor]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const QueryResult& r = *res;
+  EXPECT_TRUE(r.compared);
+  ASSERT_EQ(r.grid.num_rows(), 2);
+  ASSERT_EQ(r.grid.num_columns(), 1);
+  EXPECT_EQ(r.grid.at(0, 0), CellValue(10.0));    // FTE: 20 - 10.
+  EXPECT_EQ(r.grid.at(1, 0), CellValue(-10.0));   // Contractor: 10 - 20.
+  EXPECT_EQ(r.comparison.cells_compared, 2);
+  EXPECT_EQ(r.comparison.active_a, 2);
+  EXPECT_EQ(r.comparison.active_b, 2);
+  EXPECT_EQ(r.comparison.overlap, 2);
+  EXPECT_TRUE(r.comparison.a_contains_b);
+  EXPECT_TRUE(r.comparison.b_contains_a);
+  EXPECT_EQ(r.comparison.jaccard, 1.0);
+  EXPECT_EQ(r.comparison.l1, 20.0);
+  EXPECT_EQ(r.comparison.linf, 10.0);
+}
+
+TEST_F(MdxExtensionsTest, CompareRejectsMismatchedAxes) {
+  Result<QueryResult> r = exec_->Execute(
+      "COMPARE "
+      "SELECT {Time.[Apr]} ON COLUMNS, {[FTE]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary]) "
+      "VERSUS "
+      "SELECT {Time.[Apr]} ON COLUMNS, {[Contractor]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("same axes"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(MdxExtensionsTest, CompareIdenticalSidesIsAllZero) {
+  Result<QueryResult> r = exec_->Execute(
+      "COMPARE "
+      "SELECT {Time.[Jan], Time.[Feb]} ON COLUMNS, {[FTE], [PTE]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary]) "
+      "VERSUS "
+      "SELECT {Time.[Jan], Time.[Feb]} ON COLUMNS, {[FTE], [PTE]} ON ROWS "
+      "FROM Warehouse WHERE ([NY], [Salary])");
+  ASSERT_TRUE(r->compared);
+  EXPECT_EQ(r->comparison.l1, 0.0);
+  EXPECT_EQ(r->comparison.l2, 0.0);
+  EXPECT_EQ(r->comparison.linf, 0.0);
+  EXPECT_EQ(r->comparison.active_a, r->comparison.active_b);
+  EXPECT_EQ(r->comparison.jaccard, 1.0);
+  for (int row = 0; row < r->grid.num_rows(); ++row) {
+    for (int col = 0; col < r->grid.num_columns(); ++col) {
+      if (!r->grid.at(row, col).is_null()) {
+        EXPECT_EQ(r->grid.at(row, col), CellValue(0.0));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace olap

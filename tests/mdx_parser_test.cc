@@ -190,6 +190,62 @@ TEST(ParserTest, Errors) {
   EXPECT_FALSE(Parse("SELECT {a} ON COLUMNS FROM c WHERE (x) trailing").ok());
 }
 
+TEST(ParserTest, IntroduceClause) {
+  ParsedQuery q = MustParse(
+      "WITH INTRODUCE {([Consulting], [Organization]), "
+      "([Newbie], [FTE], [Mar], CLONE [Lisa] 0.5), "
+      "([Phil], [Contractor], [Apr], TRANSFER [Jane] 1.0)} "
+      "FOR Organization VISUAL "
+      "SELECT {x} ON COLUMNS FROM c");
+  ASSERT_EQ(q.introduces.size(), 1u);
+  const IntroduceClause& clause = q.introduces[0];
+  EXPECT_EQ(clause.varying_dim, "Organization");
+  EXPECT_EQ(clause.mode, "VISUAL");
+  ASSERT_EQ(clause.members.size(), 3u);
+  EXPECT_EQ(clause.members[0].name, "Consulting");
+  EXPECT_EQ(clause.members[0].parent, "Organization");
+  EXPECT_TRUE(clause.members[0].moment.empty());  // Inner member.
+  EXPECT_TRUE(clause.members[0].seed.empty());
+  EXPECT_EQ(clause.members[1].name, "Newbie");
+  EXPECT_EQ(clause.members[1].moment, "Mar");
+  EXPECT_EQ(clause.members[1].seed, "CLONE");
+  EXPECT_EQ(clause.members[1].source, "Lisa");
+  EXPECT_EQ(clause.members[1].factor, 0.5);
+  EXPECT_EQ(clause.members[2].seed, "TRANSFER");
+  EXPECT_EQ(clause.members[2].factor, 1.0);
+}
+
+TEST(ParserTest, IntroduceErrors) {
+  // Missing FOR <dim>.
+  EXPECT_FALSE(
+      Parse("WITH INTRODUCE {([A], [B])} SELECT {x} ON COLUMNS FROM c").ok());
+  // Seed without a moment.
+  EXPECT_FALSE(Parse("WITH INTRODUCE {([A], [B], CLONE [L])} FOR d "
+                     "SELECT {x} ON COLUMNS FROM c")
+                   .ok());
+  // Unknown seed keyword.
+  EXPECT_FALSE(Parse("WITH INTRODUCE {([A], [B], [Mar], COPY [L] 1.0)} FOR d "
+                     "SELECT {x} ON COLUMNS FROM c")
+                   .ok());
+}
+
+TEST(ParserTest, CompareVersus) {
+  ParsedQuery q = MustParse(
+      "COMPARE WITH PERSPECTIVE {(Feb)} FOR Organization STATIC "
+      "SELECT {x} ON COLUMNS FROM c "
+      "VERSUS SELECT {x} ON COLUMNS FROM c");
+  ASSERT_NE(q.compare_to, nullptr);
+  EXPECT_FALSE(q.perspectives.empty());
+  EXPECT_TRUE(q.compare_to->perspectives.empty());
+  EXPECT_EQ(q.compare_to->compare_to, nullptr);
+  // VERSUS requires a COMPARE.
+  EXPECT_FALSE(Parse("SELECT {x} ON COLUMNS FROM c VERSUS "
+                     "SELECT {x} ON COLUMNS FROM c")
+                   .ok());
+  // COMPARE requires a VERSUS.
+  EXPECT_FALSE(Parse("COMPARE SELECT {x} ON COLUMNS FROM c").ok());
+}
+
 TEST(ParserTest, KeywordsAreCaseInsensitive) {
   ParsedQuery q = MustParse(
       "with perspective {(jan)} for dept static select {x} on columns from c");

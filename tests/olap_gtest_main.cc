@@ -1,0 +1,39 @@
+// Custom gtest main: gives every test *process* its own scratch directory.
+//
+// ::testing::TempDir() honors $TEST_TMPDIR, but defaults to the one shared
+// /tmp path — and ctest runs each discovered test case as a separate
+// process, so under `ctest -j` any two cases writing the same file name
+// into TempDir() race (SaveCube targets, backing files, spill dirs). This
+// main mkdtemp()s a unique directory per process, exports it as
+// TEST_TMPDIR *before* gtest initializes, and removes it after RUN_ALL_TESTS.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "gtest/gtest.h"
+
+int main(int argc, char** argv) {
+  std::string scratch;
+  if (const char* preset = std::getenv("TEST_TMPDIR");
+      preset == nullptr || preset[0] == '\0') {
+    const char* base = std::getenv("TMPDIR");
+    if (base == nullptr || base[0] == '\0') base = "/tmp";
+    std::string tmpl = std::string(base) + "/olap_test_XXXXXX";
+    char* buf = tmpl.data();
+    if (mkdtemp(buf) == nullptr) {
+      std::perror("olap_gtest_main: mkdtemp");
+      return 1;
+    }
+    scratch = buf;
+    setenv("TEST_TMPDIR", scratch.c_str(), /*overwrite=*/1);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  const int rc = RUN_ALL_TESTS();
+  if (!scratch.empty()) {
+    std::error_code ec;  // Best-effort cleanup; never fail the run over it.
+    std::filesystem::remove_all(scratch, ec);
+  }
+  return rc;
+}

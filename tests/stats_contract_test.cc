@@ -31,7 +31,8 @@ constexpr int kThreadCounts[] = {1, 2, 4, 8};
 // metrics ("threadpool.*") legitimately vary (helper scheduling depends on
 // timing) and are excluded.
 bool IsDeterministicCounter(const std::string& name) {
-  for (const char* prefix : {"query.", "whatif.", "op.", "agg."}) {
+  for (const char* prefix :
+       {"query.", "whatif.", "op.", "agg.", "scenario."}) {
     if (name.rfind(prefix, 0) == 0) return true;
   }
   return false;
@@ -90,6 +91,26 @@ const char kPlainQuery[] =
     "Location.Region.State.MEMBERS ON ROWS FROM Warehouse "
     "WHERE (Organization.[FTE].[Joe], Measures.[Salary])";
 
+// A composed scenario stack (introduction + split + perspectives through
+// one spec) and a scenario comparison — the scenario.* counter sources.
+const char kComposedQuery[] =
+    "WITH INTRODUCE {([Newbie], [FTE], [Mar], CLONE [Lisa] 0.5)} "
+    "FOR Organization "
+    "CHANGES {([Contractor].[Joe], [Contractor], [FTE], [Apr])} "
+    "PERSPECTIVE {(Feb), (Apr)} FOR Organization DYNAMIC FORWARD "
+    "SELECT {Time.[Feb], Time.[Mar]} ON COLUMNS, "
+    "{[FTE], [Contractor]} ON ROWS FROM Warehouse "
+    "WHERE ([NY], [Salary])";
+
+const char kCompareQuery[] =
+    "COMPARE "
+    "WITH CHANGES {([Contractor].[Joe], [Contractor], [FTE], [Apr])} VISUAL "
+    "SELECT {Time.[Apr]} ON COLUMNS, {[FTE], [Contractor]} ON ROWS "
+    "FROM Warehouse WHERE ([NY], [Salary]) "
+    "VERSUS "
+    "SELECT {Time.[Apr]} ON COLUMNS, {[FTE], [Contractor]} ON ROWS "
+    "FROM Warehouse WHERE ([NY], [Salary])";
+
 TEST_F(StatsContractTest, SpanTreesWellFormedAtEveryThreadCount) {
   for (int threads : kThreadCounts) {
     QueryResult r = MustProfile(kWhatIfQuery, threads);
@@ -108,7 +129,8 @@ TEST_F(StatsContractTest, SpanTreesWellFormedAtEveryThreadCount) {
 }
 
 TEST_F(StatsContractTest, DeterministicCountersIdenticalAcrossThreadCounts) {
-  for (const char* query : {kWhatIfQuery, kPlainQuery}) {
+  for (const char* query :
+       {kWhatIfQuery, kPlainQuery, kComposedQuery, kCompareQuery}) {
     std::map<std::string, int64_t> reference;
     for (int threads : kThreadCounts) {
       QueryResult r = MustProfile(query, threads);
@@ -238,6 +260,44 @@ TEST_F(StatsContractTest, WhatIfQueriesUseTheScratchAggregateCache) {
   EXPECT_EQ(lookups, delta.counter_value("agg.cache.hits") +
                          delta.counter_value("agg.cache.misses"));
   EXPECT_GT(delta.counter_value("agg.batch.view_served"), 0);
+}
+
+TEST_F(StatsContractTest, ScenarioCounterReconciliation) {
+  // Hand-computed expectations for the scenario.* counter contract, at
+  // every thread count (the values are work counters, not placement).
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  for (int threads : kThreadCounts) {
+    QueryOptions options;
+    options.eval_threads = threads;
+
+    // Composed stack: one compose run; the single canonical spec carries
+    // three ops (introduce, split, perspective) and one introduced member.
+    MetricsRegistry::Snapshot before = reg.TakeSnapshot();
+    ASSERT_TRUE(exec_->Execute(kComposedQuery, options).ok());
+    MetricsRegistry::Snapshot delta =
+        MetricsRegistry::Snapshot::Delta(before, reg.TakeSnapshot());
+    EXPECT_EQ(delta.counter_value("scenario.compose.runs"), 1) << threads;
+    EXPECT_EQ(delta.counter_value("scenario.compose.ops"), 3) << threads;
+    EXPECT_EQ(delta.counter_value("scenario.compose.introduced_members"), 1)
+        << threads;
+    EXPECT_EQ(delta.counter_value("scenario.compare.runs"), 0) << threads;
+
+    // Comparison: one compare run over the 2x1 grid; each side is composed
+    // once (two compose runs), and only side A carries an op (the split).
+    before = reg.TakeSnapshot();
+    Result<QueryResult> r = exec_->Execute(kCompareQuery, options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    delta = MetricsRegistry::Snapshot::Delta(before, reg.TakeSnapshot());
+    EXPECT_EQ(delta.counter_value("scenario.compare.runs"), 1) << threads;
+    EXPECT_EQ(delta.counter_value("scenario.compare.cells"),
+              r->comparison.cells_compared)
+        << threads;
+    EXPECT_EQ(delta.counter_value("scenario.compare.cells"), 2) << threads;
+    EXPECT_EQ(delta.counter_value("scenario.compose.runs"), 2) << threads;
+    EXPECT_EQ(delta.counter_value("scenario.compose.ops"), 1) << threads;
+    EXPECT_EQ(delta.counter_value("scenario.compose.introduced_members"), 0)
+        << threads;
+  }
 }
 
 TEST_F(StatsContractTest, CellsComputedCounterCoversTheGrid) {
