@@ -37,6 +37,7 @@
 
 #include "agg/batch_eval.h"
 #include "agg/chunk_aggregator.h"
+#include "agg/kernels.h"
 #include "agg/rollup.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
@@ -388,6 +389,228 @@ WorkloadReport RunRollup(bool smoke) {
   return report;
 }
 
+// Per-kernel microbenches over the Fig. 12 workload's chunks: the three
+// vector primitives (masked run sum, weighted FMA merge, masked run copy)
+// timed with the dispatched ISA vs the forced-scalar oracle, with
+// bit-identity gated at every thread count. The chunk list is partitioned
+// into a FIXED shard count (independent of the thread count) and shard
+// partials merge in ascending shard order, so any thread count must produce
+// byte-identical results — the same determinism contract the aggregator's
+// partition plan follows.
+struct KernelMicroEntry {
+  std::string name;
+  double scalar_ms = 0.0;             // forced-scalar oracle, serial.
+  double simd_ms = 0.0;               // dispatched ISA, serial.
+  std::map<int, double> threaded_ms;  // dispatched ISA, per thread count.
+  bool identical = true;  // dispatched == scalar oracle at every thread count.
+};
+
+struct KernelMicroReport {
+  int64_t cells = 0;
+  int64_t chunks = 0;
+  std::vector<KernelMicroEntry> entries;
+};
+
+constexpr int kKernelShards = 64;
+// Acceptance gate: the dispatched masked run sum must beat the scalar
+// oracle by at least this factor serially (only enforced when a SIMD ISA
+// actually dispatched — the forced-scalar CI build runs the bit-identity
+// gates but not the speedup gate).
+constexpr double kRunSumMinSimdSpeedup = 2.0;
+
+KernelMicroReport RunKernelMicro(bool smoke) {
+  ProductCubeConfig config;
+  config.separation_chunks = smoke ? 400 : 2000;
+  config.chunk_products = 4;
+  config.move_moment = 6;
+  ProductCube pc = BuildProductCube(config);
+
+  std::vector<const Chunk*> chunks;
+  pc.cube.ForEachChunk(
+      [&](ChunkId, const Chunk& chunk) { chunks.push_back(&chunk); });
+  const int num_chunks = static_cast<int>(chunks.size());
+  const int shards = std::min(kKernelShards, std::max(1, num_chunks));
+
+  KernelMicroReport report;
+  report.cells = pc.cube.CountNonNullCells();
+  report.chunks = num_chunks;
+  const int reps = smoke ? 5 : 9;
+
+  auto shard_range = [&](int s, int* begin, int* end) {
+    *begin = static_cast<int>(int64_t{s} * num_chunks / shards);
+    *end = static_cast<int>(int64_t{s + 1} * num_chunks / shards);
+  };
+  auto for_shards = [&](int threads, const std::function<void(int)>& fn) {
+    ThreadPool::Shared().ParallelFor(
+        shards, threads, [&](int64_t s) { fn(static_cast<int>(s)); });
+  };
+
+  // --- masked run sum, at aggregation-run granularity: the fig12 chunk
+  // images concatenate into one contiguous (values, bitmap) arena (Fig. 12
+  // chunks are 12 cells — per-kernel-call overhead, not arithmetic, would
+  // dominate a per-chunk timing; the rollup kernel's natural unit is the
+  // unit-stride run). One kernel call per fixed shard, shard partials
+  // combined ascending: the digest is the byte image of every shard's
+  // (sum, count), so any reassociation or lane-shape deviation between
+  // ISAs shows up as a digest mismatch at some thread count.
+  int64_t arena_total = 0;
+  for (const Chunk* c : chunks) arena_total += c->size();
+  std::vector<double> arena_values(arena_total, 0.0);
+  std::vector<uint64_t> arena_bits((arena_total + 63) / 64 + 1, 0);
+  {
+    int64_t off = 0;
+    for (const Chunk* c : chunks) {
+      kernels::CopyRunMasked(c->ValuesSpan(), c->NullBits().words(), 0,
+                             arena_values.data() + off, arena_bits.data(), off,
+                             c->size());
+      off += c->size();
+    }
+  }
+  auto cell_shard_range = [&](int s, int64_t* begin, int64_t* end) {
+    *begin = int64_t{s} * arena_total / shards;
+    *end = int64_t{s + 1} * arena_total / shards;
+  };
+  {
+    KernelMicroEntry e;
+    e.name = "masked_run_sum";
+    auto run = [&](int threads, std::vector<kernels::RunSum>* partials) {
+      partials->assign(shards, {});
+      for_shards(threads, [&](int s) {
+        int64_t begin, end;
+        cell_shard_range(s, &begin, &end);
+        (*partials)[s] = kernels::MaskedRunSum(
+            arena_values.data() + begin, arena_bits.data(), begin, end - begin);
+      });
+    };
+    std::vector<kernels::RunSum> oracle, got;
+    kernels::ForceScalar(true);
+    run(1, &oracle);
+    e.scalar_ms = BestOfMs(reps, [&] { run(1, &got); });
+    kernels::ForceScalar(false);
+    for (int threads : kThreadCounts) {
+      run(threads, &got);
+      e.identical = e.identical &&
+                    std::memcmp(oracle.data(), got.data(),
+                                oracle.size() * sizeof(kernels::RunSum)) == 0;
+      e.threaded_ms[threads] = BestOfMs(reps, [&] { run(threads, &got); });
+    }
+    e.simd_ms = e.threaded_ms.at(1);
+    report.entries.push_back(std::move(e));
+  }
+
+  // --- weighted FMA merge: every chunk merges twice (w = 0.77) into its own
+  // sentinel-encoded accumulator, exercising both the dst-⊥ (w*src) and the
+  // fma(w, src, dst) element paths. Per-chunk accumulators make thread
+  // counts trivially disjoint; the digest is the full accumulator image.
+  {
+    KernelMicroEntry e;
+    e.name = "weighted_fma_merge";
+    const double w = 0.77;
+    std::vector<int64_t> dst_offset(num_chunks + 1, 0);
+    for (int c = 0; c < num_chunks; ++c) {
+      dst_offset[c + 1] = dst_offset[c] + chunks[c]->size();
+    }
+    const double null_bits = CellValue::ToStorage(CellValue());
+    std::vector<double> dst(dst_offset[num_chunks]);
+    auto run = [&](int threads) {
+      for_shards(threads, [&](int s) {
+        int begin, end;
+        shard_range(s, &begin, &end);
+        for (int c = begin; c < end; ++c) {
+          const Chunk& ch = *chunks[c];
+          double* out = dst.data() + dst_offset[c];
+          std::fill(out, out + ch.size(), null_bits);
+          for (int pass = 0; pass < 2; ++pass) {
+            kernels::MergeWeightedRunIntoSentinel(
+                w, ch.ValuesSpan(), ch.NullBits().words(), 0, out, ch.size());
+          }
+        }
+      });
+    };
+    std::vector<double> oracle;
+    kernels::ForceScalar(true);
+    run(1);
+    oracle = dst;
+    e.scalar_ms = BestOfMs(reps, [&] { run(1); });
+    kernels::ForceScalar(false);
+    for (int threads : kThreadCounts) {
+      run(threads);
+      e.identical = e.identical &&
+                    std::memcmp(oracle.data(), dst.data(),
+                                dst.size() * sizeof(double)) == 0;
+      e.threaded_ms[threads] = BestOfMs(reps, [&] { run(threads); });
+    }
+    e.simd_ms = e.threaded_ms.at(1);
+    report.entries.push_back(std::move(e));
+  }
+
+  // --- masked run copy: every chunk's valid cells copy into a shared
+  // (values, bitmap) arena at a deliberately word-misaligned destination
+  // offset, so the shifted OrBitsAt path runs, not just the aligned fast
+  // path. The digest covers values, bitmap words and per-chunk copy counts.
+  {
+    KernelMicroEntry e;
+    e.name = "masked_run_copy";
+    // Every chunk's destination starts 13 bits past a word boundary (the
+    // shifted OrBitsAt path), but ranges round up to whole words so two
+    // chunks — which may run on different threads — never OR into the same
+    // bitmap word.
+    std::vector<int64_t> dst_offset(num_chunks + 1, 13);
+    for (int c = 0; c < num_chunks; ++c) {
+      dst_offset[c + 1] =
+          ((dst_offset[c] + chunks[c]->size() + 63) / 64) * 64 + 13;
+    }
+    const int64_t arena_cells = dst_offset[num_chunks];
+    std::vector<double> values(arena_cells, 0.0);
+    std::vector<uint64_t> bits((arena_cells + 63) / 64 + 1, 0);
+    std::vector<int64_t> copied(num_chunks, 0);
+    auto run = [&](int threads) {
+      std::fill(values.begin(), values.end(), 0.0);
+      std::fill(bits.begin(), bits.end(), 0);
+      for_shards(threads, [&](int s) {
+        int begin, end;
+        shard_range(s, &begin, &end);
+        for (int c = begin; c < end; ++c) {
+          const Chunk& ch = *chunks[c];
+          copied[c] = kernels::CopyRunMasked(
+              ch.ValuesSpan(), ch.NullBits().words(), 0,
+              values.data() + dst_offset[c], bits.data(), dst_offset[c],
+              ch.size());
+        }
+      });
+    };
+    std::vector<double> oracle_values;
+    std::vector<uint64_t> oracle_bits;
+    std::vector<int64_t> oracle_copied;
+    kernels::ForceScalar(true);
+    run(1);
+    oracle_values = values;
+    oracle_bits = bits;
+    oracle_copied = copied;
+    e.scalar_ms = BestOfMs(reps, [&] { run(1); });
+    kernels::ForceScalar(false);
+    for (int threads : kThreadCounts) {
+      run(threads);
+      e.identical =
+          e.identical &&
+          std::memcmp(oracle_values.data(), values.data(),
+                      values.size() * sizeof(double)) == 0 &&
+          std::memcmp(oracle_bits.data(), bits.data(),
+                      bits.size() * sizeof(uint64_t)) == 0 &&
+          oracle_copied == copied;
+      e.threaded_ms[threads] = BestOfMs(reps, [&] { run(threads); });
+    }
+    e.simd_ms = e.threaded_ms.at(1);
+    report.entries.push_back(std::move(e));
+  }
+
+  // Shards may be one chunk wide on word-misaligned boundaries: different
+  // thread counts must still byte-match because shard partials, not thread
+  // partials, define the merge order. Chunk counts below the shard count
+  // leave trailing shards empty — harmless, their partials stay zero.
+  return report;
+}
+
 // Cube::GetCell single-entry chunk memo: a sequential coordinate scan hits
 // the same chunk for long runs, so the memo skips the std::map lookup.
 struct MemoReport {
@@ -599,12 +822,21 @@ GovernorReport RunGovernorOverhead(bool smoke) {
 }
 
 void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports,
-               const MemoReport& memo, const GovernorReport& governor,
-               bool smoke) {
+               const KernelMicroReport& micro, const MemoReport& memo,
+               const GovernorReport& governor, bool smoke) {
   fprintf(f, "{\n");
   fprintf(f, "  \"bench\": \"bench_kernels\",\n");
   fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   fprintf(f, "  \"thread_counts\": [1, 2, 4, 8],\n");
+  // Which vector ISA the dispatched kernels resolved to on this machine —
+  // without this the per-kernel speedups below are uninterpretable across
+  // CI runners (and the forced-scalar job reports "scalar" here).
+  fprintf(f, "  \"cpu\": {\"kernel_isa\": \"%s\", \"simd_compiled_in\": %s, "
+          "\"avx2\": %s, \"neon\": %s},\n",
+          kernels::IsaName(kernels::ActiveIsa()),
+          kernels::SimdCompiledIn() ? "true" : "false",
+          kernels::ActiveIsa() == kernels::Isa::kAvx2 ? "true" : "false",
+          kernels::ActiveIsa() == kernels::Isa::kNeon ? "true" : "false");
   // hardware_cores is the effective parallelism the pool plans with (the
   // affinity-visible count); hardware_concurrency is the machine's raw
   // report, kept so CI runs on restricted cpusets are interpretable.
@@ -638,6 +870,27 @@ void WriteJson(FILE* f, const std::vector<WorkloadReport>& reports,
     first_ratio = false;
   }
   fprintf(f, "}},\n");
+  fprintf(f, "  \"kernels\": {\n");
+  fprintf(f, "    \"workload\": \"fig12_colocation\",\n");
+  fprintf(f, "    \"cells\": %lld,\n", static_cast<long long>(micro.cells));
+  fprintf(f, "    \"chunks\": %lld,\n", static_cast<long long>(micro.chunks));
+  fprintf(f, "    \"entries\": [\n");
+  for (size_t i = 0; i < micro.entries.size(); ++i) {
+    const KernelMicroEntry& e = micro.entries[i];
+    fprintf(f, "      {\"name\": \"%s\", \"bit_identical\": %s, "
+            "\"scalar_ms\": %.4f, \"simd_ms\": %.4f, \"simd_speedup\": %.2f, "
+            "\"threaded_ms\": {",
+            e.name.c_str(), e.identical ? "true" : "false", e.scalar_ms,
+            e.simd_ms, e.simd_ms > 0 ? e.scalar_ms / e.simd_ms : 0.0);
+    bool first = true;
+    for (const auto& [threads, ms] : e.threaded_ms) {
+      fprintf(f, "%s\"%d\": %.4f", first ? "" : ", ", threads, ms);
+      first = false;
+    }
+    fprintf(f, "}}%s\n", i + 1 < micro.entries.size() ? "," : "");
+  }
+  fprintf(f, "    ]\n");
+  fprintf(f, "  },\n");
   fprintf(f, "  \"workloads\": [\n");
   for (size_t i = 0; i < reports.size(); ++i) {
     const WorkloadReport& r = reports[i];
@@ -707,21 +960,48 @@ int Main(int argc, char** argv) {
   reports.push_back(RunFig13(smoke));
   reports.push_back(RunSplit(smoke));
   reports.push_back(RunRollup(smoke));
+  KernelMicroReport micro = RunKernelMicro(smoke);
   MemoReport memo = RunGetCellMemo(smoke);
   GovernorReport governor = RunGovernorOverhead(smoke);
 
-  WriteJson(stdout, reports, memo, governor, smoke);
+  WriteJson(stdout, reports, micro, memo, governor, smoke);
   if (!out_path.empty()) {
     FILE* f = std::fopen(out_path.c_str(), "w");
     if (f == nullptr) {
       fprintf(stderr, "cannot open %s\n", out_path.c_str());
       return 2;
     }
-    WriteJson(f, reports, memo, governor, smoke);
+    WriteJson(f, reports, micro, memo, governor, smoke);
     std::fclose(f);
   }
 
   int failures = 0;
+  // The bit-identity gates run unconditionally (like the workload identity
+  // gates below); the speedup gate is --check only, and only binds when a
+  // SIMD ISA actually dispatched — the forced-scalar CI build would
+  // otherwise fail it by construction.
+  const bool simd_active = kernels::ActiveIsa() == kernels::Isa::kAvx2 ||
+                           kernels::ActiveIsa() == kernels::Isa::kNeon;
+  for (const KernelMicroEntry& e : micro.entries) {
+    if (!e.identical) {
+      fprintf(stderr,
+              "FAIL kernel %s: dispatched (%s) output differs from the "
+              "scalar oracle\n",
+              e.name.c_str(), kernels::IsaName(kernels::ActiveIsa()));
+      ++failures;
+    }
+    if (check && simd_active && e.name == "masked_run_sum") {
+      const double speedup = e.simd_ms > 0 ? e.scalar_ms / e.simd_ms : 0.0;
+      if (speedup < kRunSumMinSimdSpeedup) {
+        fprintf(stderr,
+                "FAIL kernel %s: %s serial speedup %.2fx < %.1fx over the "
+                "scalar oracle\n",
+                e.name.c_str(), kernels::IsaName(kernels::ActiveIsa()),
+                speedup, kRunSumMinSimdSpeedup);
+        ++failures;
+      }
+    }
+  }
   if (check) {
     for (int threads : {1, 4}) {
       const double off = governor.off_ms.at(threads);

@@ -148,16 +148,18 @@ std::optional<CellValue> AggregateCache::TryAnswer(const Cube& cube,
     }
   }
   CellValue sum;
+  const std::vector<int64_t>& strides = view.strides();
+  const double* cells = view.raw_cells();  // Sentinel-encoded, no round-trip.
   std::vector<int> idx(kept.size(), 0);
-  std::vector<int> coords(kept.size());
   while (true) {
     double weight = 1.0;
+    int64_t index = 0;
     for (size_t i = 0; i < kept.size(); ++i) {
-      coords[i] = positions[i][idx[i]].first;
+      index += positions[i][idx[i]].first * strides[i];
       weight *= positions[i][idx[i]].second;
     }
-    CellValue v = view.Get(coords);
-    if (!v.is_null()) sum += CellValue(v.value() * weight);
+    const double v = cells[index];
+    if (!CellValue::IsStorageNull(v)) sum += CellValue(v * weight);
     size_t d = kept.size();
     bool done = true;
     while (d-- > 0) {

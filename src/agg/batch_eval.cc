@@ -70,6 +70,7 @@ CellValue WeightedViewSum(
     const GroupByResult& view,
     const std::vector<const std::vector<std::pair<int, double>>*>& scopes) {
   const std::vector<int64_t>& strides = view.strides();
+  const double* cells = view.raw_cells();  // Sentinel-encoded, no round-trip.
   const size_t k = scopes.size();
   CellValue sum;
   std::vector<int> idx(k, 0);
@@ -81,8 +82,8 @@ CellValue WeightedViewSum(
       index += pos * strides[i];
       weight *= w;
     }
-    CellValue v = view.GetAt(index);
-    if (!v.is_null()) sum += CellValue(v.value() * weight);
+    const double v = cells[index];
+    if (!CellValue::IsStorageNull(v)) sum += CellValue(v * weight);
     size_t d = k;
     bool done = true;
     while (d-- > 0) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "agg/kernels.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -36,10 +37,19 @@ void AccumulateChunkIntoGroupBys(const ChunkLayout& layout, ChunkId id,
   const std::vector<int> base = layout.ChunkBase(id);
   const size_t num_gb = out->size();
 
+  if (n == 0) {  // Zero-dimensional cube: one cell, every group-by is root.
+    if (chunk.size() > 0 && !chunk.IsNull(0)) {
+      for (size_t g = 0; g < num_gb; ++g) {
+        (*out)[g].AccumulateAt(0, CellValue(chunk.ValueAt(0)));
+      }
+    }
+    return;
+  }
+
   // Per group-by, per cube dimension: the output-index stride of that
   // dimension (0 when the group-by drops it), plus the output index of the
-  // chunk's base cell. The inner loop then maintains each output index
-  // incrementally as the odometer advances — no per-cell coordinate
+  // projection of each row's first cell. The row loop maintains each output
+  // index incrementally as the odometer advances — no per-cell coordinate
   // projection or allocation.
   std::vector<std::vector<int64_t>> stride(num_gb, std::vector<int64_t>(n, 0));
   std::vector<int64_t> gb_idx(num_gb, 0);
@@ -52,22 +62,65 @@ void AccumulateChunkIntoGroupBys(const ChunkLayout& layout, ChunkId id,
     gb_idx[g] = idx;
   }
 
-  // Row-major walk over the chunk box: the odometer (last dimension
-  // fastest) advances in lockstep with the linear cell offset, exactly the
-  // visit order of ChunkLayout::ForEachCellInChunk. Padded cells beyond the
-  // extents are all-⊥ by construction, but `oob_dims` tracks them anyway so
-  // a malformed chunk can never corrupt an aggregate.
+  // Row-tiled walk: the outer odometer covers the leading dimensions
+  // (still last-dimension-fastest, the visit order of
+  // ChunkLayout::ForEachCellInChunk), and the whole last-dimension row —
+  // the unit-stride direction of both the chunk and any group-by that
+  // keeps the last dimension — is processed by one kernel call:
+  //
+  //   stride[last] == 0  (row collapses onto one output cell, the Lemma 5.1
+  //                      varying-dimension-first shape): one MaskedRunSum,
+  //                      then a single ⊥-aware accumulate of the row total.
+  //                      This re-associates the in-row sum into the kernel's
+  //                      fixed 4-lane shape — deterministic and
+  //                      thread-count-invariant, exact on integer data.
+  //   stride[last] == 1  (row maps 1:1 onto contiguous output cells): one
+  //                      weighted-merge kernel at w == 1.0, which is
+  //                      bit-identical to the per-cell CellValue addition.
+  //   other strides      (not produced by GroupByResult's row-major layout,
+  //                      kept for generality): scalar bit-walk.
+  //
+  // Rows whose leading coordinates exceed the extents are skipped, and the
+  // in-extent row length clips padded trailing cells, so a malformed chunk
+  // can never corrupt an aggregate (the old per-cell oob_dims defense).
+  const int last = n - 1;
+  const int row_cap = csize[last];
+  const int row_len = std::min(row_cap, extents[last] - base[last]);
+  const double* vals = chunk.ValuesSpan();
+  const uint64_t* bits = chunk.NullBits().words();
   std::vector<int> coords = base;
-  int oob_dims = 0;  // #dims whose coordinate currently exceeds the extent.
-  const int64_t cells = layout.cells_per_chunk();
-  for (int64_t off = 0; off < cells; ++off) {
-    if (oob_dims == 0) {
-      CellValue v = chunk.Get(off);
-      if (!v.is_null()) {
-        for (size_t g = 0; g < num_gb; ++g) (*out)[g].AccumulateAt(gb_idx[g], v);
+  int oob_dims = 0;  // #leading dims whose coordinate exceeds the extent.
+  const int64_t rows = layout.cells_per_chunk() / row_cap;
+  int64_t off = 0;
+  for (int64_t row = 0; row < rows; ++row, off += row_cap) {
+    if (oob_dims == 0 && row_len > 0) {
+      bool row_summed = false;
+      kernels::RunSum row_sum;
+      for (size_t g = 0; g < num_gb; ++g) {
+        const int64_t s = stride[g][last];
+        if (s == 0) {
+          if (!row_summed) {
+            row_sum = kernels::MaskedRunSum(vals + off, bits, off, row_len);
+            row_summed = true;
+          }
+          if (row_sum.count > 0) {
+            (*out)[g].AccumulateAt(gb_idx[g], CellValue(row_sum.sum));
+          }
+        } else if (s == 1) {
+          kernels::MergeWeightedRunIntoSentinel(
+              1.0, vals + off, bits, off,
+              (*out)[g].mutable_raw_cells() + gb_idx[g], row_len);
+        } else {
+          for (int k = 0; k < row_len; ++k) {
+            if (kernels::detail::TestBit(bits, off + k)) {
+              (*out)[g].AccumulateAt(gb_idx[g] + k * s,
+                                     CellValue(vals[off + k]));
+            }
+          }
+        }
       }
     }
-    int d = n - 1;
+    int d = last - 1;
     while (d >= 0) {
       const bool was_oob = coords[d] >= extents[d];
       ++coords[d];

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "agg/kernels.h"
+
 namespace olap {
 
 GroupByResult::GroupByResult(GroupByMask mask, std::vector<int> kept_dims,
@@ -29,11 +31,11 @@ int64_t GroupByResult::IndexOf(const std::vector<int>& coords) const {
 
 void GroupByResult::MergeFrom(const GroupByResult& other) {
   assert(mask_ == other.mask_ && extents_ == other.extents_);
-  for (size_t i = 0; i < cells_.size(); ++i) {
-    CellValue v = CellValue::FromStorage(other.cells_[i]);
-    if (v.is_null()) continue;
-    cells_[i] = CellValue::ToStorage(CellValue::FromStorage(cells_[i]) + v);
-  }
+  // At w == 1.0 the kernel's fma/mul semantics reduce to exactly the old
+  // per-cell CellValue addition (see agg/kernels.h), so partitioned merges
+  // stay bit-identical to the historical path.
+  kernels::MergeWeightedSentinelRun(1.0, other.cells_.data(), cells_.data(),
+                                    static_cast<int64_t>(cells_.size()));
 }
 
 CellValue GroupByResult::Get(const std::vector<int>& coords) const {
@@ -56,7 +58,7 @@ void GroupByResult::AccumulateFull(const std::vector<int>& full_coords,
 int64_t GroupByResult::CountNonNull() const {
   int64_t n = 0;
   for (double raw : cells_) {
-    if (!CellValue::FromStorage(raw).is_null()) ++n;
+    if (!CellValue::IsStorageNull(raw)) ++n;
   }
   return n;
 }

@@ -44,6 +44,14 @@ class GroupByResult {
     cells_[idx] = CellValue::ToStorage(CellValue::FromStorage(cells_[idx]) + v);
   }
 
+  // Sentinel-encoded raw cell access for the vector kernels: the serving
+  // loops (batch_eval's strided view sums) read raw_cells() with
+  // CellValue::IsStorageNull tests, and the chunk aggregator's unit-stride
+  // rows merge straight into mutable_raw_cells() via
+  // kernels::MergeWeightedRunIntoSentinel.
+  const double* raw_cells() const { return cells_.data(); }
+  double* mutable_raw_cells() { return cells_.data(); }
+
   // Adds every non-⊥ cell of `other` (same mask and extents) into this
   // result. Slots that are ⊥ on both sides stay ⊥. This is the merge step
   // of partitioned aggregation: merging partials in ascending partition

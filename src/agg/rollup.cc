@@ -19,8 +19,10 @@ namespace {
 //
 // pos(d, i) returns the axis position of scope entry i along dimension d;
 // on_outer(idx) fires once per outer tuple (before its inner run);
-// on_cell(i, v) receives the innermost scope index and the cell value
-// (⊥ for missing chunks).
+// on_cell(i, chunk, off) receives the innermost scope index plus the chunk
+// pointer (nullptr for a missing chunk — the cell is ⊥) and the in-chunk
+// offset, so callers read through Chunk::IsNull/ValueAt with no per-cell
+// CellValue round-trip.
 template <typename GetPos, typename OnOuter, typename OnCell>
 void ForEachScopeCellChunked(const Cube& data,
                              const std::vector<int>& scope_sizes,
@@ -50,9 +52,7 @@ void ForEachScopeCellChunked(const Cube& data,
         chunk_along_last = c;
         chunk = data.FindChunk(id_outer * cpd[last] + c);
       }
-      on_cell(i, chunk == nullptr ? CellValue::Null()
-                                  : chunk->Get(off_outer * csize[last] +
-                                               p % csize[last]));
+      on_cell(i, chunk, off_outer * csize[last] + p % csize[last]);
     }
     int d = last - 1;
     while (d >= 0) {
@@ -79,7 +79,11 @@ CellValue SumOverScope(const Cube& data,
   ForEachScopeCellChunked(
       data, sizes, [&](int d, int i) { return positions[d][i]; },
       [](const std::vector<int>&) {},
-      [&](int, CellValue v) { sum += v; });
+      [&](int, const Chunk* chunk, int64_t off) {
+        if (chunk != nullptr && !chunk->IsNull(off)) {
+          sum += CellValue(chunk->ValueAt(off));
+        }
+      });
   return sum;
 }
 
@@ -105,9 +109,9 @@ CellValue SumOverScopeWeighted(
           outer_weight *= positions[d][idx[d]].second;
         }
       },
-      [&](int i, CellValue v) {
-        if (!v.is_null()) {
-          sum += CellValue(v.value() *
+      [&](int i, const Chunk* chunk, int64_t off) {
+        if (chunk != nullptr && !chunk->IsNull(off)) {
+          sum += CellValue(chunk->ValueAt(off) *
                            (outer_weight * positions[n - 1][i].second));
         }
       });

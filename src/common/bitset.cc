@@ -68,6 +68,24 @@ int DynamicBitset::FindNext(int from) const {
   }
 }
 
+int DynamicBitset::FindNextUnset(int from) const {
+  if (from < 0) from = 0;
+  if (from >= size_) return size_;
+  int word = from / kWordBits;
+  // Invert and mask below `from`; tail bits beyond size_ are zero in
+  // words_, so they read as "clear" here — clamped by the size_ check.
+  uint64_t mask = ~words_[word] & (~uint64_t{0} << (from % kWordBits));
+  while (true) {
+    if (mask != 0) {
+      int pos = word * kWordBits + std::countr_zero(mask);
+      return pos < size_ ? pos : size_;
+    }
+    ++word;
+    if (word >= static_cast<int>(words_.size())) return size_;
+    mask = ~words_[word];
+  }
+}
+
 std::vector<int> DynamicBitset::ToVector() const {
   std::vector<int> out;
   for (int p = FindFirst(); p >= 0; p = FindNext(p + 1)) out.push_back(p);

@@ -42,6 +42,11 @@ class DynamicBitset {
   int FindNext(int from) const;
   int FindFirst() const { return FindNext(0); }
 
+  // Index of the first CLEAR bit at position >= from, or size() if every
+  // bit from `from` on is set. Word-blocked, like FindNext; used for run
+  // detection over chunk validity bitmaps (storage/compression.cc).
+  int FindNextUnset(int from) const;
+
   // Calls fn(pos) for every set bit, ascending. Inline and word-at-a-time:
   // on hot paths (destination-table construction) this beats a
   // FindFirst/FindNext loop, which pays an out-of-line call and a fresh
@@ -57,6 +62,14 @@ class DynamicBitset {
       }
     }
   }
+
+  // Raw word access for the vector kernels (agg/kernels.h): bit i lives at
+  // words()[i >> 6], bit (i & 63). Bits at positions >= size() are always
+  // zero; writers through mutable_words() must preserve that invariant
+  // (Count(), comparisons and the word-blocked kernels rely on it).
+  int num_words() const { return static_cast<int>(words_.size()); }
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
 
   // Positions of all set bits, ascending.
   std::vector<int> ToVector() const;

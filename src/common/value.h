@@ -40,6 +40,12 @@ class CellValue {
   static CellValue FromStorage(double raw) { return CellValue(raw); }
   // The double bit pattern chunks use for ⊥.
   static double NullStorage() { return FromBits(kNullBits); }
+  // ⊥-test on a raw storage double without a CellValue round-trip. Note
+  // this tests the exact sentinel pattern: other NaNs are NOT storage-null
+  // (they only become ⊥ through CellValue canonicalisation on entry).
+  static bool IsStorageNull(double raw) { return ToBits(raw) == kNullBits; }
+  // The sentinel bit pattern as an integer, for vector lane compares.
+  static constexpr uint64_t NullStorageBits() { return kNullBits; }
 
   // OLAP aggregation treats ⊥ as *missing*: it is skipped, and an
   // aggregate over only-⊥ inputs is itself ⊥ (matches the paper's Fig. 2,

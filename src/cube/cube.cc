@@ -275,8 +275,7 @@ void Cube::ForEachCell(
     const std::function<void(const std::vector<int>&, CellValue)>& fn) const {
   for (const auto& [id, chunk] : chunks_) {
     layout_.ForEachCellInChunk(id, [&](const std::vector<int>& coords, int64_t off) {
-      CellValue v = chunk.Get(off);
-      if (!v.is_null()) fn(coords, v);
+      if (!chunk.IsNull(off)) fn(coords, CellValue(chunk.ValueAt(off)));
     });
   }
 }

@@ -164,8 +164,11 @@ class Cube {
     for (const auto& [id, chunk] : chunks_) {
       layout_.ForEachCellInChunk(id,
                                  [&](const std::vector<int>& coords, int64_t off) {
-                                   CellValue v = chunk.Get(off);
-                                   if (!v.is_null()) fn(coords, v);
+                                   // Cheap bitmap test before building the
+                                   // CellValue — most padded/⊥ cells exit here.
+                                   if (!chunk.IsNull(off)) {
+                                     fn(coords, CellValue(chunk.ValueAt(off)));
+                                   }
                                  });
     }
   }

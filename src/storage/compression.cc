@@ -11,27 +11,34 @@ void PutU32(std::vector<uint8_t>* out, uint32_t v) {
               reinterpret_cast<const uint8_t*>(&v) + 4);
 }
 
-void PutF64(std::vector<uint8_t>* out, double v) {
-  out->insert(out->end(), reinterpret_cast<const uint8_t*>(&v),
-              reinterpret_cast<const uint8_t*>(&v) + 8);
-}
-
 }  // namespace
 
 std::vector<uint8_t> CompressChunk(const Chunk& chunk) {
   std::vector<uint8_t> out;
+  // Run detection walks the validity bitmap a word at a time (FindNext /
+  // FindNextUnset) and value runs append with one bulk memcpy from the
+  // dense value array — no per-cell sentinel tests. The byte stream is
+  // unchanged from the per-cell encoder.
+  const DynamicBitset& bits = chunk.NullBits();
+  const double* vals = chunk.ValuesSpan();
   int64_t i = 0;
   const int64_t n = chunk.size();
   while (i < n) {
-    int64_t null_start = i;
-    while (i < n && chunk.Get(i).is_null()) ++i;
-    int64_t value_start = i;
-    while (i < n && !chunk.Get(i).is_null()) ++i;
+    const int64_t null_start = i;
+    const int next_set = bits.FindNext(static_cast<int>(i));
+    const int64_t value_start = next_set < 0 ? n : next_set;
+    const int64_t value_end =
+        value_start >= n ? n : bits.FindNextUnset(static_cast<int>(value_start));
     PutU32(&out, static_cast<uint32_t>(value_start - null_start));
-    PutU32(&out, static_cast<uint32_t>(i - value_start));
-    for (int64_t j = value_start; j < i; ++j) {
-      PutF64(&out, chunk.Get(j).value());
+    PutU32(&out, static_cast<uint32_t>(value_end - value_start));
+    if (value_end > value_start) {
+      const size_t old_size = out.size();
+      const size_t run_bytes =
+          static_cast<size_t>(value_end - value_start) * sizeof(double);
+      out.resize(old_size + run_bytes);
+      std::memcpy(out.data() + old_size, vals + value_start, run_bytes);
     }
+    i = value_end;
   }
   return out;
 }
@@ -47,6 +54,7 @@ Result<Chunk> DecompressChunk(const std::vector<uint8_t>& bytes,
     pos += 4;
     return true;
   };
+  std::vector<double> scratch;  // Aligned staging for bulk run decodes.
   while (pos < bytes.size()) {
     uint32_t null_run = 0, value_run = 0;
     if (!read_u32(&null_run) || !read_u32(&value_run)) {
@@ -57,11 +65,15 @@ Result<Chunk> DecompressChunk(const std::vector<uint8_t>& bytes,
         pos + static_cast<size_t>(value_run) * 8 > bytes.size()) {
       return Status::InvalidArgument("compressed chunk overruns cell count");
     }
-    for (uint32_t j = 0; j < value_run; ++j) {
-      double v;
-      std::memcpy(&v, bytes.data() + pos, 8);
-      pos += 8;
-      chunk.Set(cell++, CellValue(v));
+    if (value_run > 0) {
+      // Bulk-assign the whole value run; NaN payload doubles decode as ⊥
+      // exactly like the old per-cell CellValue canonicalisation.
+      scratch.resize(value_run);
+      std::memcpy(scratch.data(), bytes.data() + pos,
+                  static_cast<size_t>(value_run) * 8);
+      pos += static_cast<size_t>(value_run) * 8;
+      chunk.AssignRunFromSentinel(cell, scratch.data(), value_run);
+      cell += value_run;
     }
   }
   if (cell > expected_cells) {

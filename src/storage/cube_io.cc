@@ -205,10 +205,12 @@ std::string SerializeChunkPayload(const Chunk& chunk, bool compress) {
     std::vector<uint8_t> bytes = CompressChunk(chunk);
     out.assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
   } else {
+    // Bulk bitmap->sentinel expansion (one kernel pass), then one append:
+    // the disk format stays the v1 sentinel-double stream byte for byte.
     BufWriter w(&out);
-    for (int64_t i = 0; i < chunk.size(); ++i) {
-      w.F64(CellValue::ToStorage(chunk.Get(i)));
-    }
+    std::vector<double> sentinel(static_cast<size_t>(chunk.size()));
+    chunk.FillSentinel(sentinel.data());
+    w.Raw(sentinel.data(), sentinel.size() * sizeof(double));
   }
   return out;
 }
@@ -337,11 +339,13 @@ Status DecodeChunkPayload(std::string_view payload, bool compressed,
   if (payload.size() != static_cast<size_t>(cells_per_chunk) * 8) {
     return Status::DataLoss("raw chunk payload has wrong size");
   }
-  for (int64_t i = 0; i < cells_per_chunk; ++i) {
-    double v;
-    std::memcpy(&v, payload.data() + i * 8, 8);
-    chunk->Set(i, CellValue::FromStorage(v));
-  }
+  // One aligned bulk copy out of the (unaligned, type-punned) payload, then
+  // one kernel pass splitting sentinel doubles into values + bitmap. Any
+  // NaN decodes as ⊥, exactly like the old per-cell FromStorage loop.
+  std::vector<double> sentinel(static_cast<size_t>(cells_per_chunk));
+  std::memcpy(sentinel.data(), payload.data(), payload.size());
+  *chunk = Chunk(cells_per_chunk);
+  chunk->AssignRunFromSentinel(0, sentinel.data(), cells_per_chunk);
   return Status::Ok();
 }
 

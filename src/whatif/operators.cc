@@ -489,14 +489,22 @@ std::vector<bool> KeepWhereAnyValue(const Cube& in, int dim,
   std::vector<bool> keep(in.schema().dimension(dim).num_positions(), false);
   int unmarked = static_cast<int>(keep.size());
   const ChunkLayout& layout = in.layout();
+  const std::vector<int>& csize = layout.chunk_sizes();
+  // In-chunk stride of `dim` (row-major, last dimension fastest): walking
+  // the validity bitmap directly skips every ⊥ and padded cell, and only
+  // the one coordinate that matters is derived per set bit — no coords
+  // vector, no per-cell CellValue.
+  int64_t stride = 1;
+  for (int d = layout.num_dims() - 1; d > dim; --d) stride *= csize[d];
   in.ForEachChunkWhile([&](ChunkId id, const Chunk& chunk) {
-    layout.ForEachCellInChunk(id, [&](const std::vector<int>& coords,
-                                      int64_t off) {
+    const int base = layout.ChunkBase(id)[dim];
+    const double* vals = chunk.ValuesSpan();
+    chunk.NullBits().ForEachSetBit([&](int off) {
       if (unmarked == 0) return;  // Everything marked; skim the rest.
-      if (keep[coords[dim]]) return;
-      CellValue v = chunk.Get(off);
-      if (!v.is_null() && pred(v.value())) {
-        keep[coords[dim]] = true;
+      const int pos = base + static_cast<int>((off / stride) % csize[dim]);
+      if (pos >= static_cast<int>(keep.size()) || keep[pos]) return;
+      if (pred(vals[off])) {
+        keep[pos] = true;
         --unmarked;
       }
     });
@@ -629,8 +637,9 @@ Cube RelocateReference(const Cube& in, int varying_dim,
       if (!relevant) return;
       layout.ForEachCellInChunk(id, [&](const std::vector<int>& coords,
                                         int64_t offset) {
-        CellValue v = chunk.Get(offset);
-        if (!v.is_null()) relocate_cell(coords, v);
+        if (!chunk.IsNull(offset)) {
+          relocate_cell(coords, CellValue(chunk.ValueAt(offset)));
+        }
       });
     });
   } else {
