@@ -14,17 +14,67 @@ struct CacheMetrics {
   Counter* lookups;
   Counter* hits;
   Counter* misses;
+  Counter* evictions;
+  Counter* views_kept;
+  Counter* views_dropped;
 
   static const CacheMetrics& Get() {
     static CacheMetrics m = [] {
       MetricsRegistry& reg = MetricsRegistry::Global();
       return CacheMetrics{reg.counter("agg.cache.lookups"),
                           reg.counter("agg.cache.hits"),
-                          reg.counter("agg.cache.misses")};
+                          reg.counter("agg.cache.misses"),
+                          reg.counter("cache.evictions"),
+                          reg.counter("cache.invalidate.views_kept"),
+                          reg.counter("cache.invalidate.views_dropped")};
     }();
     return m;
   }
 };
+
+// Restores ⊥ on every cell of `view` inside the projection box of chunk
+// `id` whose contribution count is zero. The box (per kept dimension, the
+// chunk's clipped coordinate range) is the only region a chunk swap can
+// have zeroed.
+void SweepZeroCounts(const ChunkLayout& layout, ChunkId id,
+                     GroupByResult* view, const int32_t* counts) {
+  const double null_storage = CellValue::ToStorage(CellValue::Null());
+  const std::vector<int>& kept = view->kept_dims();
+  double* cells = view->mutable_raw_cells();
+  if (kept.empty()) {
+    if (counts[0] == 0) cells[0] = null_storage;
+    return;
+  }
+  const std::vector<int> base = layout.ChunkBase(id);
+  const std::vector<int>& csize = layout.chunk_sizes();
+  const size_t k = kept.size();
+  std::vector<int> lo(k), hi(k), pos(k);
+  int64_t idx = 0;
+  for (size_t i = 0; i < k; ++i) {
+    lo[i] = base[kept[i]];
+    hi[i] = std::min(base[kept[i]] + csize[kept[i]], view->extents()[i]);
+    if (lo[i] >= hi[i]) return;  // Fully padded projection: nothing stored.
+    pos[i] = lo[i];
+    idx += static_cast<int64_t>(lo[i]) * view->strides()[i];
+  }
+  const std::vector<int64_t>& strides = view->strides();
+  while (true) {
+    if (counts[idx] == 0) cells[idx] = null_storage;
+    size_t d = k;
+    bool done = true;
+    while (d-- > 0) {
+      ++pos[d];
+      idx += strides[d];
+      if (pos[d] < hi[d]) {
+        done = false;
+        break;
+      }
+      idx -= static_cast<int64_t>(pos[d] - lo[d]) * strides[d];
+      pos[d] = lo[d];
+    }
+    if (done) break;
+  }
+}
 
 }  // namespace
 
@@ -58,6 +108,8 @@ AggregateCache::AggregateCache(const Cube& cube,
   for (int d = 0; d < cube.num_dims(); ++d) {
     root_droppable_[d] = RootScopeIsUnitCover(cube, d) ? 1 : 0;
   }
+  resident_.assign(views_.size(), 1);
+  last_use_ = std::make_unique<std::atomic<int64_t>[]>(views_.size());
 }
 
 AggregateCache::AggregateCache(const Cube& cube,
@@ -89,6 +141,8 @@ AggregateCache::AggregateCache(const Cube& cube,
   for (int d = 0; d < cube.num_dims(); ++d) {
     root_droppable_[d] = RootScopeIsUnitCover(cube, d) ? 1 : 0;
   }
+  resident_.assign(views_.size(), 1);
+  last_use_ = std::make_unique<std::atomic<int64_t>[]>(views_.size());
 }
 
 AggregateCache AggregateCache::BuildGreedy(const Cube& cube, int max_views) {
@@ -99,17 +153,152 @@ AggregateCache AggregateCache::BuildGreedy(const Cube& cube, int max_views) {
 
 int64_t AggregateCache::TotalCells() const {
   int64_t total = 0;
-  for (const GroupByResult& view : views_) total += view.num_cells();
+  for (int i = 0; i < num_views(); ++i) {
+    if (resident_[i]) total += views_[i].num_cells();
+  }
   return total;
+}
+
+void AggregateCache::TouchView(int g) const {
+  last_use_[g].store(use_tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
 }
 
 const GroupByResult* AggregateCache::SmallestCovering(GroupByMask needed) const {
   int best = -1;
   for (int i = 0; i < num_views(); ++i) {
-    if ((needed & masks_[i]) != needed) continue;
+    if (!resident_[i] || (needed & masks_[i]) != needed) continue;
     if (best < 0 || views_[i].num_cells() < views_[best].num_cells()) best = i;
   }
-  return best < 0 ? nullptr : &views_[best];
+  if (best < 0) return nullptr;
+  TouchView(best);
+  return &views_[best];
+}
+
+void AggregateCache::EnableIncrementalMaintenance(const Cube& cube) {
+  counts_.assign(views_.size(), {});
+  for (size_t g = 0; g < views_.size(); ++g) {
+    if (resident_[g]) {
+      counts_[g].assign(static_cast<size_t>(views_[g].num_cells()), 0);
+    }
+  }
+  const ChunkLayout& layout = cube.layout();
+  cube.ForEachChunk([&](ChunkId id, const Chunk& chunk) {
+    for (size_t g = 0; g < views_.size(); ++g) {
+      if (!resident_[g]) continue;
+      AccumulateChunkIntoGroupByWeighted(layout, id, chunk, 1.0, &views_[g],
+                                         counts_[g].data(),
+                                         /*update_values=*/false);
+    }
+  });
+  incremental_ = true;
+}
+
+void AggregateCache::PatchChunkDelta(const ChunkLayout& layout, ChunkId id,
+                                     const Chunk* before, const Chunk* after) {
+  if (!incremental_) {
+    DropResidentViews();
+    return;
+  }
+  int64_t kept = 0;
+  for (size_t g = 0; g < views_.size(); ++g) {
+    if (!resident_[g]) continue;
+    GroupByResult* view = &views_[g];
+    int32_t* counts = counts_[g].data();
+    if (before != nullptr) {
+      AccumulateChunkIntoGroupByWeighted(layout, id, *before, -1.0, view,
+                                         counts);
+    }
+    if (after != nullptr) {
+      AccumulateChunkIntoGroupByWeighted(layout, id, *after, 1.0, view,
+                                         counts);
+    }
+    SweepZeroCounts(layout, id, view, counts);
+    ++kept;
+  }
+  CacheMetrics::Get().views_kept->Increment(kept);
+}
+
+void AggregateCache::PatchCellDelta(const std::vector<int>& coords,
+                                    double old_storage, double new_storage) {
+  if (!incremental_) {
+    DropResidentViews();
+    return;
+  }
+  const double null_storage = CellValue::ToStorage(CellValue::Null());
+  const bool had_old = !CellValue::IsStorageNull(old_storage);
+  const bool has_new = !CellValue::IsStorageNull(new_storage);
+  int64_t kept = 0;
+  for (size_t g = 0; g < views_.size(); ++g) {
+    if (!resident_[g]) continue;
+    GroupByResult& view = views_[g];
+    const std::vector<int>& dims = view.kept_dims();
+    int64_t idx = 0;
+    for (size_t i = 0; i < dims.size(); ++i) {
+      idx += static_cast<int64_t>(coords[dims[i]]) * view.strides()[i];
+    }
+    int32_t& count = counts_[g][idx];
+    if (had_old) {
+      view.AccumulateAt(idx, CellValue(-old_storage));
+      --count;
+    }
+    if (has_new) {
+      view.AccumulateAt(idx, CellValue(new_storage));
+      ++count;
+    }
+    if (count == 0) view.mutable_raw_cells()[idx] = null_storage;
+    ++kept;
+  }
+  CacheMetrics::Get().views_kept->Increment(kept);
+}
+
+void AggregateCache::DropResidentViews() {
+  int64_t dropped = 0;
+  for (size_t g = 0; g < views_.size(); ++g) {
+    if (!resident_[g]) continue;
+    views_[g] = GroupByResult();
+    if (g < counts_.size()) {
+      counts_[g].clear();
+      counts_[g].shrink_to_fit();
+    }
+    resident_[g] = 0;
+    ++dropped;
+  }
+  incremental_ = false;
+  CacheMetrics::Get().views_dropped->Increment(dropped);
+}
+
+void AggregateCache::SetCapacity(int64_t max_cells) {
+  capacity_cells_ = max_cells;
+  EnforceCapacity();
+}
+
+void AggregateCache::EnforceCapacity() {
+  if (capacity_cells_ < 0) return;
+  int64_t total = TotalCells();
+  while (total > capacity_cells_) {
+    int victim = -1;
+    int64_t victim_use = 0;
+    for (int i = 0; i < num_views(); ++i) {
+      if (!resident_[i]) continue;
+      const int64_t use = last_use_[i].load(std::memory_order_relaxed);
+      if (victim < 0 || use < victim_use ||
+          (use == victim_use &&
+           views_[i].num_cells() > views_[victim].num_cells())) {
+        victim = i;
+        victim_use = use;
+      }
+    }
+    if (victim < 0) break;  // Nothing resident left to evict.
+    total -= views_[victim].num_cells();
+    views_[victim] = GroupByResult();
+    if (static_cast<size_t>(victim) < counts_.size()) {
+      counts_[victim].clear();
+      counts_[victim].shrink_to_fit();
+    }
+    resident_[victim] = 0;
+    CacheMetrics::Get().evictions->Increment();
+  }
 }
 
 std::optional<CellValue> AggregateCache::TryAnswer(const Cube& cube,

@@ -231,6 +231,17 @@ void Cube::AdoptChunk(ChunkId id, Chunk&& chunk) {
   (void)inserted;
 }
 
+void Cube::ReplaceChunk(ChunkId id, Chunk&& chunk) {
+  assert(chunk.size() == layout_.cells_per_chunk());
+  last_chunk_.store(nullptr, std::memory_order_release);
+  chunks_.insert_or_assign(id, std::move(chunk));
+}
+
+void Cube::EraseChunk(ChunkId id) {
+  last_chunk_.store(nullptr, std::memory_order_release);
+  chunks_.erase(id);
+}
+
 void Cube::AdoptChunks(std::map<ChunkId, Chunk>&& m) {
 #ifndef NDEBUG
   for (const auto& [id, chunk] : m) {

@@ -138,6 +138,16 @@ class Cube {
   // empty. Every chunk must match the layout's cells_per_chunk.
   void AdoptChunks(std::map<ChunkId, Chunk>&& m);
 
+  // Swaps in a fully built chunk under `id`, creating it when absent. Used
+  // by delta refresh to patch an affected chunk in place; resets the
+  // GetCell memo, whose node pointer may otherwise keep serving the
+  // replaced bytes (or dangle after EraseChunk below).
+  void ReplaceChunk(ChunkId id, Chunk&& chunk);
+
+  // Drops the chunk stored under `id` (no-op when absent); every cell of
+  // that chunk reads ⊥ afterwards. Resets the GetCell memo.
+  void EraseChunk(ChunkId id);
+
   // Iterates stored chunks in ascending chunk-id order.
   void ForEachChunk(
       const std::function<void(ChunkId, const Chunk&)>& fn) const;
@@ -185,9 +195,10 @@ class Cube {
   Schema schema_;
   ChunkLayout layout_;
   std::map<ChunkId, Chunk> chunks_;  // Ordered => deterministic iteration.
-  // Last chunk-map node GetCell resolved. Node pointers stay valid for the
-  // cube's lifetime (the map never erases), so the memo can only go stale
-  // across copy/move — which reset it.
+  // Last chunk-map node GetCell resolved. Node pointers stay valid until
+  // the node itself is erased or its chunk replaced, so every mutation
+  // that can invalidate the node — copy/move, ReplaceChunk, EraseChunk —
+  // resets the memo.
   mutable std::atomic<const ChunkNode*> last_chunk_{nullptr};
 };
 

@@ -89,12 +89,85 @@ Status Database::BuildAggregates(std::string_view cube_name, int max_views) {
   }
   entry->aggregates = std::make_unique<AggregateCache>(
       AggregateCache::BuildGreedy(entry->cube, max_views));
+  entry->aggregates->set_key(
+      CacheKey{entry->version, /*scenario_fingerprint=*/0, entry->epoch});
   return Status::Ok();
 }
 
 const AggregateCache* Database::aggregates(std::string_view cube_name) const {
   const Entry* entry = FindEntry(cube_name);
   return entry == nullptr ? nullptr : entry->aggregates.get();
+}
+
+AggregateCache* Database::mutable_aggregates(std::string_view cube_name) {
+  const Entry* entry = FindEntry(cube_name);
+  return entry == nullptr ? nullptr : entry->aggregates.get();
+}
+
+Status Database::ApplyCellEdits(std::string_view cube_name,
+                                const std::vector<CellWrite>& writes,
+                                EditStats* stats) {
+  EditStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = EditStats{};
+  Entry* entry = const_cast<Entry*>(FindEntry(cube_name));
+  if (entry == nullptr) {
+    return Status::NotFound("no cube named '" + std::string(cube_name) + "'");
+  }
+  AggregateCache* cache = entry->aggregates.get();
+  if (cache != nullptr && !cache->incremental() &&
+      cache->key() == CacheKey{entry->version, 0, entry->epoch}) {
+    // First feed against a fresh cache: one chunk pass buys per-cell
+    // patching for every feed after it. A stale cache is not worth the
+    // pass — it is bypassed by the executor anyway.
+    cache->EnableIncrementalMaintenance(entry->cube);
+  }
+  DeltaBatch batch(&entry->cube);
+  for (const CellWrite& w : writes) {
+    OLAP_RETURN_IF_ERROR(batch.Set(w.coords, w.value));
+  }
+  stats->cells_written = batch.num_edits();
+  ++entry->version;
+  if (cache != nullptr) {
+    int64_t resident_before = 0;
+    for (int i = 0; i < cache->num_views(); ++i) {
+      if (cache->view_resident(i)) ++resident_before;
+    }
+    if (cache->incremental()) {
+      for (const CellEdit& e : batch.edits()) {
+        cache->PatchCellDelta(e.coords, e.old_storage, e.new_storage);
+      }
+      stats->views_kept = resident_before;
+      // Patched in lockstep with the data: the key follows the version and
+      // the cache stays servable.
+      CacheKey key = cache->key();
+      key.cube_version = entry->version;
+      cache->set_key(key);
+    } else {
+      cache->DropResidentViews();
+      stats->views_dropped = resident_before;
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t Database::cube_version(std::string_view cube_name) const {
+  const Entry* entry = FindEntry(cube_name);
+  return entry == nullptr ? 0 : entry->version;
+}
+
+uint64_t Database::structural_epoch(std::string_view cube_name) const {
+  const Entry* entry = FindEntry(cube_name);
+  return entry == nullptr ? 0 : entry->epoch;
+}
+
+Status Database::BumpStructuralEpoch(std::string_view cube_name) {
+  Entry* entry = const_cast<Entry*>(FindEntry(cube_name));
+  if (entry == nullptr) {
+    return Status::NotFound("no cube named '" + std::string(cube_name) + "'");
+  }
+  ++entry->epoch;  // Existing caches keep the old epoch and go stale.
+  return Status::Ok();
 }
 
 Status Database::DefineNamedSet(std::string set_name,

@@ -14,6 +14,7 @@
 #include "rules/rule.h"
 #include "storage/cube_io.h"
 #include "storage/retry.h"
+#include "whatif/delta.h"
 
 namespace olap {
 
@@ -54,11 +55,45 @@ class Database : public mdx::NameResolver {
 
   // Materializes up to `max_views` greedy-selected aggregations for the
   // cube (Essbase-style pre-built aggregations; see agg/aggregate_cache.h).
-  // Must be re-run after mutating the cube's data. Plain (non-what-if)
-  // queries are then answered from the views where possible.
+  // Plain (non-what-if) queries are then answered from the views where
+  // possible. Mutations fed through ApplyCellEdits keep the views fresh;
+  // out-of-band cube mutation requires a re-run.
   Status BuildAggregates(std::string_view cube_name, int max_views);
   // The cube's materialized aggregations, or null when none were built.
   const AggregateCache* aggregates(std::string_view cube_name) const;
+  // Non-const access for engine-side capacity management (LRU bound).
+  AggregateCache* mutable_aggregates(std::string_view cube_name);
+
+  // --- Edit feed (incremental maintenance) --------------------------------
+
+  // Per-feed result: how the cube's aggregations fared.
+  struct EditStats {
+    int64_t cells_written = 0;
+    // Resident views patched in place (survived) vs dropped wholesale.
+    int64_t views_kept = 0;
+    int64_t views_dropped = 0;
+  };
+
+  // Applies a stream of cell writes to the named cube through a DeltaBatch,
+  // bumps the cube version, and patches the cube's materialized
+  // aggregations in place instead of stranding them: the first feed builds
+  // the cache's contribution-count sidecar (one chunk pass), after which
+  // each write is a handful of per-view cell updates. The cache's key is
+  // bumped in lockstep with the cube version, so the executor keeps
+  // serving from it.
+  Status ApplyCellEdits(std::string_view cube_name,
+                        const std::vector<CellWrite>& writes,
+                        EditStats* stats = nullptr);
+
+  // The entry's current data version (0 until the first edit feed) —
+  // compared against the aggregate cache's key by the executor.
+  uint64_t cube_version(std::string_view cube_name) const;
+  // The entry's validity-set epoch. BumpStructuralEpoch records an
+  // out-of-band structural change (relocation feed applied directly to the
+  // dimension, a split, ...): the epoch advances but existing caches keep
+  // their old key and are bypassed until rebuilt.
+  uint64_t structural_epoch(std::string_view cube_name) const;
+  Status BumpStructuralEpoch(std::string_view cube_name);
 
   // Defines an Essbase-style named set: a name usable in queries whose
   // ".Children" (or direct mention) expands to `members`.
@@ -80,6 +115,8 @@ class Database : public mdx::NameResolver {
     Cube cube;
     RuleSet rules;
     std::unique_ptr<AggregateCache> aggregates;
+    uint64_t version = 0;  // Bumped per ApplyCellEdits feed.
+    uint64_t epoch = 0;    // Bumped per structural change.
   };
   std::map<std::string, std::unique_ptr<Entry>> cubes_;  // Key: lower name.
   std::map<std::string, std::vector<std::pair<int, MemberId>>> named_sets_;

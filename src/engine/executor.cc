@@ -360,6 +360,24 @@ Result<QueryResult> Executor::ExecuteImpl(std::string_view mdx_text,
   // paths rely on the per-query scratch views below.
   const AggregateCache* cache =
       eval_cube == *cube ? db_->aggregates(cube_name) : nullptr;
+  if (cache != nullptr) {
+    if (options.cache_capacity_cells != 0) {
+      // LRU bound, applied before evaluation threads spawn (the cache's
+      // documented quiesce point). Engine-side cache management on a const
+      // catalog — same const_cast idiom as Database's own mutators.
+      const_cast<AggregateCache*>(cache)->SetCapacity(
+          options.cache_capacity_cells < 0 ? -1
+                                           : options.cache_capacity_cells);
+    }
+    // Freshness gate: a cache whose key lags the entry's version or epoch
+    // was built before an unpatched mutation — bypass it rather than serve
+    // stale sums. Edit feeds through Database::ApplyCellEdits patch the
+    // views and bump the key in lockstep, so they pass this gate.
+    const CacheKey current{db_->cube_version(cube_name),
+                           /*scenario_fingerprint=*/0,
+                           db_->structural_epoch(cube_name)};
+    if (cache->key() != current) cache = nullptr;
+  }
 
   // Batched cover-view evaluation: collect the grid's derived-cell masks,
   // materialize the covering subtotal views in one chunk pass, and serve
@@ -856,9 +874,19 @@ static Result<std::string> ExplainOne(const Database* db,
     for (const WhatIfSpec& spec : bound->specs) {
       if (spec.mode == EvalMode::kVisual) transformed = true;
     }
-    out += "aggregations: " + std::to_string(cache->num_views()) + " view(s), " +
-           (transformed ? "scratch only (transformed cube)"
-                        : "serving derived cells") +
+    int resident = 0;
+    for (int i = 0; i < cache->num_views(); ++i) {
+      if (cache->view_resident(i)) ++resident;
+    }
+    const CacheKey current{db->cube_version(cube_name),
+                           /*scenario_fingerprint=*/0,
+                           db->structural_epoch(cube_name)};
+    const bool stale = cache->key() != current;
+    out += "aggregations: " + std::to_string(cache->num_views()) +
+           " view(s), " + std::to_string(resident) + " resident, " +
+           (stale ? "stale key (bypassed)"
+                  : transformed ? "scratch only (transformed cube)"
+                                : "serving derived cells") +
            "\n";
   }
   return out;

@@ -68,6 +68,12 @@ struct QueryOptions {
   // pressure signals walk the degradation ladder before the query fails
   // with kDeadlineExceeded / kCancelled.
   GovernorOptions governor;
+  // Bound on the persistent AggregateCache of the queried cube, in view
+  // cells: applied at query start (a single-threaded quiesce point),
+  // evicting least-recently-served views first until under the bound
+  // (cache.evictions). 0 = leave the cache's current bound untouched;
+  // < 0 = remove the bound.
+  int64_t cache_capacity_cells = 0;
 };
 
 // Where one query's time went: the query's span tree (executor phases,

@@ -90,6 +90,8 @@ class PerspectiveCube {
 
   const Cube& input() const { return *input_; }
   const Cube& output() const { return output_; }
+  // For delta refresh: patch affected output chunks in place.
+  Cube* mutable_output() { return &output_; }
   EvalMode mode() const { return mode_; }
 
   // Cell value under the query's evaluation mode:

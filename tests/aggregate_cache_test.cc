@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "agg/rollup.h"
+#include "common/metrics.h"
 #include "engine/executor.h"
 #include "rules/evaluator.h"
 #include "workload/paper_example.h"
@@ -87,6 +88,148 @@ TEST_F(AggregateCacheTest, EvaluatorUsesCache) {
   EXPECT_GT(cache.hits, hits_before);
 }
 
+TEST_F(AggregateCacheTest, CapacityEvictsLeastRecentlyServedFirst) {
+  // Four nested views with strictly growing footprints.
+  std::vector<GroupByMask> masks = {0b0000, 0b0001, 0b0011, 0b0111};
+  AggregateCache cache(ex_.cube, masks);
+  ASSERT_EQ(cache.num_views(), 4);
+  EXPECT_EQ(cache.capacity_cells(), -1);
+  const int64_t total = cache.TotalCells();
+  const int64_t largest = cache.view(3).num_cells();
+  ASSERT_GT(largest, cache.view(2).num_cells());
+  Counter* evictions = MetricsRegistry::Global().counter("cache.evictions");
+  const int64_t ev_before = evictions->value();
+
+  // Serve views largest-first so the largest is the LEAST recently used.
+  ASSERT_NE(cache.SmallestCovering(0b0111), nullptr);
+  ASSERT_NE(cache.SmallestCovering(0b0011), nullptr);
+  ASSERT_NE(cache.SmallestCovering(0b0001), nullptr);
+  ASSERT_NE(cache.SmallestCovering(0b0000), nullptr);
+
+  // One cell under the full footprint: exactly the LRU view (the largest)
+  // must go; everything else still fits.
+  cache.SetCapacity(total - 1);
+  EXPECT_FALSE(cache.view_resident(3));
+  EXPECT_TRUE(cache.view_resident(0));
+  EXPECT_TRUE(cache.view_resident(1));
+  EXPECT_TRUE(cache.view_resident(2));
+  EXPECT_EQ(cache.TotalCells(), total - largest);
+  EXPECT_EQ(evictions->value(), ev_before + 1);
+
+  // Serving skips the evicted view: the 3-dim group-by no longer has a
+  // covering view, the smaller ones still answer.
+  EXPECT_EQ(cache.SmallestCovering(0b0111), nullptr);
+  EXPECT_NE(cache.SmallestCovering(0b0011), nullptr);
+
+  // Capacity zero clears everything; lifting the bound does not resurrect
+  // evicted views (they need a rebuild).
+  cache.SetCapacity(0);
+  EXPECT_EQ(cache.TotalCells(), 0);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(cache.view_resident(i));
+  cache.SetCapacity(-1);
+  EXPECT_EQ(cache.capacity_cells(), -1);
+  EXPECT_EQ(cache.TotalCells(), 0);
+  EXPECT_GE(evictions->value(), ev_before + 4);
+}
+
+TEST_F(AggregateCacheTest, CapacityTieBreaksTowardTheCostlierView) {
+  // Neither view has ever been served (equal recency): the tie goes to
+  // the larger view, freeing the most room per eviction.
+  std::vector<GroupByMask> masks = {0b0001, 0b0111};
+  AggregateCache cache(ex_.cube, masks);
+  ASSERT_GT(cache.view(1).num_cells(), cache.view(0).num_cells());
+  cache.SetCapacity(cache.view(0).num_cells());
+  EXPECT_FALSE(cache.view_resident(1)) << "larger view evicted on tie";
+  EXPECT_TRUE(cache.view_resident(0));
+}
+
+TEST_F(AggregateCacheTest, PatchCellDeltaTracksEditsExactly) {
+  std::vector<GroupByMask> masks = {0b0000, 0b0011, 0b0101, 0b1110};
+  AggregateCache cache(ex_.cube, masks);
+  cache.EnableIncrementalMaintenance(ex_.cube);
+  ASSERT_TRUE(cache.incremental());
+  Counter* kept = MetricsRegistry::Global().counter("cache.invalidate.views_kept");
+  const int64_t kept_before = kept->value();
+
+  // A value change, a fresh non-⊥ write, and a clear back to ⊥ — each
+  // patched through the sidecar counts.
+  struct Edit { std::vector<int> coords; CellValue v; };
+  std::vector<Edit> edits = {
+      {{ex_.fte_joe, 0, 0, 0}, CellValue(123.0)},
+      {{ex_.contractor_joe, 1, 3, 0}, CellValue(55.0)},
+      {{ex_.fte_joe, 0, 0, 0}, CellValue::Null()},
+  };
+  for (const Edit& e : edits) {
+    const double before = CellValue::ToStorage(ex_.cube.GetCell(e.coords));
+    ex_.cube.SetCell(e.coords, e.v);
+    cache.PatchCellDelta(e.coords, before, CellValue::ToStorage(e.v));
+  }
+  EXPECT_GT(kept->value(), kept_before);
+
+  // Every patched view is value- and null-pattern-identical to a rebuild
+  // over the edited cube (⊥ restored where the last contribution left).
+  AggregateCache rebuilt(ex_.cube, masks);
+  for (int i = 0; i < cache.num_views(); ++i) {
+    EXPECT_TRUE(cache.view_resident(i));
+    EXPECT_TRUE(cache.view(i) == rebuilt.view(i)) << "view " << i;
+  }
+}
+
+TEST_F(AggregateCacheTest, PatchChunkDeltaMatchesRebuildAfterChunkSwap) {
+  std::vector<GroupByMask> masks = {0b0000, 0b0011, 0b1101};
+  AggregateCache cache(ex_.cube, masks);
+  cache.EnableIncrementalMaintenance(ex_.cube);
+
+  // Mutate one chunk wholesale (the delta-refresh path), keeping a copy
+  // of the bytes it replaced.
+  const std::vector<int> probe = {ex_.fte_joe, 0, 0, 0};
+  const ChunkId id = ex_.cube.layout().ChunkOf(probe);
+  const Chunk* stored = ex_.cube.FindChunk(id);
+  ASSERT_NE(stored, nullptr);
+  Chunk before(*stored);
+  Chunk after(*stored);
+  after.Set(0, CellValue(999.0));
+  ex_.cube.ReplaceChunk(id, Chunk(after));
+  cache.PatchChunkDelta(ex_.cube.layout(), id, &before, &after);
+
+  AggregateCache rebuilt(ex_.cube, masks);
+  for (int i = 0; i < cache.num_views(); ++i) {
+    EXPECT_TRUE(cache.view_resident(i));
+    EXPECT_TRUE(cache.view(i) == rebuilt.view(i)) << "view " << i;
+  }
+
+  // Erasing the chunk (after = null) subtracts every contribution it
+  // made; counts that return to zero restore ⊥ in the views.
+  ex_.cube.EraseChunk(id);
+  cache.PatchChunkDelta(ex_.cube.layout(), id, &after, nullptr);
+  AggregateCache rebuilt2(ex_.cube, masks);
+  for (int i = 0; i < cache.num_views(); ++i) {
+    EXPECT_TRUE(cache.view(i) == rebuilt2.view(i)) << "view " << i;
+  }
+}
+
+TEST_F(AggregateCacheTest, NonIncrementalPatchDropsResidentViews) {
+  std::vector<GroupByMask> masks = {0b0000, 0b0011};
+  AggregateCache cache(ex_.cube, masks);
+  ASSERT_FALSE(cache.incremental());
+  Counter* dropped =
+      MetricsRegistry::Global().counter("cache.invalidate.views_dropped");
+  const int64_t dropped_before = dropped->value();
+
+  const std::vector<int> coords = {ex_.fte_joe, 0, 0, 0};
+  const double before = CellValue::ToStorage(ex_.cube.GetCell(coords));
+  ex_.cube.SetCell(coords, CellValue(1.0));
+  cache.PatchCellDelta(coords, before, 1.0);
+
+  // Without the sidecar there is no safe patch: everything drops.
+  for (int i = 0; i < cache.num_views(); ++i) {
+    EXPECT_FALSE(cache.view_resident(i));
+  }
+  EXPECT_EQ(cache.TotalCells(), 0);
+  EXPECT_EQ(dropped->value(), dropped_before + 2);
+  EXPECT_EQ(cache.SmallestCovering(0b0011), nullptr);
+}
+
 TEST(AggregateCacheEngineTest, QueriesAgreeWithAndWithoutAggregates) {
   WorkforceConfig config;
   config.num_departments = 8;
@@ -130,6 +273,41 @@ TEST(AggregateCacheEngineTest, QueriesAgreeWithAndWithoutAggregates) {
       }
     }
   }
+}
+
+TEST(AggregateCacheEngineTest, QueryOptionCapacityBoundsThePersistentCache) {
+  PaperExample ex = BuildPaperExample();
+  Database db;
+  ASSERT_TRUE(db.AddCube("W", ex.cube).ok());
+  ASSERT_TRUE(db.BuildAggregates("W", 6).ok());
+  const AggregateCache* cache = db.aggregates("W");
+  ASSERT_NE(cache, nullptr);
+  const int64_t full = cache->TotalCells();
+  ASSERT_GT(full, 1);
+
+  const char* query =
+      "SELECT {Time.[Jan]} ON COLUMNS, {[FTE]} ON ROWS FROM W "
+      "WHERE (Measures.[Salary])";
+  Executor exec(&db);
+  Result<QueryResult> unbounded = exec.Execute(query, QueryOptions());
+  ASSERT_TRUE(unbounded.ok()) << unbounded.status().ToString();
+
+  // A bound applied at query start evicts down to the budget; the answer
+  // is unchanged (evicted views just stop serving).
+  QueryOptions bounded;
+  bounded.cache_capacity_cells = full / 2;
+  Result<QueryResult> r = exec.Execute(query, bounded);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_LE(cache->TotalCells(), full / 2);
+  EXPECT_EQ(cache->capacity_cells(), full / 2);
+  EXPECT_EQ(unbounded->grid.at(0, 0), r->grid.at(0, 0));
+
+  // < 0 removes the bound (but does not resurrect evicted views);
+  // 0 leaves the current bound untouched.
+  QueryOptions unbind;
+  unbind.cache_capacity_cells = -1;
+  ASSERT_TRUE(exec.Execute(query, unbind).ok());
+  EXPECT_EQ(cache->capacity_cells(), -1);
 }
 
 TEST(AggregateCacheEngineTest, BuildAggregatesValidation) {

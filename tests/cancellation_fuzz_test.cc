@@ -25,6 +25,8 @@
 #include "engine/executor.h"
 #include "storage/cube_io.h"
 #include "storage/simulated_disk.h"
+#include "whatif/delta.h"
+#include "whatif/scenario_algebra.h"
 #include "workload/product.h"
 
 namespace olap {
@@ -298,6 +300,90 @@ TEST_F(CancellationFuzzTest, CancelledProfiledRunsDoNotWedgeTheTracer) {
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   std::string why;
   EXPECT_TRUE(r->profile.trace.WellFormed(&why)) << why;
+}
+
+TEST_F(CancellationFuzzTest, MidRefreshCancelLeavesScenarioRebuildable) {
+  // Incremental-maintenance path: cancellation injected mid ApplyDelta at
+  // scattered poll counts. Every run must either complete bit-identical
+  // to the full-recompute oracle or surface kCancelled with
+  // needs_rebuild() set — and in both cases release every reserved budget
+  // cell. Rebuild() must then recover the cancelled scenario exactly.
+  ScenarioSpec spec;
+  spec.varying_dim = pc_.product_dim;
+  spec.ops = {ScenarioOp::Perspective(Perspectives({6}), Semantics::kForward)};
+
+  const std::vector<int>& extents = pc_.cube.layout().extents();
+  std::vector<std::pair<std::vector<int>, CellValue>> writes;
+  for (int i = 0; i < 5; ++i) {
+    writes.push_back({{i % extents[0], (3 * i) % extents[1], 0},
+                      CellValue(100.0 + i)});
+  }
+
+  // Oracle: full recompute over the edited base.
+  Cube edited = pc_.cube;
+  for (const auto& [coords, v] : writes) edited.SetCell(coords, v);
+  Result<PerspectiveCube> oracle = ComputeScenario(edited, spec);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  auto expect_matches_oracle = [&](const Cube& out, const std::string& what) {
+    oracle->output().ForEachChunk([&](ChunkId id, const Chunk& c) {
+      const Chunk* got = out.FindChunk(id);
+      ASSERT_NE(got, nullptr) << what << " chunk " << id;
+      for (int64_t off = 0; off < c.size(); ++off) {
+        ASSERT_EQ(BitsOf(c.Get(off)), BitsOf(got->Get(off)))
+            << what << " chunk " << id << " offset " << off;
+      }
+    });
+  };
+
+  const int64_t kTrips[] = {1, 2, 3, 5, 8, 13, 21, 34, int64_t{1} << 40};
+  int completed = 0, cancelled = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    for (int64_t trip : kTrips) {
+      const std::string what = "threads=" + std::to_string(threads) +
+                               " trip=" + std::to_string(trip);
+      Cube cube = pc_.cube;
+      ScenarioEvalOptions so;
+      so.eval_threads = threads;
+      Result<IncrementalScenario> inc =
+          IncrementalScenario::Create(&cube, {spec}, so);
+      ASSERT_TRUE(inc.ok()) << what << ": " << inc.status().ToString();
+
+      DeltaBatch batch(&cube);
+      for (const auto& [coords, v] : writes) {
+        ASSERT_TRUE(batch.Set(coords, v).ok()) << what;
+      }
+
+      CancellationSource source;
+      source.CancelAfterPolls(trip);
+      int64_t bytes_reserved = 0, bytes_released = 0;
+      RefreshOptions ro;
+      ro.eval_threads = threads;
+      ro.cancel = source.token();
+      ro.try_reserve_cells = [&](int64_t cells) {
+        bytes_reserved += cells;
+        return true;
+      };
+      ro.release_cells = [&](int64_t cells) { bytes_released += cells; };
+      Status s = inc->ApplyDelta(batch, ro);
+      // Reservations never leak, whichever way the refresh ended.
+      ASSERT_EQ(bytes_reserved, bytes_released) << what;
+      if (s.ok()) {
+        ++completed;
+        expect_matches_oracle(inc->cube().output(), what + " completed");
+      } else {
+        ++cancelled;
+        EXPECT_EQ(s.code(), StatusCode::kCancelled)
+            << what << ": " << s.ToString();
+        EXPECT_TRUE(inc->needs_rebuild()) << what;
+        ASSERT_TRUE(inc->Rebuild().ok()) << what;
+        expect_matches_oracle(inc->cube().output(), what + " rebuilt");
+      }
+    }
+  }
+  // The unreachable trip completes at every thread count; trip=1 always
+  // cancels at the first refresh poll.
+  EXPECT_GE(completed, 4);
+  EXPECT_GE(cancelled, 4);
 }
 
 TEST_F(CancellationFuzzTest, DeadlineFuzzReturnsOnlyTheTwoGovernorCodes) {

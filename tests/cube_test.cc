@@ -229,5 +229,50 @@ TEST(CubeTest, GetCellMemoSeesWritesAndResetsOnCopyAndMove) {
   EXPECT_EQ(moved.GetCell({0, 0, 0, 0}), CellValue(2.0));
 }
 
+// Regression: ReplaceChunk / EraseChunk mutate a chunk the memo may point
+// at. A memoized GetCell primed on the old node must not serve the
+// replaced bytes (or a dangling node after erase).
+TEST(CubeTest, GetCellMemoResetsOnReplaceAndEraseChunk) {
+  PaperExample ex = BuildPaperExample();
+  Cube cube(ex.cube.schema());
+  cube.SetCell({0, 0, 0, 0}, CellValue(5.0));
+  const ChunkId id = cube.layout().ChunkOf({0, 0, 0, 0});
+
+  // Prime the memo on the stored chunk.
+  EXPECT_EQ(cube.GetCell({0, 0, 0, 0}), CellValue(5.0));
+
+  // Swap in a freshly built chunk: the memoized path must serve the new
+  // bytes, and agree with the uncached read.
+  Chunk fresh(cube.layout().cells_per_chunk());
+  fresh.Set(0, CellValue(9.0));
+  cube.ReplaceChunk(id, std::move(fresh));
+  EXPECT_EQ(cube.GetCell({0, 0, 0, 0}), CellValue(9.0));
+  EXPECT_EQ(cube.GetCellUncached({0, 0, 0, 0}), CellValue(9.0));
+
+  // ReplaceChunk under an id with no stored chunk creates it.
+  const std::vector<int>& ext = cube.layout().extents();
+  std::vector<int> far = {ext[0] - 1, ext[1] - 1, ext[2] - 1, ext[3] - 1};
+  const ChunkId far_id = cube.layout().ChunkOf(far);
+  ASSERT_NE(far_id, id);
+  ASSERT_FALSE(cube.HasChunk(far_id));
+  Chunk far_chunk(cube.layout().cells_per_chunk());
+  far_chunk.Set(cube.layout().OffsetInChunk(far), CellValue(7.0));
+  cube.ReplaceChunk(far_id, std::move(far_chunk));
+  EXPECT_EQ(cube.GetCell(far), CellValue(7.0));
+
+  // Erase through a warm memo: every cell of the chunk reads ⊥ and the
+  // memoized read agrees with the uncached one.
+  EXPECT_EQ(cube.GetCell({0, 0, 0, 0}), CellValue(9.0));
+  cube.EraseChunk(id);
+  EXPECT_FALSE(cube.HasChunk(id));
+  EXPECT_TRUE(cube.GetCell({0, 0, 0, 0}).is_null());
+  EXPECT_TRUE(cube.GetCellUncached({0, 0, 0, 0}).is_null());
+  // The other chunk is untouched.
+  EXPECT_EQ(cube.GetCell(far), CellValue(7.0));
+  // Erasing an absent chunk is a no-op.
+  cube.EraseChunk(id);
+  EXPECT_TRUE(cube.GetCell({0, 0, 0, 0}).is_null());
+}
+
 }  // namespace
 }  // namespace olap

@@ -1,0 +1,389 @@
+// Incremental what-if maintenance (whatif/delta.h):
+//
+//   * DeltaBatch records before/after storage values and chains edits to
+//     the same cell consistently;
+//   * ComputeDeltaClosure stays within the touched chunk columns and
+//     always covers the touched chunks themselves;
+//   * IncrementalScenario::ApplyDelta leaves the retained perspective cube
+//     bit-identical to a from-scratch recompute on the edited base —
+//     relocate scenarios take the incremental path, INTRODUCE stacks fall
+//     back to a (still correct) full recompute;
+//   * UpdateSpec on a composed stack re-lowers only the dirtied suffix and
+//     matches ComposeScenarios of the edited stack;
+//   * an attached AggregateCache is patched in place (subtract/add through
+//     the weighted kernels) and matches a cache rebuilt from scratch;
+//   * the governor hooks: a declined reservation surfaces
+//     kResourceExhausted, a cancelled refresh flags needs_rebuild, and
+//     Rebuild() recovers either way;
+//   * Database::ApplyCellEdits keeps the persistent cache servable (key
+//     bumped in lockstep with the cube version) with views_kept > 0.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancellation.h"
+#include "engine/database.h"
+#include "engine/executor.h"
+#include "whatif/delta.h"
+#include "whatif/operators.h"
+#include "whatif/perspective.h"
+#include "whatif/scenario_algebra.h"
+#include "workload/paper_example.h"
+
+namespace olap {
+namespace {
+
+uint64_t BitsOf(CellValue v) {
+  double raw = CellValue::ToStorage(v);
+  uint64_t bits;
+  std::memcpy(&bits, &raw, sizeof(bits));
+  return bits;
+}
+
+void ExpectCubesBitIdentical(const Cube& expected, const Cube& actual,
+                             const std::string& context) {
+  std::map<ChunkId, const Chunk*> ea, aa;
+  expected.ForEachChunk([&](ChunkId id, const Chunk& c) { ea[id] = &c; });
+  actual.ForEachChunk([&](ChunkId id, const Chunk& c) { aa[id] = &c; });
+  ASSERT_EQ(ea.size(), aa.size()) << context << ": stored chunk count differs";
+  for (const auto& [id, chunk] : ea) {
+    auto it = aa.find(id);
+    ASSERT_TRUE(it != aa.end()) << context << ": chunk " << id << " missing";
+    ASSERT_EQ(chunk->size(), it->second->size()) << context;
+    for (int64_t off = 0; off < chunk->size(); ++off) {
+      ASSERT_EQ(BitsOf(chunk->Get(off)), BitsOf(it->second->Get(off)))
+          << context << ": chunk " << id << " offset " << off;
+    }
+  }
+}
+
+class DeltaTest : public ::testing::Test {
+ protected:
+  DeltaTest() : ex_(BuildPaperExample()) {}
+
+  // A (coords) helper over the 4-dim paper cube: org instance position,
+  // location leaf, time leaf, measure leaf.
+  std::vector<int> At(int org_pos, int loc, int t, int m) const {
+    return {org_pos, loc, t, m};
+  }
+
+  // The forward-perspective relocate scenario used throughout: Feb's
+  // assignments rule from Feb on.
+  ScenarioSpec ForwardSpec() const {
+    ScenarioSpec spec;
+    spec.varying_dim = ex_.org_dim;
+    spec.mode = EvalMode::kVisual;
+    spec.ops.push_back(
+        ScenarioOp::Perspective(Perspectives({1}), Semantics::kForward));
+    return spec;
+  }
+
+  PaperExample ex_;
+};
+
+TEST_F(DeltaTest, BatchRecordsBeforeAfterAndChains) {
+  Cube cube = ex_.cube;
+  DeltaBatch batch(&cube);
+  const std::vector<int> coords = At(ex_.fte_joe, 0, 0, 0);
+  const CellValue before = cube.GetCell(coords);
+  ASSERT_TRUE(batch.Set(coords, CellValue(41.0)).ok());
+  ASSERT_TRUE(batch.Set(coords, CellValue(42.0)).ok());
+  ASSERT_EQ(batch.num_edits(), 2);
+  EXPECT_EQ(batch.edits()[0].old_storage, CellValue::ToStorage(before));
+  EXPECT_EQ(batch.edits()[0].new_storage, 41.0);
+  // Chained: the second edit's "old" is the first edit's "new".
+  EXPECT_EQ(batch.edits()[1].old_storage, 41.0);
+  EXPECT_EQ(batch.edits()[1].new_storage, 42.0);
+  EXPECT_EQ(cube.GetCell(coords), CellValue(42.0));
+  // Both edits hit one chunk.
+  EXPECT_EQ(batch.TouchedChunks().size(), 1u);
+
+  // Bounds are enforced before anything is applied.
+  EXPECT_FALSE(batch.Set({0, 0}, CellValue(1.0)).ok());
+  std::vector<int> oob = coords;
+  oob[0] = cube.layout().extents()[0] + 5;
+  EXPECT_FALSE(batch.Set(oob, CellValue(1.0)).ok());
+}
+
+TEST_F(DeltaTest, ClosureCoversTouchedChunksAndStaysInColumn) {
+  const Cube& cube = ex_.cube;
+  const ChunkLayout& layout = cube.layout();
+  const int vd = ex_.org_dim;
+  const Dimension& dim = cube.schema().dimension(vd);
+
+  std::vector<ChunkId> touched = {layout.ChunkOf(At(ex_.fte_joe, 0, 0, 0))};
+  Result<DeltaClosure> closure =
+      ComputeDeltaClosure(layout, dim, layout, dim, vd, touched);
+  ASSERT_TRUE(closure.ok()) << closure.status().ToString();
+
+  // The touched chunk itself must be re-read and its output re-patched.
+  EXPECT_TRUE(std::count(closure->input_chunks.begin(),
+                         closure->input_chunks.end(), touched[0]) > 0);
+  EXPECT_TRUE(std::count(closure->output_chunks.begin(),
+                         closure->output_chunks.end(), touched[0]) > 0);
+
+  // Every closure chunk lives in the touched chunk's column: identical
+  // chunk coordinates on all non-varying dimensions.
+  const std::vector<int> want = layout.ChunkCoords(touched[0]);
+  auto in_column = [&](ChunkId id) {
+    const std::vector<int> got = layout.ChunkCoords(id);
+    for (int d = 0; d < layout.num_dims(); ++d) {
+      if (d != vd && got[d] != want[d]) return false;
+    }
+    return true;
+  };
+  for (ChunkId id : closure->input_chunks) EXPECT_TRUE(in_column(id)) << id;
+  for (ChunkId id : closure->output_chunks) EXPECT_TRUE(in_column(id)) << id;
+}
+
+TEST_F(DeltaTest, ApplyDeltaMatchesFullRecompute) {
+  Cube cube = ex_.cube;
+  Result<IncrementalScenario> inc =
+      IncrementalScenario::Create(&cube, {ForwardSpec()});
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+
+  // Integer-valued edits: exact arithmetic, so bit-identity is meaningful.
+  DeltaBatch batch(&cube);
+  ASSERT_TRUE(batch.Set(At(ex_.fte_joe, 0, 0, 0), CellValue(17.0)).ok());
+  ASSERT_TRUE(batch.Set(At(ex_.contractor_joe, 0, 2, 0), CellValue(99.0)).ok());
+  ASSERT_TRUE(
+      batch.Set(At(ex_.pte_joe, 0, 1, 0), CellValue::Null()).ok());  // Clear.
+
+  RefreshStats stats;
+  ASSERT_TRUE(inc->ApplyDelta(batch, RefreshOptions{}, &stats).ok());
+  EXPECT_FALSE(stats.full_recompute);
+  EXPECT_GT(stats.chunks_affected, 0);
+  EXPECT_GT(stats.chunks_patched, 0);
+  EXPECT_FALSE(inc->needs_rebuild());
+
+  Result<PerspectiveCube> oracle = ComputeScenario(cube, ForwardSpec());
+  ASSERT_TRUE(oracle.ok());
+  ExpectCubesBitIdentical(oracle->output(), inc->cube().output(),
+                          "incremental refresh vs recompute");
+}
+
+TEST_F(DeltaTest, IntroduceStackFallsBackToFullRecompute) {
+  Cube cube = ex_.cube;
+  NewMemberSpec hire;
+  hire.name = "Newbie";
+  hire.parent = "FTE";
+  hire.from_moment = 1;
+  hire.seed = NewMemberSpec::Seed::kClone;
+  hire.source = "Lisa";
+  hire.factor = 1.0;
+  ScenarioSpec spec = ForwardSpec();
+  spec.ops.insert(spec.ops.begin(), ScenarioOp::Introduce({hire}));
+
+  Result<IncrementalScenario> inc =
+      IncrementalScenario::Create(&cube, {spec});
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+
+  DeltaBatch batch(&cube);
+  ASSERT_TRUE(batch.Set(At(ex_.fte_joe, 0, 0, 0), CellValue(23.0)).ok());
+  RefreshStats stats;
+  ASSERT_TRUE(inc->ApplyDelta(batch, RefreshOptions{}, &stats).ok());
+  EXPECT_TRUE(stats.full_recompute);
+
+  Result<PerspectiveCube> oracle = ComputeScenario(cube, spec);
+  ASSERT_TRUE(oracle.ok());
+  ExpectCubesBitIdentical(oracle->output(), inc->cube().output(),
+                          "introduce fallback vs recompute");
+}
+
+TEST_F(DeltaTest, UpdateSpecRelowersOnlyTheDirtiedSuffix) {
+  Cube cube = ex_.cube;
+  ScenarioSpec split;
+  split.varying_dim = ex_.org_dim;
+  split.ops.push_back(ScenarioOp::SplitOp(
+      {ChangeTuple{ex_.joe, ex_.contractor, ex_.fte, 3}}));
+  ScenarioSpec perspective = ForwardSpec();
+
+  Result<IncrementalScenario> inc =
+      IncrementalScenario::Create(&cube, {split, perspective});
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+
+  // Edit stage 1 only: backward semantics instead of forward.
+  ScenarioSpec edited = perspective;
+  edited.ops[0] =
+      ScenarioOp::Perspective(Perspectives({1}), Semantics::kBackward);
+  ASSERT_TRUE(inc->UpdateSpec(1, edited).ok());
+
+  Result<PerspectiveCube> oracle = ComposeScenarios(cube, {split, edited});
+  ASSERT_TRUE(oracle.ok());
+  ExpectCubesBitIdentical(oracle->output(), inc->cube().output(),
+                          "suffix re-lower vs full compose");
+
+  EXPECT_FALSE(inc->UpdateSpec(7, edited).ok());  // Stage out of range.
+}
+
+TEST_F(DeltaTest, FingerprintIsStableAndSensitive) {
+  EXPECT_EQ(ScenarioFingerprint({}), 0u);
+  ScenarioSpec a = ForwardSpec();
+  EXPECT_EQ(ScenarioFingerprint({a}), ScenarioFingerprint({a}));
+  ScenarioSpec b = a;
+  b.ops[0] = ScenarioOp::Perspective(Perspectives({2}), Semantics::kForward);
+  EXPECT_NE(ScenarioFingerprint({a}), ScenarioFingerprint({b}));
+  ScenarioSpec c = a;
+  c.mode = EvalMode::kNonVisual;
+  EXPECT_NE(ScenarioFingerprint({a}), ScenarioFingerprint({c}));
+}
+
+TEST_F(DeltaTest, AttachedCacheIsPatchedToMatchARebuild) {
+  Cube cube = ex_.cube;
+  Result<IncrementalScenario> inc =
+      IncrementalScenario::Create(&cube, {ForwardSpec()});
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+
+  // Views over the scenario output, with the count sidecar that makes
+  // in-place patching exact.
+  AggregateCache cache = AggregateCache::BuildGreedy(inc->cube().output(), 4);
+  cache.EnableIncrementalMaintenance(inc->cube().output());
+  inc->AttachCache(&cache);
+
+  DeltaBatch batch(&cube);
+  ASSERT_TRUE(batch.Set(At(ex_.fte_joe, 0, 0, 0), CellValue(64.0)).ok());
+  ASSERT_TRUE(batch.Set(At(ex_.contractor_joe, 0, 3, 1), CellValue(8.0)).ok());
+  RefreshStats stats;
+  ASSERT_TRUE(inc->ApplyDelta(batch, RefreshOptions{}, &stats).ok());
+  ASSERT_FALSE(stats.full_recompute);
+
+  AggregateCache rebuilt =
+      AggregateCache(inc->cube().output(), cache.masks());
+  ASSERT_EQ(cache.num_views(), rebuilt.num_views());
+  for (int i = 0; i < cache.num_views(); ++i) {
+    ASSERT_TRUE(cache.view_resident(i));
+    EXPECT_TRUE(cache.view(i) == rebuilt.view(i)) << "view " << i;
+  }
+}
+
+TEST_F(DeltaTest, DeclinedReservationSurfacesResourceExhausted) {
+  Cube cube = ex_.cube;
+  Result<IncrementalScenario> inc =
+      IncrementalScenario::Create(&cube, {ForwardSpec()});
+  ASSERT_TRUE(inc.ok());
+
+  DeltaBatch batch(&cube);
+  ASSERT_TRUE(batch.Set(At(ex_.fte_joe, 0, 0, 0), CellValue(5.0)).ok());
+
+  int64_t released = 0;
+  RefreshOptions opts;
+  opts.try_reserve_cells = [](int64_t) { return false; };
+  opts.release_cells = [&](int64_t cells) { released += cells; };
+  Status s = inc->ApplyDelta(batch, opts);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(released, 0) << "nothing reserved, nothing to release";
+  // The delta reached the base but not the retained output.
+  EXPECT_TRUE(inc->needs_rebuild());
+  // Before Rebuild, further deltas are refused.
+  EXPECT_EQ(inc->ApplyDelta(batch, RefreshOptions{}).code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(inc->Rebuild().ok());
+  EXPECT_FALSE(inc->needs_rebuild());
+  Result<PerspectiveCube> oracle = ComputeScenario(cube, ForwardSpec());
+  ASSERT_TRUE(oracle.ok());
+  ExpectCubesBitIdentical(oracle->output(), inc->cube().output(),
+                          "rebuild after refused reservation");
+}
+
+TEST_F(DeltaTest, ReservationIsReleasedOnSuccess) {
+  Cube cube = ex_.cube;
+  Result<IncrementalScenario> inc =
+      IncrementalScenario::Create(&cube, {ForwardSpec()});
+  ASSERT_TRUE(inc.ok());
+
+  DeltaBatch batch(&cube);
+  ASSERT_TRUE(batch.Set(At(ex_.fte_joe, 0, 0, 0), CellValue(5.0)).ok());
+
+  int64_t reserved = 0, released = 0;
+  RefreshOptions opts;
+  opts.try_reserve_cells = [&](int64_t cells) {
+    reserved += cells;
+    return true;
+  };
+  opts.release_cells = [&](int64_t cells) { released += cells; };
+  ASSERT_TRUE(inc->ApplyDelta(batch, opts).ok());
+  EXPECT_GT(reserved, 0);
+  EXPECT_EQ(reserved, released) << "no leaked reservation";
+}
+
+TEST_F(DeltaTest, CancelledRefreshFlagsNeedsRebuild) {
+  Cube cube = ex_.cube;
+  Result<IncrementalScenario> inc =
+      IncrementalScenario::Create(&cube, {ForwardSpec()});
+  ASSERT_TRUE(inc.ok());
+
+  DeltaBatch batch(&cube);
+  ASSERT_TRUE(batch.Set(At(ex_.fte_joe, 0, 0, 0), CellValue(3.0)).ok());
+
+  CancellationSource source;
+  source.CancelAfterPolls(1);
+  RefreshOptions opts;
+  opts.cancel = source.token();
+  Status s = inc->ApplyDelta(batch, opts);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(inc->needs_rebuild());
+
+  ASSERT_TRUE(inc->Rebuild().ok());
+  Result<PerspectiveCube> oracle = ComputeScenario(cube, ForwardSpec());
+  ASSERT_TRUE(oracle.ok());
+  ExpectCubesBitIdentical(oracle->output(), inc->cube().output(),
+                          "rebuild after cancelled refresh");
+}
+
+TEST_F(DeltaTest, ApplyCellEditsKeepsPersistentCacheServable) {
+  Database db;
+  ASSERT_TRUE(db.AddCube("Warehouse", ex_.cube).ok());
+  ASSERT_TRUE(db.BuildAggregates("Warehouse", 4).ok());
+  const AggregateCache* cache = db.aggregates("Warehouse");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(db.cube_version("Warehouse"), 0u);
+  EXPECT_EQ(cache->key().cube_version, 0u);
+
+  Database::EditStats stats;
+  std::vector<CellWrite> writes = {
+      {At(ex_.fte_joe, 0, 0, 0), CellValue(77.0)},
+      {At(ex_.contractor_joe, 0, 2, 0), CellValue(11.0)},
+  };
+  ASSERT_TRUE(db.ApplyCellEdits("Warehouse", writes, &stats).ok());
+  EXPECT_EQ(stats.cells_written, 2);
+  EXPECT_GT(stats.views_kept, 0);
+  EXPECT_EQ(stats.views_dropped, 0);
+  // Key tracks the bumped version: the executor's freshness gate passes.
+  EXPECT_EQ(db.cube_version("Warehouse"), 1u);
+  EXPECT_EQ(cache->key().cube_version, 1u);
+
+  // The patched views equal a rebuild from the edited cube.
+  Result<const Cube*> cube = db.FindCube("Warehouse");
+  ASSERT_TRUE(cube.ok());
+  AggregateCache rebuilt(**cube, cache->masks());
+  for (int i = 0; i < cache->num_views(); ++i) {
+    ASSERT_TRUE(cache->view_resident(i));
+    EXPECT_TRUE(cache->view(i) == rebuilt.view(i)) << "view " << i;
+  }
+
+  // A structural change strands the cache: key lags the epoch.
+  ASSERT_TRUE(db.BumpStructuralEpoch("Warehouse").ok());
+  EXPECT_NE(cache->key().epoch, db.structural_epoch("Warehouse"));
+}
+
+TEST_F(DeltaTest, EmptyBatchIsANoOp) {
+  Cube cube = ex_.cube;
+  Result<IncrementalScenario> inc =
+      IncrementalScenario::Create(&cube, {ForwardSpec()});
+  ASSERT_TRUE(inc.ok());
+  DeltaBatch batch(&cube);
+  RefreshStats stats;
+  ASSERT_TRUE(inc->ApplyDelta(batch, RefreshOptions{}, &stats).ok());
+  EXPECT_EQ(stats.chunks_patched, 0);
+  EXPECT_FALSE(stats.full_recompute);
+}
+
+}  // namespace
+}  // namespace olap

@@ -71,7 +71,7 @@ TEST_F(ExplainTest, StrategyAndAggregatesReported) {
   EXPECT_NE(plan.find("strategy: multiple-MDX simulation"), std::string::npos);
   // Non-visual what-if evaluates derived cells on the stored input cube, so
   // the persistent aggregations still apply.
-  EXPECT_NE(plan.find("aggregations: 4 view(s), serving derived cells"),
+  EXPECT_NE(plan.find("aggregations: 4 view(s), 4 resident, serving derived cells"),
             std::string::npos);
   // Visual mode evaluates the transformed output cube: only the per-query
   // scratch views built by batched evaluation can serve.
@@ -80,10 +80,10 @@ TEST_F(ExplainTest, StrategyAndAggregatesReported) {
       "SELECT {Time.[Jan]} ON COLUMNS, {[Organization].[Joe]} ON ROWS "
       "FROM Warehouse",
       options);
-  EXPECT_NE(plan.find("aggregations: 4 view(s), scratch only (transformed cube)"),
+  EXPECT_NE(plan.find("aggregations: 4 view(s), 4 resident, scratch only (transformed cube)"),
             std::string::npos);
   plan = MustExplain("SELECT {Time.[Jan]} ON COLUMNS FROM Warehouse");
-  EXPECT_NE(plan.find("aggregations: 4 view(s), serving derived cells"),
+  EXPECT_NE(plan.find("aggregations: 4 view(s), 4 resident, serving derived cells"),
             std::string::npos);
 }
 
